@@ -1,0 +1,56 @@
+//! E1 — latency of the Section 1 query table.
+//!
+//! One bench per evaluator over the full 10-query table: the
+//! Levesque-style `ask` reducer and, on the admissible subset, the `demo`
+//! evaluator. Regenerates the answers and asserts them before timing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epilog_bench::workloads::{section1_queries, teach_db};
+use epilog_core::{ask, demo_sentence};
+use epilog_prover::Prover;
+use epilog_syntax::{is_admissible, parse};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let queries: Vec<_> = section1_queries()
+        .into_iter()
+        .map(|(q, expected)| (parse(q).unwrap(), expected))
+        .collect();
+
+    // Correctness gate: the table must reproduce before we time it.
+    {
+        let prover = Prover::new(teach_db());
+        for (w, expected) in &queries {
+            assert_eq!(ask(&prover, w).to_string(), *expected, "{w}");
+        }
+    }
+
+    let mut g = c.benchmark_group("e1_section1");
+    g.sample_size(10);
+    g.bench_function("ask/full_table", |b| {
+        b.iter_with_setup(
+            || Prover::new(teach_db()),
+            |prover| {
+                for (w, _) in &queries {
+                    black_box(ask(&prover, w));
+                }
+            },
+        )
+    });
+    g.bench_function("demo/admissible_subset", |b| {
+        let admissible: Vec<_> =
+            queries.iter().filter(|(w, _)| is_admissible(w)).collect();
+        b.iter_with_setup(
+            || Prover::new(teach_db()),
+            |prover| {
+                for (w, _) in &admissible {
+                    black_box(demo_sentence(&prover, w).unwrap());
+                }
+            },
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E2 — cost of constraint checking under each of the five definitions of
+//! §3, as the database grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epilog_bench::workloads::employees_db;
+use epilog_core::{ic_satisfaction, IcDefinition, IcReport};
+use epilog_prover::Prover;
+use epilog_syntax::parse;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ic_fo = parse("forall x. emp(x) -> exists y. ss(x, y)").unwrap();
+    let ic_modal = parse("forall x. K emp(x) -> K (exists y. ss(x, y))").unwrap();
+
+    // Correctness gate.
+    {
+        let p = Prover::new(employees_db(4));
+        assert_eq!(
+            ic_satisfaction(&p, &ic_modal, IcDefinition::Epistemic),
+            IcReport::Satisfied
+        );
+    }
+
+    let mut g = c.benchmark_group("e2_ic_definitions");
+    g.sample_size(10);
+    for n in [2usize, 4, 8, 16] {
+        let theory = employees_db(n);
+        for (label, ic, def) in [
+            ("3.1_consistency", &ic_fo, IcDefinition::Consistency),
+            ("3.2_entailment", &ic_fo, IcDefinition::Entailment),
+            ("3.4_comp_entailment", &ic_fo, IcDefinition::CompEntailment),
+            ("3.5_epistemic", &ic_modal, IcDefinition::Epistemic),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter_with_setup(
+                    || Prover::new(theory.clone()),
+                    |prover| black_box(ic_satisfaction(&prover, ic, def)),
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E3/F6 — enforcing the §3 constraints, full recheck vs the
+//! incremental (Nicolas-style) specialization of §8 item (4).
+//!
+//! Shape expectation: the full check revisits every employee on every
+//! update (cost grows with database size); the incremental check touches
+//! only the instances matching the updated fact (near-constant), so the
+//! gap widens linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epilog_bench::workloads::employees_db;
+use epilog_core::IncrementalChecker;
+use epilog_prover::Prover;
+use epilog_syntax::{parse, Formula};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let constraints = [
+        parse("forall x. K emp(x) -> K (exists y. ss(x, y))").unwrap(),
+        parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+    ];
+    let checker = IncrementalChecker::new(&constraints).unwrap();
+    let fact = match parse("emp(e0)").unwrap() {
+        Formula::Atom(a) => a,
+        _ => unreachable!(),
+    };
+
+    // Correctness gate: both paths agree on a satisfying and a violating
+    // state.
+    {
+        let ok = Prover::new(employees_db(4));
+        assert!(checker.check_update(&ok, &fact).is_none());
+        assert!(checker.check_full(&ok).is_none());
+        let mut bad_theory = employees_db(4);
+        bad_theory.assert(parse("emp(Norma)").unwrap()).unwrap();
+        let bad = Prover::new(bad_theory);
+        let norma = match parse("emp(Norma)").unwrap() {
+            Formula::Atom(a) => a,
+            _ => unreachable!(),
+        };
+        assert!(checker.check_update(&bad, &norma).is_some());
+        assert!(checker.check_full(&bad).is_some());
+    }
+
+    let mut g = c.benchmark_group("e3_constraints");
+    g.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        let theory = employees_db(n);
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter_with_setup(
+                || Prover::new(theory.clone()),
+                |prover| black_box(checker.check_update(&prover, &fact)),
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("full", n), &n, |b, _| {
+            b.iter_with_setup(
+                || Prover::new(theory.clone()),
+                |prover| black_box(checker.check_full(&prover)),
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

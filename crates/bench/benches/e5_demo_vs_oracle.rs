@@ -1,0 +1,69 @@
+//! E5/F1 — the headline figure: `demo` (first-order theorem proving)
+//! versus the brute-force semantic oracle (model enumeration), runtime as
+//! the Herbrand base grows.
+//!
+//! The paper's computational claim (§5.2): generalizing to epistemic
+//! queries via `demo` keeps "the computational advantages of first-order
+//! query evaluation". The oracle's cost is `Θ(2^n)` world checks; `demo`'s
+//! is a handful of SAT calls on a linear grounding. The crossover sits at
+//! a Herbrand base of a few atoms; beyond ~20 atoms the oracle is simply
+//! infeasible, which is why it is capped here at 14.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epilog_bench::workloads::propositional_db;
+use epilog_core::{ask, demo_sentence, DemoOutcome};
+use epilog_prover::Prover;
+use epilog_semantics::{Answer, ModelSet};
+use epilog_syntax::parse;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let query = parse("K (p0 | p1) & ~K p0").unwrap();
+
+    // Correctness gate at a size the oracle can check.
+    {
+        let (theory, preds) = propositional_db(6);
+        let prover = Prover::new(theory.clone());
+        let oracle =
+            ModelSet::models(&theory, &[epilog_syntax::Param::new("c")], &preds);
+        assert_eq!(ask(&prover, &query), Answer::Yes);
+        assert_eq!(oracle.answer(&query), Answer::Yes);
+        assert_eq!(
+            demo_sentence(&prover, &query).unwrap(),
+            DemoOutcome::Succeeds
+        );
+    }
+
+    let mut g = c.benchmark_group("e5_demo_vs_oracle");
+    g.sample_size(10);
+    for n in [4usize, 6, 8, 10, 12, 14] {
+        let (theory, preds) = propositional_db(n);
+        g.bench_with_input(BenchmarkId::new("demo", n), &n, |b, _| {
+            b.iter_with_setup(
+                || Prover::new(theory.clone()),
+                |prover| black_box(demo_sentence(&prover, &query).unwrap()),
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, _| {
+            let universe = [epilog_syntax::Param::new("c")];
+            b.iter(|| {
+                let ms = ModelSet::models(&theory, &universe, &preds);
+                black_box(ms.answer(&query))
+            })
+        });
+    }
+    // demo keeps going far beyond the oracle's feasibility wall.
+    for n in [20usize, 40, 80] {
+        let (theory, _) = propositional_db(n);
+        g.bench_with_input(BenchmarkId::new("demo", n), &n, |b, _| {
+            b.iter_with_setup(
+                || Prover::new(theory.clone()),
+                |prover| black_box(demo_sentence(&prover, &query).unwrap()),
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

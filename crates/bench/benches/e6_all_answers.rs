@@ -1,0 +1,47 @@
+//! E6/F4 — all-answers recovery (§6.1.1): throughput of iterating `demo`
+//! through failure as the database grows, plus the canonical-model
+//! construction of Lemma 6.2 as the intensional component scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use epilog_bench::workloads::{facts_db, random_elementary};
+use epilog_core::all_answers;
+use epilog_prover::{canonical_model, Prover};
+use epilog_syntax::parse;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let q = parse("K p(x)").unwrap();
+
+    // Correctness gate: every fact is recovered.
+    {
+        let prover = Prover::new(facts_db(8));
+        assert_eq!(all_answers(&prover, &q).unwrap().len(), 8);
+    }
+
+    let mut g = c.benchmark_group("e6_all_answers");
+    g.sample_size(10);
+    for n in [4usize, 8, 16, 32] {
+        let theory = facts_db(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("demo_all", n), &n, |b, _| {
+            b.iter_with_setup(
+                || Prover::new(theory.clone()),
+                |prover| black_box(all_answers(&prover, &q).unwrap()),
+            )
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_canonical_model");
+    g.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let theory = random_elementary(42, 6, n);
+        g.bench_with_input(BenchmarkId::new("lemma_62", n), &n, |b, _| {
+            b.iter(|| black_box(canonical_model(&theory).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

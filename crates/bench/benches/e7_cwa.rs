@@ -1,0 +1,67 @@
+//! E7 — closed-world evaluation: `demo(ℛ(w), Σ)` (Theorem 7.3, no closure
+//! computed) versus materializing `Closure(Σ)` and evaluating in the
+//! unique model.
+//!
+//! Shape expectation: materialization pays a per-database cost that grows
+//! with the Herbrand base (it decides every atom), while `demo(ℛ(w))`
+//! only proves what the query touches — the gap widens with database
+//! size. Once materialized, the closed model answers queries nearly for
+//! free, which is the classical space/time trade.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epilog_core::closure::{cwa_demo, ClosedDb};
+use epilog_prover::Prover;
+use epilog_syntax::{parse, Theory};
+use std::hint::black_box;
+
+fn graph_db(n: usize) -> Theory {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("q(g{i})\n"));
+        if i + 1 < n {
+            src.push_str(&format!("r(g{i}, g{})\n", i + 1));
+        }
+    }
+    Theory::from_text(&src).expect("generated text parses")
+}
+
+fn bench(c: &mut Criterion) {
+    let w = parse("q(x) & ~(exists y. r(x, y) & q(y))").unwrap();
+
+    // Correctness gate: both paths find exactly the chain's last vertex.
+    {
+        let prover = Prover::new(graph_db(5));
+        let via_demo: Vec<_> = cwa_demo(&prover, &w).unwrap().collect();
+        assert_eq!(via_demo.len(), 1);
+        let closed = ClosedDb::new(&prover);
+        assert_eq!(closed.answers(&w), via_demo);
+    }
+
+    let mut g = c.benchmark_group("e7_cwa");
+    g.sample_size(10);
+    for n in [4usize, 6, 8] {
+        let theory = graph_db(n);
+        g.bench_with_input(BenchmarkId::new("demo_modalized", n), &n, |b, _| {
+            b.iter_with_setup(
+                || Prover::new(theory.clone()),
+                |prover| {
+                    let got: Vec<_> = cwa_demo(&prover, &w).unwrap().collect();
+                    black_box(got)
+                },
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("materialize_closure", n), &n, |b, _| {
+            b.iter_with_setup(
+                || Prover::new(theory.clone()),
+                |prover| {
+                    let closed = ClosedDb::new(&prover);
+                    black_box(closed.answers(&w))
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

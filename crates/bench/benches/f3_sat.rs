@@ -1,0 +1,48 @@
+//! F3 — substrate ablation: CDCL vs plain DPLL.
+//!
+//! Shape expectation: on pigeonhole instances both are exponential (PHP
+//! has no polynomial resolution proofs) but CDCL's learned clauses and
+//! VSIDS prune far better; on under-constrained random 3-SAT both are
+//! fast. The qualitative gap — CDCL pulling away as holes grow — is the
+//! reproduced figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epilog_bench::workloads::{pigeonhole, random_3sat};
+use epilog_sat::{solve_dpll, SatResult, Solver};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate.
+    assert_eq!(Solver::new(&pigeonhole(5)).solve(), SatResult::Unsat);
+    assert_eq!(solve_dpll(&pigeonhole(5)), SatResult::Unsat);
+
+    let mut g = c.benchmark_group("f3_sat_pigeonhole");
+    g.sample_size(10);
+    for holes in [4u32, 5, 6] {
+        let cnf = pigeonhole(holes);
+        g.bench_with_input(BenchmarkId::new("cdcl", holes), &holes, |b, _| {
+            b.iter(|| black_box(Solver::new(&cnf).solve()))
+        });
+        g.bench_with_input(BenchmarkId::new("dpll", holes), &holes, |b, _| {
+            b.iter(|| black_box(solve_dpll(&cnf)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("f3_sat_random3sat");
+    g.sample_size(10);
+    for vars in [20u32, 40] {
+        let clauses = vars * 4; // near the hard ratio
+        let cnf = random_3sat(99, vars, clauses);
+        g.bench_with_input(BenchmarkId::new("cdcl", vars), &vars, |b, _| {
+            b.iter(|| black_box(Solver::new(&cnf).solve()))
+        });
+        g.bench_with_input(BenchmarkId::new("dpll", vars), &vars, |b, _| {
+            b.iter(|| black_box(solve_dpll(&cnf)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

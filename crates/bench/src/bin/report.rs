@@ -1,0 +1,128 @@
+//! Regenerate every experiment table of EXPERIMENTS.md in one run.
+//!
+//! `cargo run -p epilog-bench --bin report`
+//!
+//! Prints, for each experiment, the paper's expected output next to the
+//! measured output, and exits nonzero on any mismatch.
+
+use epilog_bench::workloads::{section1_queries, teach_db};
+use epilog_core::closure::cwa_demo;
+use epilog_core::{ask, demo_sentence, ic_satisfaction, IcDefinition, IcReport};
+use epilog_prover::Prover;
+use epilog_semantics::{minimal_worlds, ModelSet};
+use epilog_syntax::{is_admissible, parse, Param, Pred, Theory};
+
+static mut FAILURES: u32 = 0;
+
+fn check(label: &str, expected: &str, got: &str) {
+    let ok = expected == got;
+    println!("  {:<58} paper: {:<9} measured: {:<9} {}", label, expected, got, if ok { "ok" } else { "MISMATCH" });
+    if !ok {
+        // Single-threaded binary; the unsafe counter is fine.
+        unsafe { FAILURES += 1 };
+    }
+}
+
+fn main() {
+    println!("E1 — Section 1 query table (Teach database)");
+    let prover = Prover::new(teach_db());
+    for (q, expected) in section1_queries() {
+        let w = parse(q).unwrap();
+        check(q, expected, &ask(&prover, &w).to_string());
+        if is_admissible(&w) && w.is_sentence() {
+            let via_demo = match demo_sentence(&prover, &w).unwrap() {
+                epilog_core::DemoOutcome::Succeeds => "yes",
+                epilog_core::DemoOutcome::FinitelyFails => "not-derivable",
+            };
+            let expect_demo = if expected == "yes" { "yes" } else { "not-derivable" };
+            check(&format!("  demo: {q}"), expect_demo, via_demo);
+        }
+    }
+
+    println!("\nE1 — {{p | q}} table");
+    let pq = Prover::new(Theory::from_text("p | q").unwrap());
+    for (q, expected) in [("p", "unknown"), ("K p", "no"), ("K p | K ~p", "no")] {
+        check(q, expected, &ask(&pq, &parse(q).unwrap()).to_string());
+    }
+
+    println!("\nE2 — integrity-constraint definitions (emp/ss#)");
+    let ic_fo = parse("forall x. emp(x) -> exists y. ss(x, y)").unwrap();
+    let ic_modal = parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap();
+    let cases: [(&str, &str, IcDefinition, &epilog_syntax::Formula, &str); 6] = [
+        ("{emp(Mary)}", "3.1 consistency", IcDefinition::Consistency, &ic_fo, "satisfied"),
+        ("{emp(Mary)}", "3.5 epistemic", IcDefinition::Epistemic, &ic_modal, "violated"),
+        ("{}", "3.2 entailment", IcDefinition::Entailment, &ic_fo, "violated"),
+        ("{}", "3.5 epistemic", IcDefinition::Epistemic, &ic_modal, "satisfied"),
+        ("{emp(Mary), ss(Mary,n1)}", "3.5 epistemic", IcDefinition::Epistemic, &ic_modal, "satisfied"),
+        ("{emp(Mary)|emp(Sue)}", "3.4 Comp-entailment", IcDefinition::CompEntailment, &ic_fo, "n/a"),
+    ];
+    for (db_label, def_label, def, ic, expected) in cases {
+        let src = match db_label {
+            "{emp(Mary)}" => "emp(Mary)",
+            "{}" => "",
+            "{emp(Mary), ss(Mary,n1)}" => "emp(Mary)\nss(Mary, n1)",
+            _ => "emp(Mary) | emp(Sue)",
+        };
+        let p = Prover::new(Theory::from_text(src).unwrap());
+        let got = match ic_satisfaction(&p, ic, def) {
+            IcReport::Satisfied => "satisfied",
+            IcReport::Violated => "violated",
+            IcReport::Inapplicable => "n/a",
+        };
+        check(&format!("{db_label} under {def_label}"), expected, got);
+    }
+
+    println!("\nE4 — safety/admissibility classification (Examples 5.1-5.3)");
+    for (f, expected) in [
+        ("p(x, y) & K q(x) & ~K r(x)", "safe"),
+        ("exists x. ~r(x)", "safe"),
+        ("exists x. ~K p(x)", "unsafe"),
+        ("~K q(x) & K r(x)", "unsafe"),
+    ] {
+        let got = if epilog_syntax::is_safe(&parse(f).unwrap()) { "safe" } else { "unsafe" };
+        check(f, expected, got);
+    }
+    for (f, expected) in [
+        ("exists x. K Teach(x, CS)", "admissible"),
+        ("exists x. Teach(x, Psych) & ~K Teach(x, CS)", "inadmissible"),
+        ("p(x) & K q(x)", "admissible"),
+        ("exists x. p(x) & K q(x)", "inadmissible"),
+    ] {
+        let got = if is_admissible(&parse(f).unwrap()) { "admissible" } else { "inadmissible" };
+        check(f, expected, got);
+    }
+
+    println!("\nE7 — closed worlds");
+    let db = Prover::new(Theory::from_text("p(a)").unwrap());
+    let closed = epilog_core::ClosedDb::new(&db);
+    check(
+        "Closure: forall x. K p(x) | K ~p(x)   (Example 7.1)",
+        "yes",
+        &closed.ask(&parse("forall x. K p(x) | K ~p(x)").unwrap()).to_string(),
+    );
+    let theory = Theory::from_text("p | q").unwrap();
+    let ms = ModelSet::models(
+        &theory,
+        &[Param::new("c")],
+        &[Pred::new("p", 0), Pred::new("q", 0)],
+    );
+    let circ = minimal_worlds(&ms);
+    check(
+        "Circ({p|q}) |= ~K p   (Example 7.2)",
+        "true",
+        &circ.certain(&parse("~K p").unwrap()).to_string(),
+    );
+    check(
+        "Circ({p|q}) |= ~p     (Example 7.2)",
+        "false",
+        &circ.certain(&parse("~p").unwrap()).to_string(),
+    );
+    let graph = Prover::new(Theory::from_text("q(a)\nq(b)\nr(a, b)").unwrap());
+    let w = parse("q(x) & ~(exists y. r(x, y) & q(y))").unwrap();
+    let got: Vec<String> = cwa_demo(&graph, &w).unwrap().map(|t| t[0].name()).collect();
+    check("demo(R(w)) on Example 7.3 graph", "[\"b\"]", &format!("{got:?}"));
+
+    let failures = unsafe { FAILURES };
+    println!("\n{} mismatches", failures);
+    std::process::exit(if failures == 0 { 0 } else { 1 });
+}

@@ -1,0 +1,199 @@
+//! Workload generators shared by the benches and the report binary.
+//!
+//! Each generator is deterministic given its arguments (seeded RNG where
+//! randomness is wanted), so every figure in EXPERIMENTS.md is exactly
+//! reproducible.
+
+use epilog_sat::{Cnf, Lit};
+use epilog_syntax::{Pred, Theory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Section 1 Teach database.
+pub fn teach_db() -> Theory {
+    Theory::from_text(
+        "Teach(John, Math)
+         exists x. Teach(x, CS)
+         Teach(Mary, Psych) | Teach(Sue, Psych)",
+    )
+    .expect("static text parses")
+}
+
+/// The Section 1 query table (query text, paper's answer).
+pub fn section1_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Teach(Mary, CS)", "unknown"),
+        ("K Teach(Mary, CS)", "no"),
+        ("K ~Teach(Mary, CS)", "no"),
+        ("exists x. K Teach(John, x)", "yes"),
+        ("exists x. K Teach(x, CS)", "no"),
+        ("K (exists x. Teach(x, CS))", "yes"),
+        ("exists x. Teach(x, Psych)", "yes"),
+        ("exists x. K Teach(x, Psych)", "no"),
+        ("exists x. Teach(x, Psych) & ~Teach(x, CS)", "unknown"),
+        ("exists x. Teach(x, Psych) & ~K Teach(x, CS)", "yes"),
+    ]
+}
+
+/// A tiny propositional database family for the demo-vs-oracle figure:
+/// `n` propositions `p0..p(n-1)`, one disjunction `p0 ∨ p1`, the rest
+/// asserted. Herbrand base = `n` atoms → the oracle enumerates `2^n`
+/// candidate worlds while `demo` does O(1) entailment checks.
+pub fn propositional_db(n: usize) -> (Theory, Vec<Pred>) {
+    assert!(n >= 2, "need at least the disjunctive pair");
+    let mut src = String::from("p0 | p1\n");
+    for i in 2..n {
+        src.push_str(&format!("p{i}\n"));
+    }
+    let theory = Theory::from_text(&src).expect("generated text parses");
+    let preds = (0..n).map(|i| Pred::new(&format!("p{i}"), 0)).collect();
+    (theory, preds)
+}
+
+/// An employees database with `n` employees, all with numbers on file
+/// (satisfies the §3 constraint).
+pub fn employees_db(n: usize) -> Theory {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("emp(e{i})\nss(e{i}, n{i})\n"));
+    }
+    Theory::from_text(&src).expect("generated text parses")
+}
+
+/// A definite chain database `p(a0), a_i → a_{i+1}`-style facts for the
+/// all-answers figure: `n` facts, all certain answers.
+pub fn facts_db(n: usize) -> Theory {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("p(a{i})\n"));
+    }
+    src.push_str("q(a0)\n");
+    Theory::from_text(&src).expect("generated text parses")
+}
+
+/// A random elementary database over `n_params` parameters: ground facts,
+/// disjunctions, existentials and p→q rules. Seeded, hence reproducible.
+pub fn random_elementary(seed: u64, n_params: usize, n_sentences: usize) -> Theory {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let preds = ["p", "q"];
+    let mut src = String::new();
+    for _ in 0..n_sentences {
+        let pr = preds[rng.gen_range(0..2)];
+        let pa = rng.gen_range(0..n_params);
+        match rng.gen_range(0..4) {
+            0 => src.push_str(&format!("{pr}(a{pa})\n")),
+            1 => {
+                let pr2 = preds[rng.gen_range(0..2)];
+                let pa2 = rng.gen_range(0..n_params);
+                src.push_str(&format!("{pr}(a{pa}) | {pr2}(a{pa2})\n"));
+            }
+            2 => src.push_str(&format!("exists x. {pr}(x)\n")),
+            _ => {
+                let pr2 = preds[rng.gen_range(0..2)];
+                src.push_str(&format!("forall x. {pr}(x) -> {pr2}(x)\n"));
+            }
+        }
+    }
+    Theory::from_text(&src).expect("generated text parses")
+}
+
+/// A transitive-closure Datalog program over an `n`-edge chain.
+pub fn datalog_chain(n: usize) -> epilog_datalog::Program {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("e(n{i}, n{})\n", i + 1));
+    }
+    src.push_str("forall x, y. e(x, y) -> t(x, y)\n");
+    src.push_str("forall x, y, z. e(x, y) & t(y, z) -> t(x, z)\n");
+    epilog_datalog::Program::from_text(&src).expect("generated text parses")
+}
+
+/// The pigeonhole CNF PHP(holes+1, holes) — unsatisfiable; the classic
+/// separator between clause-learning and plain DPLL.
+pub fn pigeonhole(holes: u32) -> Cnf {
+    let pigeons = holes + 1;
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(pigeons * holes);
+    let v = |p: u32, h: u32| p * holes + h;
+    for p in 0..pigeons {
+        let c: Vec<Lit> = (0..holes).map(|h| Lit::pos(v(p, h))).collect();
+        cnf.add_clause(&c);
+    }
+    for h in 0..holes {
+        for p1 in 0..pigeons {
+            for p2 in (p1 + 1)..pigeons {
+                cnf.add_clause(&[Lit::neg(v(p1, h)), Lit::neg(v(p2, h))]);
+            }
+        }
+    }
+    cnf
+}
+
+/// Random 3-SAT at a given clause/variable ratio (seeded).
+pub fn random_3sat(seed: u64, vars: u32, clauses: u32) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cnf = Cnf::new();
+    cnf.reserve_vars(vars);
+    for _ in 0..clauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = rng.gen_range(0..vars);
+                if rng.gen_bool(0.5) {
+                    Lit::pos(v)
+                } else {
+                    Lit::neg(v)
+                }
+            })
+            .collect();
+        cnf.add_clause(&lits);
+    }
+    cnf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            random_elementary(7, 3, 5),
+            random_elementary(7, 3, 5)
+        );
+        let a = random_3sat(1, 10, 30);
+        let b = random_3sat(1, 10, 30);
+        assert_eq!(a.clauses(), b.clauses());
+    }
+
+    #[test]
+    fn propositional_db_shapes() {
+        let (t, preds) = propositional_db(5);
+        assert_eq!(t.len(), 4);
+        assert_eq!(preds.len(), 5);
+    }
+
+    #[test]
+    fn employees_db_satisfies_constraint() {
+        use epilog_prover::Prover;
+        let t = employees_db(4);
+        let p = Prover::new(t);
+        let ic = epilog_syntax::parse(
+            "forall x. K emp(x) -> exists y. K ss(x, y)",
+        )
+        .unwrap();
+        assert!(epilog_core::ask::certain(&p, &ic));
+    }
+
+    #[test]
+    fn pigeonhole_is_unsat() {
+        use epilog_sat::{SatResult, Solver};
+        assert_eq!(Solver::new(&pigeonhole(4)).solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn datalog_chain_runs() {
+        let p = datalog_chain(4);
+        let (db, _) = p.eval().unwrap();
+        assert_eq!(db.relation(Pred::new("t", 2)).unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,319 @@
+//! `Closure(Σ)` and closed-world query evaluation (§7).
+//!
+//! `Closure(Σ) = Σ ∪ {¬π : π atomic, Σ ⊬ π}` — the closed-world
+//! assumption says the database completely represents all positive
+//! information. The section's results, all implemented and tested here:
+//!
+//! * `Closure(Σ)` has **at most one model**: the set of entailed atoms
+//!   (everything else false). It is satisfiable iff that candidate world
+//!   actually models `Σ`.
+//! * **Theorem 7.1**: `Closure(Σ) ⊨ σ|p̄ iff Closure(Σ) ⊨_FOPCE σ̂|p̄` —
+//!   under CWA the `K` operator evaporates ([`ClosedDb::ask`] evaluates
+//!   through [`epilog_syntax::strip_k`]).
+//! * **Theorem 7.2**: the consistency and entailment readings of
+//!   first-order constraint satisfaction coincide for satisfiable closures
+//!   (both equal truth in the unique model).
+//! * **Theorem 7.3**: `demo(ℛ(w), Σ)` soundly evaluates the FOPCE query
+//!   `w` against `Closure(Σ)` **without computing the closure** —
+//!   [`cwa_demo`].
+
+use crate::demo::{demo, DemoStream};
+use epilog_prover::Prover;
+use epilog_semantics::{holds_in_world, Answer};
+use epilog_storage::Database;
+use epilog_syntax::formula::Formula;
+use epilog_syntax::{modalize, strip_k, Admissibility, Param, Theory};
+
+/// A database under the closed-world assumption: the unique model of
+/// `Closure(Σ)` (when satisfiable), materialized.
+pub struct ClosedDb {
+    /// The unique candidate world: all atoms entailed by `Σ` over the
+    /// active-domain Herbrand base.
+    world: Database,
+    /// Whether `Closure(Σ)` is satisfiable (i.e. the candidate world
+    /// models `Σ`).
+    satisfiable: bool,
+    /// Evaluation universe: the active domain plus one spare parameter
+    /// standing in for the infinitely many unmentioned individuals.
+    universe: Vec<Param>,
+}
+
+impl ClosedDb {
+    /// Compute `Closure(Σ)`'s unique model by asking the prover for every
+    /// atom of the active-domain Herbrand base.
+    pub fn new(prover: &Prover) -> ClosedDb {
+        let theory = prover.theory();
+        let domain = theory.active_domain();
+        let base = epilog_semantics::oracle::herbrand_base(&domain, &theory.preds());
+        let mut world = Database::new();
+        for atom in &base {
+            if prover.entails(&Formula::Atom(atom.clone())) {
+                world.insert(atom);
+            }
+        }
+        // The closure negates *every* non-entailed atom, including those
+        // mentioning unmentioned parameters; one spare parameter (with all
+        // its atoms false) represents them during quantifier evaluation.
+        let mut universe = domain;
+        universe.push(Param::fresh("cwa"));
+        let satisfiable = theory
+            .sentences()
+            .iter()
+            .all(|s| holds_in_world(s, &world, &universe));
+        ClosedDb { world, satisfiable, universe }
+    }
+
+    /// The unique model (meaningful only when [`ClosedDb::satisfiable`]).
+    pub fn world(&self) -> &Database {
+        &self.world
+    }
+
+    /// Whether `Closure(Σ)` is satisfiable.
+    pub fn satisfiable(&self) -> bool {
+        self.satisfiable
+    }
+
+    /// Closed-world evaluation of an arbitrary KFOPCE sentence, via
+    /// Theorem 7.1: strip the `K`s and evaluate the first-order remainder
+    /// in the unique model. Under CWA every query is decided — the answer
+    /// is never `Unknown` (for satisfiable closures).
+    pub fn ask(&self, q: &Formula) -> Answer {
+        if !self.satisfiable {
+            // An unsatisfiable closure entails everything.
+            return Answer::Yes;
+        }
+        let fo = strip_k(q);
+        if holds_in_world(&fo, &self.world, &self.universe) {
+            Answer::Yes
+        } else {
+            Answer::No
+        }
+    }
+
+    /// All closed-world answers to an open query: tuples over the active
+    /// domain making the stripped query true in the unique model.
+    pub fn answers(&self, q: &Formula) -> Vec<Vec<Param>> {
+        let fo = strip_k(q);
+        let vars = fo.free_vars();
+        if vars.is_empty() {
+            return if self.ask(q) == Answer::Yes { vec![vec![]] } else { vec![] };
+        }
+        let domain: Vec<Param> = self
+            .universe
+            .iter()
+            .copied()
+            .filter(|p| !p.is_fresh())
+            .collect();
+        let mut out = Vec::new();
+        if domain.is_empty() {
+            return out;
+        }
+        let total = domain
+            .len()
+            .checked_pow(vars.len() as u32)
+            .expect("answer space overflow");
+        for mut idx in 0..total {
+            let mut tuple = vec![domain[0]; vars.len()];
+            for slot in tuple.iter_mut().rev() {
+                *slot = domain[idx % domain.len()];
+                idx /= domain.len();
+            }
+            if holds_in_world(&fo.bind_free(&tuple), &self.world, &self.universe) {
+                out.push(tuple);
+            }
+        }
+        out
+    }
+}
+
+/// Theorem 7.3: closed-world evaluation of a FOPCE query by running `demo`
+/// on the modalized transform `ℛ(w)` against the *open* theory `Σ` — no
+/// closure computation. If the call succeeds with bindings `p̄` then
+/// `Closure(Σ) ⊨_FOPCE w|p̄`; if it finitely fails then
+/// `Closure(Σ) ⊨ ¬(∃x̄)w`.
+pub fn cwa_demo<'a>(
+    prover: &'a Prover,
+    w: &Formula,
+) -> Result<DemoStream<'a>, Admissibility> {
+    let modal = modalize(w).rename_apart();
+    demo(prover, &modal)
+}
+
+/// Theorem 7.2, computationally: for a satisfiable closure, the
+/// consistency (Def. 3.3-style) and entailment (Def. 3.4-style) readings
+/// of a first-order constraint agree — both equal truth in the unique
+/// model. Returns the shared verdict.
+pub fn closed_ic_verdict(closed: &ClosedDb, ic: &Formula) -> bool {
+    closed.ask(ic) == Answer::Yes
+}
+
+/// Build an explicit, finitely axiomatized closure theory.
+///
+/// `Closure(Σ)` proper is the infinite set `Σ ∪ {¬π : Σ ⊬ π}`; its unique
+/// model makes exactly the entailed atoms true. We axiomatize that model
+/// finitely: for each predicate, a domain-closure sentence
+/// `∀x̄ (p(x̄) ⊃ ⋁_{entailed p(c̄)} x̄ = c̄)` (or `∀x̄ ¬p(x̄)` when nothing is
+/// entailed), added to `Σ`. Every negated ground instance — including those
+/// over unmentioned parameters — is a consequence.
+pub fn closure_theory(prover: &Prover) -> Theory {
+    use epilog_syntax::{Term, Var};
+    let theory = prover.theory();
+    let domain = theory.active_domain();
+    let base = epilog_semantics::oracle::herbrand_base(&domain, &theory.preds());
+    let mut out = theory.clone();
+    for pred in theory.preds() {
+        let vars: Vec<Var> =
+            (0..pred.arity()).map(|i| Var::fresh(&format!("x{i}"))).collect();
+        let head = Formula::atom(
+            &pred.name(),
+            vars.iter().map(|v| Term::Var(*v)).collect(),
+        );
+        let mut disjuncts = Vec::new();
+        for atom in base.iter().filter(|a| a.pred == pred) {
+            if prover.entails(&Formula::Atom((*atom).clone())) {
+                let tuple = atom.param_tuple().expect("herbrand atoms are ground");
+                let eqs: Vec<Formula> = vars
+                    .iter()
+                    .zip(tuple)
+                    .map(|(v, c)| Formula::Eq(Term::Var(*v), Term::Param(c)))
+                    .collect();
+                disjuncts.push(
+                    Formula::and_all(eqs).unwrap_or_else(|| {
+                        let c = epilog_syntax::Param::new("c0");
+                        Formula::eq(c, c)
+                    }),
+                );
+            }
+        }
+        let mut sentence = match Formula::or_all(disjuncts) {
+            Some(body) => Formula::implies(head, body),
+            None => Formula::not(head),
+        };
+        for v in vars.into_iter().rev() {
+            sentence = Formula::forall(v, sentence);
+        }
+        out.assert(sentence).expect("closure axiom is a FOPCE sentence");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::parse;
+
+    fn closed(src: &str) -> (Prover, ClosedDb) {
+        let p = Prover::new(Theory::from_text(src).unwrap());
+        let c = ClosedDb::new(&p);
+        (p, c)
+    }
+
+    #[test]
+    fn closure_materializes_entailed_atoms() {
+        let (_, c) = closed("p(a)\nforall x. p(x) -> q(x)");
+        assert!(c.satisfiable());
+        assert_eq!(c.world().len(), 2); // p(a), q(a)
+    }
+
+    #[test]
+    fn example_71_closed_db_knows_whether() {
+        // ∀x (Kp(x) ∨ K¬p(x)) holds in every closed-world database.
+        let (_, c) = closed("p(a)\np(b)");
+        assert_eq!(c.ask(&parse("forall x. K p(x) | K ~p(x)").unwrap()), Answer::Yes);
+        // Whereas for the open database this fails on unknown atoms: the
+        // equivalent stripped query is valid, so here it is the *open*
+        // reading that differs — see the e7 integration tests.
+    }
+
+    #[test]
+    fn theorem_71_k_collapse() {
+        let (_, c) = closed("p(a)\nq(b)");
+        for q in ["K p(a)", "p(a)", "K ~p(b)", "~p(b)", "K (p(a) & q(b))"] {
+            let w = parse(q).unwrap();
+            assert_eq!(
+                c.ask(&w),
+                c.ask(&strip_k(&w)),
+                "Theorem 7.1 violated on {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_world_decides_everything() {
+        let (_, c) = closed("p(a)");
+        assert_eq!(c.ask(&parse("p(a)").unwrap()), Answer::Yes);
+        assert_eq!(c.ask(&parse("p(b)").unwrap()), Answer::No);
+        assert_eq!(c.ask(&parse("K p(b)").unwrap()), Answer::No);
+        assert_eq!(c.ask(&parse("~p(b)").unwrap()), Answer::Yes);
+    }
+
+    #[test]
+    fn disjunctive_theory_closure_unsatisfiable() {
+        // Σ = {p ∨ q} entails neither p nor q, so the closure adds ¬p and
+        // ¬q — contradiction (the classic CWA failure on disjunctive DBs).
+        let (_, c) = closed("p | q");
+        assert!(!c.satisfiable());
+    }
+
+    #[test]
+    fn theorem_72_consistency_equals_entailment() {
+        let (p, c) = closed("emp(Mary)\nss(Mary, n1)");
+        assert!(c.satisfiable());
+        let ic = parse("forall x. emp(x) -> exists y. ss(x, y)").unwrap();
+        // Entailment reading against the explicit closure theory.
+        let closure = closure_theory(&p);
+        let closure_prover = Prover::new(closure);
+        let entailed = closure_prover.entails(&ic);
+        // Consistency reading.
+        let consistent = closure_prover.consistent_with(&ic);
+        assert_eq!(entailed, consistent, "Theorem 7.2");
+        assert_eq!(closed_ic_verdict(&c, &ic), entailed);
+        assert!(entailed);
+    }
+
+    #[test]
+    fn example_73_cwa_demo() {
+        // Evaluate q(x) ∧ ¬∃y (r(x,y) ∧ q(y)) under CWA via demo(ℛ(w)).
+        let p = Prover::new(
+            Theory::from_text("q(a)\nq(b)\nr(a, b)").unwrap(),
+        );
+        let w = parse("q(x) & ~(exists y. r(x, y) & q(y))").unwrap();
+        let got: Vec<Vec<String>> = cwa_demo(&p, &w)
+            .unwrap()
+            .map(|t| t.iter().map(|p| p.name()).collect())
+            .collect();
+        // a has an r-successor with q (namely b) → excluded; b has none.
+        assert_eq!(got, vec![vec!["b".to_string()]]);
+        // Cross-check against the materialized closure.
+        let c = ClosedDb::new(&p);
+        let direct = c.answers(&w);
+        assert_eq!(direct.len(), 1);
+        assert_eq!(direct[0][0].name(), "b");
+    }
+
+    #[test]
+    fn theorem_73_failure_direction() {
+        // If demo(ℛ(w)) finitely fails then Closure(Σ) ⊨ ¬∃x̄ w.
+        let p = Prover::new(Theory::from_text("q(a)\nr(a, a)").unwrap());
+        let w = parse("q(x) & ~(exists y. r(x, y) & q(y))").unwrap();
+        let got: Vec<_> = cwa_demo(&p, &w).unwrap().collect();
+        assert!(got.is_empty());
+        let c = ClosedDb::new(&p);
+        assert_eq!(
+            c.ask(&parse("~(exists x. q(x) & ~(exists y. r(x, y) & q(y)))").unwrap()),
+            Answer::Yes
+        );
+    }
+
+    #[test]
+    fn closure_theory_explicit() {
+        let p = Prover::new(Theory::from_text("p(a)").unwrap());
+        let closure = closure_theory(&p);
+        // Σ plus one domain-closure axiom for p.
+        assert_eq!(closure.len(), 2);
+        let cp = Prover::new(closure);
+        assert!(cp.entails(&parse("~p(b)").unwrap()));
+        assert!(cp.entails(&parse("forall x. p(x) -> x = a").unwrap()));
+        assert!(cp.entails(&parse("p(a)").unwrap()));
+    }
+}

@@ -1,0 +1,271 @@
+//! The `EpistemicDb` facade: a database that knows things.
+//!
+//! Wraps a FOPCE theory with the paper's full machinery: epistemic query
+//! answering, the `demo` evaluator, integrity constraints as epistemic
+//! sentences with transactional update checking, and closed-world views.
+
+use crate::ask;
+use crate::closure::ClosedDb;
+use crate::constraints::{ic_satisfaction, IcDefinition, IcReport};
+use crate::demo;
+use epilog_prover::Prover;
+use epilog_semantics::Answer;
+use epilog_syntax::theory::TheoryError;
+use epilog_syntax::{Admissibility, Formula, Param, Theory};
+use std::fmt;
+
+/// Errors from [`EpistemicDb`] operations.
+#[derive(Debug)]
+pub enum DbError {
+    /// The sentence was not a valid database sentence.
+    Theory(TheoryError),
+    /// An update was rejected because it would violate an integrity
+    /// constraint; the offending constraint is returned and the database
+    /// is unchanged.
+    ConstraintViolated(Formula),
+    /// A query outside the admissible fragment was given to `demo`.
+    NotAdmissible(Admissibility),
+    /// A constraint must be a sentence.
+    OpenConstraint(Formula),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Theory(e) => write!(f, "{e}"),
+            DbError::ConstraintViolated(ic) => {
+                write!(f, "update rejected: constraint `{ic}` would be violated")
+            }
+            DbError::NotAdmissible(a) => write!(f, "query not admissible: {a}"),
+            DbError::OpenConstraint(ic) => {
+                write!(f, "constraint `{ic}` has free variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<TheoryError> for DbError {
+    fn from(e: TheoryError) -> Self {
+        DbError::Theory(e)
+    }
+}
+
+/// A deductive database with epistemic queries and epistemic integrity
+/// constraints.
+pub struct EpistemicDb {
+    prover: Prover,
+    constraints: Vec<Formula>,
+}
+
+impl EpistemicDb {
+    /// Open a database over a theory.
+    pub fn new(theory: Theory) -> Self {
+        EpistemicDb { prover: Prover::new(theory), constraints: Vec::new() }
+    }
+
+    /// Open a database from theory text.
+    pub fn from_text(src: &str) -> Result<Self, DbError> {
+        Ok(EpistemicDb::new(Theory::from_text(src)?))
+    }
+
+    /// The underlying theory.
+    pub fn theory(&self) -> &Theory {
+        self.prover.theory()
+    }
+
+    /// The underlying prover (for advanced callers: `demo`, benches).
+    pub fn prover(&self) -> &Prover {
+        &self.prover
+    }
+
+    /// The registered integrity constraints.
+    pub fn constraints(&self) -> &[Formula] {
+        &self.constraints
+    }
+
+    // ----- queries --------------------------------------------------------
+
+    /// Answer a KFOPCE sentence query: yes / no / unknown
+    /// (Definition 2.1), via the Levesque-style reduction.
+    pub fn ask(&self, q: &Formula) -> Answer {
+        ask::ask(&self.prover, q)
+    }
+
+    /// All certain answers to an open KFOPCE query.
+    pub fn answers(&self, q: &Formula) -> Vec<Vec<Param>> {
+        ask::answers(&self.prover, q)
+    }
+
+    /// Run the Prolog-style `demo` evaluator (sound for admissible
+    /// queries, Theorem 5.1); returns the lazy binding stream.
+    pub fn demo(&self, q: &Formula) -> Result<demo::DemoStream<'_>, DbError> {
+        demo::demo(&self.prover, q).map_err(DbError::NotAdmissible)
+    }
+
+    /// All (deduplicated) `demo` answers — the §6.1.1 iteration.
+    pub fn demo_all(&self, q: &Formula) -> Result<Vec<Vec<Param>>, DbError> {
+        demo::all_answers(&self.prover, q).map_err(DbError::NotAdmissible)
+    }
+
+    // ----- integrity ------------------------------------------------------
+
+    /// Register a constraint (a KFOPCE sentence). The current state must
+    /// satisfy it, otherwise the registration is rejected.
+    pub fn add_constraint(&mut self, ic: Formula) -> Result<(), DbError> {
+        if !ic.is_sentence() {
+            return Err(DbError::OpenConstraint(ic));
+        }
+        if ic_satisfaction(&self.prover, &ic, IcDefinition::Epistemic)
+            != IcReport::Satisfied
+        {
+            return Err(DbError::ConstraintViolated(ic));
+        }
+        self.constraints.push(ic);
+        Ok(())
+    }
+
+    /// Whether the database currently satisfies every registered
+    /// constraint (`Σ ⊨ IC` for each, Definition 3.5).
+    pub fn satisfies_constraints(&self) -> bool {
+        self.constraints
+            .iter()
+            .all(|ic| ic_satisfaction(&self.prover, ic, IcDefinition::Epistemic)
+                == IcReport::Satisfied)
+    }
+
+    /// Transactionally assert a sentence: if the enlarged database would
+    /// violate a constraint, the update is rejected and the state is
+    /// unchanged.
+    pub fn assert(&mut self, w: Formula) -> Result<(), DbError> {
+        let mut theory = self.prover.theory().clone();
+        theory.assert(w)?;
+        let candidate = Prover::new(theory);
+        for ic in &self.constraints {
+            if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic)
+                != IcReport::Satisfied
+            {
+                return Err(DbError::ConstraintViolated(ic.clone()));
+            }
+        }
+        self.prover = candidate;
+        Ok(())
+    }
+
+    /// Transactionally retract a sentence (no-op when absent); constraint
+    /// checked like [`EpistemicDb::assert`].
+    pub fn retract(&mut self, w: &Formula) -> Result<bool, DbError> {
+        let mut theory = self.prover.theory().clone();
+        let removed = theory.retract(w);
+        if !removed {
+            return Ok(false);
+        }
+        let candidate = Prover::new(theory);
+        for ic in &self.constraints {
+            if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic)
+                != IcReport::Satisfied
+            {
+                return Err(DbError::ConstraintViolated(ic.clone()));
+            }
+        }
+        self.prover = candidate;
+        Ok(true)
+    }
+
+    // ----- closed world ----------------------------------------------------
+
+    /// The closed-world view: the unique model of `Closure(Σ)`,
+    /// materialized (§7).
+    pub fn closed(&self) -> ClosedDb {
+        ClosedDb::new(&self.prover)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::parse;
+
+    fn db(src: &str) -> EpistemicDb {
+        EpistemicDb::from_text(src).unwrap()
+    }
+
+    #[test]
+    fn ask_and_answers() {
+        let d = db("Teach(John, Math)\nexists x. Teach(x, CS)");
+        assert_eq!(d.ask(&parse("K Teach(John, Math)").unwrap()), Answer::Yes);
+        assert_eq!(d.ask(&parse("Teach(John, CS)").unwrap()), Answer::Unknown);
+        let got = d.answers(&parse("K Teach(John, x)").unwrap());
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn demo_passthrough() {
+        let d = db("p(a)\nq(a)");
+        let got = d.demo_all(&parse("K p(x) & K q(x)").unwrap()).unwrap();
+        assert_eq!(got.len(), 1);
+        assert!(d.demo(&parse("exists x. p(x) & ~K q(x)").unwrap()).is_err());
+    }
+
+    #[test]
+    fn constraint_lifecycle() {
+        let mut d = db("emp(Mary)\nss(Mary, n1)");
+        let ic = parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap();
+        d.add_constraint(ic.clone()).unwrap();
+        assert!(d.satisfies_constraints());
+        // Adding an employee without a number is rejected.
+        let err = d.assert(parse("emp(Sue)").unwrap()).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolated(_)));
+        // State unchanged.
+        assert_eq!(d.ask(&parse("K emp(Sue)").unwrap()), Answer::No);
+        // Adding both facts in the right order: number first.
+        d.assert(parse("ss(Sue, n2)").unwrap()).unwrap();
+        d.assert(parse("emp(Sue)").unwrap()).unwrap();
+        assert!(d.satisfies_constraints());
+    }
+
+    #[test]
+    fn constraint_must_hold_at_registration() {
+        let mut d = db("emp(Mary)");
+        let ic = parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap();
+        assert!(matches!(
+            d.add_constraint(ic),
+            Err(DbError::ConstraintViolated(_))
+        ));
+        assert!(d.constraints().is_empty());
+    }
+
+    #[test]
+    fn retract_can_restore_integrity_paths() {
+        let mut d = db("emp(Mary)\nss(Mary, n1)");
+        d.add_constraint(
+            parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap(),
+        )
+        .unwrap();
+        // Retracting the ss fact while Mary is an employee is rejected.
+        let err = d.retract(&parse("ss(Mary, n1)").unwrap()).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolated(_)));
+        // Retract the employee first, then the number.
+        assert!(d.retract(&parse("emp(Mary)").unwrap()).unwrap());
+        assert!(d.retract(&parse("ss(Mary, n1)").unwrap()).unwrap());
+        assert!(!d.retract(&parse("ss(Mary, n1)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn open_constraint_rejected() {
+        let mut d = db("p(a)");
+        assert!(matches!(
+            d.add_constraint(parse("K p(x)").unwrap()),
+            Err(DbError::OpenConstraint(_))
+        ));
+    }
+
+    #[test]
+    fn closed_view() {
+        let d = db("p(a)\nq(b)");
+        let c = d.closed();
+        assert!(c.satisfiable());
+        assert_eq!(c.ask(&parse("~p(b)").unwrap()), Answer::Yes);
+    }
+}

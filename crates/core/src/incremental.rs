@@ -1,0 +1,351 @@
+//! Incremental integrity checking — the paper's §8 discussion item (4).
+//!
+//! "Usually a knowledge base will be known to satisfy its constraints.
+//! When a (normally) small change is made to it, it should not be
+//! necessary to verify all its constraints all over again." (Reiter cites
+//! Nicolas 1982 for relational and Lloyd–Topor for deductive databases.)
+//!
+//! For epistemic constraints in the admissible `¬∃x̄ (KL₁ ∧ … ∧ KLₙ ∧ …)`
+//! form this module implements the Nicolas-style specialization: when a
+//! ground fact `a` is asserted, a constraint can only *become* violated
+//! through instantiations whose positive `K`-literals match `a`. The
+//! checker therefore:
+//!
+//! 1. skips constraints mentioning none of the update's predicates, and
+//! 2. for the rest, checks only the violation instances obtained by
+//!    unifying the new fact against each matching positive literal.
+//!
+//! **Soundness boundary** (documented, checked in tests): the
+//! specialization is exact when the database's rules cannot derive atoms
+//! of a constraint's predicates from the update — in particular for
+//! extensional (fact-only) databases, the common case for updates. When
+//! rules may propagate, use [`IncrementalChecker::affected`] to detect the
+//! situation and fall back to a full check (the conservative default of
+//! [`IncrementalChecker::check_update`]).
+
+use crate::ask::certain;
+use epilog_prover::Prover;
+use epilog_syntax::formula::{Atom, Formula};
+use epilog_syntax::{admissible_constraint, Param, Pred, Term, Var};
+use std::collections::HashMap;
+
+/// A constraint compiled for incremental checking.
+#[derive(Debug, Clone)]
+pub struct CompiledConstraint {
+    /// The original constraint sentence.
+    pub original: Formula,
+    /// The admissible `¬∃x̄ body` rewrite.
+    pub rewritten: Formula,
+    /// The existentially quantified variables `x̄`.
+    vars: Vec<Var>,
+    /// The matrix `body` (a conjunction of subjective literals).
+    body: Formula,
+    /// The positive `K`-literal atom patterns in the matrix.
+    positive_patterns: Vec<Atom>,
+}
+
+/// Why compilation failed: the constraint is outside the
+/// `¬∃x̄ (conjunction)` fragment this checker specializes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotCompilable(pub String);
+
+impl CompiledConstraint {
+    /// Compile a constraint (in natural `∀/⊃` or already-rewritten form).
+    pub fn compile(ic: &Formula) -> Result<Self, NotCompilable> {
+        let rewritten = admissible_constraint(ic);
+        // Expect ¬∃x̄ body.
+        let Formula::Not(inner) = &rewritten else {
+            return Err(NotCompilable(rewritten.to_string()));
+        };
+        let mut vars = Vec::new();
+        let mut cur: &Formula = inner;
+        while let Formula::Exists(x, b) = cur {
+            vars.push(*x);
+            cur = b;
+        }
+        let body = cur.clone();
+        // Collect positive K-literal atoms from the conjunction.
+        let mut positive_patterns = Vec::new();
+        collect_positive_k_atoms(&body, &mut positive_patterns);
+        if positive_patterns.is_empty() {
+            return Err(NotCompilable(format!(
+                "no positive K-literal to index on in {rewritten}"
+            )));
+        }
+        Ok(CompiledConstraint {
+            original: ic.clone(),
+            rewritten,
+            vars,
+            body,
+            positive_patterns,
+        })
+    }
+
+    /// The predicates whose updates can newly violate this constraint.
+    pub fn trigger_preds(&self) -> Vec<Pred> {
+        self.positive_patterns.iter().map(|a| a.pred).collect()
+    }
+
+    /// The violation-check instances induced by a new ground fact: for
+    /// each positive pattern matching the fact, the body with the matched
+    /// variables bound and the rest existentially quantified. The
+    /// constraint (restricted to the update) is violated iff one of these
+    /// sentences is certain.
+    pub fn violation_instances(&self, fact: &Atom) -> Vec<Formula> {
+        let mut out = Vec::new();
+        for pattern in &self.positive_patterns {
+            if pattern.pred != fact.pred {
+                continue;
+            }
+            let Some(binding) = match_pattern(pattern, fact) else { continue };
+            let map: HashMap<Var, Term> =
+                binding.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
+            let mut w = self.body.subst(&map);
+            for v in self.vars.iter().rev() {
+                if !binding.contains_key(v) {
+                    w = Formula::exists(*v, w);
+                }
+            }
+            debug_assert!(w.is_sentence(), "instantiated violation check is closed");
+            out.push(w);
+        }
+        out
+    }
+}
+
+/// Incremental checker over a set of compiled constraints.
+#[derive(Debug, Default)]
+pub struct IncrementalChecker {
+    constraints: Vec<CompiledConstraint>,
+}
+
+impl IncrementalChecker {
+    /// Build from constraints, compiling each.
+    pub fn new(constraints: &[Formula]) -> Result<Self, NotCompilable> {
+        let compiled = constraints
+            .iter()
+            .map(CompiledConstraint::compile)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(IncrementalChecker { constraints: compiled })
+    }
+
+    /// The constraints that an update of this predicate can affect.
+    pub fn affected(&self, pred: Pred) -> Vec<&CompiledConstraint> {
+        self.constraints
+            .iter()
+            .filter(|c| c.trigger_preds().contains(&pred))
+            .collect()
+    }
+
+    /// Check an update: `prover` must already include the new fact.
+    /// Returns the first violated constraint, if any.
+    ///
+    /// The specialization is exact when `prover`'s theory has no rules
+    /// deriving a trigger predicate; otherwise this method conservatively
+    /// re-checks the affected constraints in full.
+    pub fn check_update(&self, prover: &Prover, fact: &Atom) -> Option<&CompiledConstraint> {
+        let rules_derive_triggers = !prover.theory().rules().is_empty();
+        for c in self.affected(fact.pred) {
+            if rules_derive_triggers {
+                // Conservative fallback: full check of this constraint.
+                if !certain(prover, &c.rewritten) {
+                    return Some(c);
+                }
+            } else {
+                for violation in c.violation_instances(fact) {
+                    if certain(prover, &violation) {
+                        return Some(c);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Full (non-incremental) check of every constraint, for comparison.
+    pub fn check_full(&self, prover: &Prover) -> Option<&CompiledConstraint> {
+        self.constraints.iter().find(|c| !certain(prover, &c.rewritten))
+    }
+}
+
+fn collect_positive_k_atoms(w: &Formula, out: &mut Vec<Atom>) {
+    match w {
+        Formula::And(a, b) => {
+            collect_positive_k_atoms(a, out);
+            collect_positive_k_atoms(b, out);
+        }
+        Formula::Know(inner) => {
+            // K over an atom, or K over a conjunction of atoms.
+            collect_bare_atoms(inner, out);
+        }
+        _ => {}
+    }
+}
+
+fn collect_bare_atoms(w: &Formula, out: &mut Vec<Atom>) {
+    match w {
+        Formula::Atom(a) => out.push(a.clone()),
+        Formula::And(a, b) => {
+            collect_bare_atoms(a, out);
+            collect_bare_atoms(b, out);
+        }
+        _ => {}
+    }
+}
+
+/// Match a pattern atom against a ground fact, binding pattern variables.
+fn match_pattern(pattern: &Atom, fact: &Atom) -> Option<HashMap<Var, Param>> {
+    debug_assert_eq!(pattern.pred, fact.pred);
+    let mut out = HashMap::new();
+    for (t, f) in pattern.terms.iter().zip(&fact.terms) {
+        let fp = f.as_param().expect("facts are ground");
+        match t {
+            Term::Param(p) => {
+                if *p != fp {
+                    return None;
+                }
+            }
+            Term::Var(v) => match out.get(v) {
+                Some(prev) if *prev != fp => return None,
+                _ => {
+                    out.insert(*v, fp);
+                }
+            },
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::{parse, Theory};
+
+    fn ga(src: &str) -> Atom {
+        match parse(src).unwrap() {
+            Formula::Atom(a) => a,
+            other => panic!("not an atom: {other}"),
+        }
+    }
+
+    fn checker() -> IncrementalChecker {
+        IncrementalChecker::new(&[
+            parse("forall x. K emp(x) -> K (exists y. ss(x, y))").unwrap(),
+            parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn compilation_extracts_patterns() {
+        let c = CompiledConstraint::compile(
+            &parse("forall x. K emp(x) -> K (exists y. ss(x, y))").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.trigger_preds(), vec![Pred::new("emp", 1)]);
+        let c2 = CompiledConstraint::compile(
+            &parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c2.trigger_preds(), vec![Pred::new("ss", 2), Pred::new("ss", 2)]);
+    }
+
+    #[test]
+    fn irrelevant_updates_skip_all_constraints() {
+        let ck = checker();
+        assert!(ck.affected(Pred::new("hobby", 2)).is_empty());
+        let prover =
+            Prover::new(Theory::from_text("emp(Mary)\nss(Mary, n1)\nhobby(Mary, chess)").unwrap());
+        assert!(ck.check_update(&prover, &ga("hobby(Mary, chess)")).is_none());
+    }
+
+    #[test]
+    fn relevant_update_detects_violation() {
+        let ck = checker();
+        // Asserting emp(Sue) with no number on file: violated.
+        let prover =
+            Prover::new(Theory::from_text("emp(Mary)\nss(Mary, n1)\nemp(Sue)").unwrap());
+        let hit = ck.check_update(&prover, &ga("emp(Sue)"));
+        assert!(hit.is_some());
+        assert!(hit.unwrap().original.to_string().contains("emp"));
+    }
+
+    #[test]
+    fn relevant_update_passes_when_satisfied() {
+        let ck = checker();
+        let prover = Prover::new(
+            Theory::from_text("emp(Mary)\nss(Mary, n1)\nemp(Sue)\nss(Sue, n2)").unwrap(),
+        );
+        assert!(ck.check_update(&prover, &ga("emp(Sue)")).is_none());
+    }
+
+    #[test]
+    fn fd_violation_caught_incrementally() {
+        let ck = checker();
+        let prover =
+            Prover::new(Theory::from_text("ss(Mary, n1)\nss(Mary, n2)").unwrap());
+        let hit = ck.check_update(&prover, &ga("ss(Mary, n2)"));
+        assert!(hit.is_some());
+        assert!(hit.unwrap().original.to_string().contains("y = z"));
+    }
+
+    #[test]
+    fn incremental_agrees_with_full_on_fact_databases() {
+        let ck = checker();
+        // A family of states and updates; the incremental verdict must
+        // match the full recheck whenever the *prior* state satisfied the
+        // constraints (the incremental premise).
+        let cases = [
+            ("ss(Mary, n1)\nemp(Mary)", "emp(Mary)"),
+            ("ss(Mary, n1)\nemp(Mary)\nemp(Sue)", "emp(Sue)"),
+            ("ss(Mary, n1)\nss(Mary, n2)", "ss(Mary, n2)"),
+            ("ss(Mary, n1)\nss(Sue, n2)", "ss(Sue, n2)"),
+        ];
+        for (src, fact) in cases {
+            let prover = Prover::new(Theory::from_text(src).unwrap());
+            let inc = ck.check_update(&prover, &ga(fact)).is_some();
+            let full = ck.check_full(&prover).is_some();
+            assert_eq!(inc, full, "divergence on {src:?} + {fact}");
+        }
+    }
+
+    #[test]
+    fn rules_force_conservative_full_check() {
+        let ck = checker();
+        // A rule derives emp from hired: the update hired(Sue) can violate
+        // the emp constraint even though its predicate is not a trigger…
+        let prover = Prover::new(
+            Theory::from_text(
+                "ss(Mary, n1)\nemp(Mary)\nhired(Sue)\nforall x. hired(x) -> emp(x)",
+            )
+            .unwrap(),
+        );
+        // …which is why `affected` is keyed on the update's predicate and
+        // hired is not a trigger: the caller must consult `affected` per
+        // derived predicate or rely on check_update's rule detection for
+        // trigger predicates. The full check sees the violation:
+        assert!(ck.check_full(&prover).is_some());
+        // And the conservative path (any rules present → full recheck of
+        // affected constraints) also sees it once the update is keyed on a
+        // trigger predicate:
+        assert!(ck.check_update(&prover, &ga("emp(Sue)")).is_some());
+    }
+
+    #[test]
+    fn prohibition_constraints_compile_and_trigger() {
+        // ∀x ¬K bad(x) rewrites to ¬∃x K bad(x): the K-literal indexes it.
+        let c =
+            CompiledConstraint::compile(&parse("forall x. ~K bad(x)").unwrap()).unwrap();
+        assert_eq!(c.trigger_preds(), vec![Pred::new("bad", 1)]);
+        let ck = IncrementalChecker::new(&[parse("forall x. ~K bad(x)").unwrap()]).unwrap();
+        let prover = Prover::new(Theory::from_text("bad(Joe)").unwrap());
+        assert!(ck.check_update(&prover, &ga("bad(Joe)")).is_some());
+    }
+
+    #[test]
+    fn uncompilable_constraint_rejected() {
+        // A positive knowledge *requirement* is not of the ¬∃ shape.
+        let r = CompiledConstraint::compile(&parse("K p").unwrap());
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Clark's completion `Comp(DB)` (Clark 1978), as FOPCE sentences.
+//!
+//! Definitions 3.3 and 3.4 of the paper state integrity-constraint
+//! satisfaction for closed Prolog-like databases in terms of the
+//! completion: `DB satisfies IC iff Comp(DB) + IC is satisfiable`
+//! (consistency reading) or `Comp(DB) ⊨ IC` (entailment reading). The
+//! completion turns each predicate's rules into a biconditional definition
+//! and is only defined for Prolog-like databases — which is exactly the
+//! paper's complaint: it "would not apply, for example, to databases with
+//! existentially quantified or disjunctive information".
+
+use crate::program::Program;
+use epilog_syntax::formula::Formula;
+use epilog_syntax::{Param, Pred, Term, Var};
+
+/// Compute the Clark completion of a program as FOPCE sentences: one
+/// biconditional per predicate (with an all-negative closure sentence for
+/// predicates that have no defining rules or facts), using equality to tie
+/// head arguments to rule instances.
+pub fn completion(prog: &Program) -> Vec<Formula> {
+    let mut out = Vec::new();
+    for pred in prog.preds() {
+        out.push(pred_completion(prog, pred));
+    }
+    out
+}
+
+fn pred_completion(prog: &Program, pred: Pred) -> Formula {
+    let arity = pred.arity();
+    let head_vars: Vec<Var> =
+        (0..arity).map(|i| Var::new(&format!("x{i}"))).collect();
+    let head_atom = Formula::atom(
+        &pred.name(),
+        head_vars.iter().map(|v| Term::Var(*v)).collect(),
+    );
+
+    let mut disjuncts: Vec<Formula> = Vec::new();
+
+    // EDB facts contribute `x̄ = c̄` disjuncts.
+    if let Some(rel) = prog.edb.relation(pred) {
+        for tuple in rel.iter() {
+            disjuncts.push(tuple_equalities(&head_vars, tuple));
+        }
+    }
+
+    // Rules with this head contribute `∃ȳ (x̄ = t̄ ∧ body)`.
+    for rule in prog.rules.iter().filter(|r| r.head.pred == pred) {
+        // Rename rule variables that collide with the fresh head variables.
+        let rule = rename_away_from(rule, &head_vars);
+        let rule = &rule;
+        let mut conjuncts: Vec<Formula> = Vec::new();
+        for (hv, t) in head_vars.iter().zip(&rule.head.terms) {
+            conjuncts.push(Formula::Eq(Term::Var(*hv), *t));
+        }
+        for lit in &rule.body {
+            let a = Formula::Atom(lit.atom.clone());
+            conjuncts.push(if lit.positive { a } else { Formula::not(a) });
+        }
+        let mut w = Formula::and_all(conjuncts).expect("head equalities are nonempty");
+        // Existentially close the rule's own variables.
+        let mut rule_vars: Vec<Var> = Vec::new();
+        for a in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
+            for v in a.vars() {
+                if !rule_vars.contains(&v) && !head_vars.contains(&v) {
+                    rule_vars.push(v);
+                }
+            }
+        }
+        for v in rule_vars.into_iter().rev() {
+            w = Formula::exists(v, w);
+        }
+        disjuncts.push(w);
+    }
+
+    let body = Formula::or_all(disjuncts);
+    let mut w = match body {
+        Some(b) => Formula::iff(head_atom, b),
+        // No facts and no rules: the predicate is everywhere false.
+        None => Formula::not(head_atom),
+    };
+    for v in head_vars.into_iter().rev() {
+        w = Formula::forall(v, w);
+    }
+    w
+}
+
+/// Rename any rule variable that collides with a head variable to a fresh
+/// variable, so the completion's quantifiers cannot capture.
+fn rename_away_from(rule: &crate::program::Rule, head_vars: &[Var]) -> crate::program::Rule {
+    use epilog_syntax::formula::Atom;
+    use std::collections::HashMap;
+    let mut ren: HashMap<Var, Term> = HashMap::new();
+    for a in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
+        for v in a.vars() {
+            if head_vars.contains(&v) && !ren.contains_key(&v) {
+                ren.insert(v, Term::Var(Var::fresh(&v.name())));
+            }
+        }
+    }
+    if ren.is_empty() {
+        return rule.clone();
+    }
+    let fix = |a: &Atom| a.subst(&ren);
+    crate::program::Rule {
+        head: fix(&rule.head),
+        body: rule
+            .body
+            .iter()
+            .map(|l| crate::program::Literal { atom: fix(&l.atom), positive: l.positive })
+            .collect(),
+    }
+}
+
+fn tuple_equalities(head_vars: &[Var], tuple: &[Param]) -> Formula {
+    let eqs: Vec<Formula> = head_vars
+        .iter()
+        .zip(tuple)
+        .map(|(v, p)| Formula::Eq(Term::Var(*v), Term::Param(*p)))
+        .collect();
+    Formula::and_all(eqs).unwrap_or_else(|| {
+        // A 0-ary predicate's fact completes to "true"; represent it as the
+        // reflexive equality of an arbitrary parameter.
+        let c = Param::new("c0");
+        Formula::eq(c, c)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::{parse, Theory};
+
+    #[test]
+    fn completion_shape_facts_only() {
+        let p = Program::from_text("p(a)\np(b)").unwrap();
+        let comp = completion(&p);
+        assert_eq!(comp.len(), 1);
+        assert_eq!(
+            comp[0].to_string(),
+            "forall x0. p(x0) <-> x0 = a | x0 = b"
+        );
+    }
+
+    #[test]
+    fn completion_shape_with_rule() {
+        let p = Program::from_text("e(a, b)\nforall x, y. e(x, y) -> t(x, y)").unwrap();
+        let comp = completion(&p);
+        let t_def = comp
+            .iter()
+            .find(|w| w.to_string().starts_with("forall x0. forall x1. t"))
+            .expect("t must have a completion");
+        assert_eq!(
+            t_def.to_string(),
+            "forall x0. forall x1. t(x0, x1) <-> (exists x. exists y. x0 = x & x1 = y & e(x, y))"
+        );
+    }
+
+    #[test]
+    fn undefined_predicate_everywhere_false() {
+        let mut p = Program::from_text("forall x. q(x) -> p(x)").unwrap();
+        p.fact(&match parse("p(a)").unwrap() {
+            Formula::Atom(a) => a,
+            _ => unreachable!(),
+        });
+        let comp = completion(&p);
+        assert!(
+            comp.iter().any(|w| w.to_string() == "forall x0. ~q(x0)"),
+            "q has no rules or facts, so its completion closes it off: {:?}",
+            comp.iter().map(|w| w.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn completion_entails_negative_facts() {
+        // Comp({p(a)}) ⊨ ¬p(b): the closed-world consequence the paper's
+        // Definitions 3.3/3.4 rely on.
+        let p = Program::from_text("p(a)").unwrap();
+        let theory = Theory::new(completion(&p)).unwrap();
+        let prover = epilog_prover::Prover::new(theory);
+        assert!(prover.entails(&parse("p(a)").unwrap()));
+        assert!(prover.entails(&parse("~p(b)").unwrap()));
+    }
+
+    #[test]
+    fn completion_with_negation() {
+        let p = Program::from_text(
+            "p(a)
+             q(b)
+             forall x. p(x) & ~q(x) -> r(x)",
+        )
+        .unwrap();
+        let theory = Theory::new(completion(&p)).unwrap();
+        let prover = epilog_prover::Prover::new(theory);
+        assert!(prover.entails(&parse("r(a)").unwrap()));
+        assert!(prover.entails(&parse("~r(b)").unwrap()));
+    }
+
+    #[test]
+    fn completion_sentences_are_valid_theory() {
+        let p = Program::from_text(
+            "e(a, b)
+             e(b, c)
+             forall x, y. e(x, y) -> t(x, y)
+             forall x, y, z. e(x, y) & t(y, z) -> t(x, z)",
+        )
+        .unwrap();
+        // All completion formulas are FOPCE sentences.
+        let t = Theory::new(completion(&p));
+        assert!(t.is_ok());
+    }
+}

@@ -1,0 +1,27 @@
+//! # epilog-datalog — a Datalog engine with stratified negation
+//!
+//! The paper notes (§5.1) that the database `Σ` "could, for example, be a
+//! Datalog program and `prove` could be realized using negation-as-failure".
+//! This crate realizes that alternative backend, and supplies the *Clark
+//! completion* `Comp(DB)` that Definitions 3.3/3.4 (the closed Prolog-like
+//! readings of integrity-constraint satisfaction) are stated over.
+//!
+//! Components:
+//!
+//! * [`Program`] — Datalog rules `h ← l₁, …, lₙ` with negated body
+//!   literals, plus an extensional database;
+//! * stratification ([`Program::stratify`]) and the perfect-model
+//!   fixpoint, both naive ([`Program::eval_naive`]) and **semi-naive**
+//!   ([`Program::eval`]) — the ablation pair for bench `f2_datalog`;
+//! * [`completion()`](completion::completion) — Clark's completion as FOPCE sentences, ready to be
+//!   fed to `epilog-prover` for the Definition 3.3/3.4 comparisons.
+
+pub mod completion;
+pub mod engine;
+pub mod program;
+pub mod sld;
+
+pub use completion::completion;
+pub use sld::{SldEngine, SldOutcome};
+pub use engine::EvalStats;
+pub use program::{DatalogError, Literal, Program, Rule};

@@ -1,0 +1,444 @@
+//! Top-down SLDNF resolution: the Prolog-style counterpart of the
+//! bottom-up engine.
+//!
+//! §5.1 of the paper observes that the database "could, for example, be a
+//! Datalog program and `prove` could be realized using
+//! negation-as-failure". This module realizes exactly that: goal-directed
+//! SLD resolution with finite negation-as-failure over a stratifiable
+//! program, with a depth bound guarding against non-terminating
+//! left-recursion (bottom-up evaluation, which always terminates, remains
+//! the reference; the two are cross-checked in tests).
+
+use crate::program::{Literal, Program, Rule};
+use epilog_syntax::formula::Atom;
+use epilog_syntax::{Param, Term, Var};
+use std::collections::HashMap;
+
+/// Outcome of an SLDNF query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SldOutcome {
+    /// The goal succeeded; the answer substitutions for the goal's
+    /// variables, one entry per solution (deduplicated).
+    Success(Vec<HashMap<Var, Param>>),
+    /// The goal finitely failed within the depth bound.
+    Failure,
+    /// The depth bound was hit before the search completed: no verdict.
+    DepthExceeded,
+}
+
+/// An SLDNF resolution engine over a program.
+pub struct SldEngine<'a> {
+    program: &'a Program,
+    /// Maximum resolution depth (number of rule applications along one
+    /// derivation branch).
+    pub max_depth: usize,
+}
+
+impl<'a> SldEngine<'a> {
+    /// Create an engine with a default depth bound of 256.
+    ///
+    /// # Panics
+    /// Panics if a rule repeats a variable in its head (e.g.
+    /// `t(x, x) ← …`): the one-pass unifier here does not implement the
+    /// triangular substitutions that case needs. Normalize such rules by
+    /// renaming one occurrence and adding a joining body atom, or use the
+    /// bottom-up engine, which supports them.
+    pub fn new(program: &'a Program) -> Self {
+        for rule in &program.rules {
+            let occurrences = rule
+                .head
+                .terms
+                .iter()
+                .filter(|t| matches!(t, Term::Var(_)))
+                .count();
+            assert_eq!(
+                occurrences,
+                rule.head.vars().len(),
+                "SLD engine does not support repeated head variables: {rule}"
+            );
+        }
+        SldEngine { program, max_depth: 256 }
+    }
+
+    /// Solve a conjunctive goal of literals, left to right.
+    pub fn solve(&self, goal: &[Literal]) -> SldOutcome {
+        let mut solutions = Vec::new();
+        let mut exceeded = false;
+        let mut stack = Vec::new();
+        self.solve_rec(goal, &HashMap::new(), 0, &mut stack, &mut solutions, &mut exceeded);
+        if !solutions.is_empty() {
+            // Deduplicate while preserving order.
+            let mut seen: Vec<HashMap<Var, Param>> = Vec::new();
+            for s in solutions {
+                // Restrict to the goal's own variables.
+                let goal_vars: Vec<Var> =
+                    goal.iter().flat_map(|l| l.atom.vars()).collect();
+                let restricted: HashMap<Var, Param> = s
+                    .into_iter()
+                    .filter(|(v, _)| goal_vars.contains(v))
+                    .collect();
+                if !seen.contains(&restricted) {
+                    seen.push(restricted);
+                }
+            }
+            SldOutcome::Success(seen)
+        } else if exceeded {
+            SldOutcome::DepthExceeded
+        } else {
+            SldOutcome::Failure
+        }
+    }
+
+    /// Whether a single ground atom is derivable.
+    pub fn proves(&self, atom: &Atom) -> Option<bool> {
+        match self.solve(&[Literal { atom: atom.clone(), positive: true }]) {
+            SldOutcome::Success(_) => Some(true),
+            SldOutcome::Failure => Some(false),
+            SldOutcome::DepthExceeded => None,
+        }
+    }
+
+    fn solve_rec(
+        &self,
+        goal: &[Literal],
+        env: &HashMap<Var, Param>,
+        depth: usize,
+        stack: &mut Vec<Atom>,
+        solutions: &mut Vec<HashMap<Var, Param>>,
+        exceeded: &mut bool,
+    ) {
+        if depth > self.max_depth {
+            *exceeded = true;
+            return;
+        }
+        let Some((first, rest)) = goal.split_first() else {
+            solutions.push(env.clone());
+            return;
+        };
+        if first.positive {
+            // Loop check: a ground positive goal recurring in its own
+            // derivation branch can never contribute a new proof — prune.
+            // This makes SLD terminate on cyclic recursive data (datalog
+            // has finitely many ground atoms), matching bottom-up.
+            let instantiated = apply_atom(&first.atom, env);
+            let ground_goal = instantiated.is_ground();
+            if ground_goal {
+                if stack.contains(&instantiated) {
+                    return;
+                }
+                stack.push(instantiated);
+            }
+            // EDB match.
+            for env2 in self.match_edb(&first.atom, env) {
+                self.solve_rec(rest, &env2, depth + 1, stack, solutions, exceeded);
+            }
+            // Rule resolution.
+            for rule in
+                self.program.rules.iter().filter(|r| r.head.pred == first.atom.pred)
+            {
+                let rule = rename_rule(rule);
+                if let Some((env2, head_bind)) = unify_atom(&rule.head, &first.atom, env) {
+                    // Instantiate the (fresh) rule body with the head
+                    // bindings, then prepend it to the remaining goal.
+                    let mut new_goal: Vec<Literal> = rule
+                        .body
+                        .iter()
+                        .map(|l| Literal {
+                            atom: l.atom.subst(&head_bind),
+                            positive: l.positive,
+                        })
+                        .collect();
+                    new_goal.extend_from_slice(rest);
+                    self.solve_rec(&new_goal, &env2, depth + 1, stack, solutions, exceeded);
+                }
+            }
+            if ground_goal {
+                stack.pop();
+            }
+        } else {
+            // Negation as failure: the negated atom must be ground here
+            // (guaranteed by Datalog safety and left-to-right selection).
+            let ground = apply_atom(&first.atom, env);
+            assert!(
+                ground.is_ground(),
+                "floundering: negated subgoal {ground} is not ground"
+            );
+            let mut sub_solutions = Vec::new();
+            let mut sub_exceeded = false;
+            let mut sub_stack = Vec::new();
+            self.solve_rec(
+                &[Literal { atom: ground, positive: true }],
+                &HashMap::new(),
+                depth + 1,
+                &mut sub_stack,
+                &mut sub_solutions,
+                &mut sub_exceeded,
+            );
+            if sub_exceeded {
+                *exceeded = true;
+                return;
+            }
+            if sub_solutions.is_empty() {
+                self.solve_rec(rest, env, depth + 1, stack, solutions, exceeded);
+            }
+        }
+    }
+
+    fn match_edb(&self, atom: &Atom, env: &HashMap<Var, Param>) -> Vec<HashMap<Var, Param>> {
+        let pattern: Vec<Option<Param>> = atom
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Param(p) => Some(*p),
+                Term::Var(v) => env.get(v).copied(),
+            })
+            .collect();
+        let mut out = Vec::new();
+        for tuple in self.program.edb.select(atom.pred, &pattern) {
+            if let Some(env2) = bind_tuple(atom, &tuple, env) {
+                out.push(env2);
+            }
+        }
+        out
+    }
+}
+
+/// Apply an environment to an atom, grounding its bound variables.
+fn apply_atom(atom: &Atom, env: &HashMap<Var, Param>) -> Atom {
+    let map: HashMap<Var, Term> =
+        env.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
+    atom.subst(&map)
+}
+
+/// Extend the environment by matching an atom against a stored tuple;
+/// `None` on clash.
+fn bind_tuple(
+    atom: &Atom,
+    tuple: &[Param],
+    env: &HashMap<Var, Param>,
+) -> Option<HashMap<Var, Param>> {
+    let mut env2 = env.clone();
+    for (t, val) in atom.terms.iter().zip(tuple) {
+        match t {
+            Term::Param(p) => {
+                if p != val {
+                    return None;
+                }
+            }
+            Term::Var(v) => match env2.get(v) {
+                Some(bound) if bound != val => return None,
+                _ => {
+                    env2.insert(*v, *val);
+                }
+            },
+        }
+    }
+    Some(env2)
+}
+
+/// Rename a rule's variables apart from everything (fresh per resolution
+/// step — the standard standardizing-apart).
+fn rename_rule(rule: &Rule) -> Rule {
+    let mut ren: HashMap<Var, Term> = HashMap::new();
+    for a in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
+        for v in a.vars() {
+            ren.entry(v).or_insert_with(|| Term::Var(Var::fresh(&v.name())));
+        }
+    }
+    Rule {
+        head: rule.head.subst(&ren),
+        body: rule
+            .body
+            .iter()
+            .map(|l| Literal { atom: l.atom.subst(&ren), positive: l.positive })
+            .collect(),
+    }
+}
+
+/// Unify a (standardized-apart) rule head with a goal atom under the
+/// current environment.
+///
+/// Orientation matters: head variables are fresh, so variable–variable
+/// pairs bind *head → goal* — the caller substitutes the returned
+/// `head_bind` into the rule body, after which the body speaks in the
+/// goal's variables and every body success propagates to the goal
+/// automatically. Parameter bindings of goal variables extend the
+/// environment. Returns `None` on clash.
+fn unify_atom(
+    head: &Atom,
+    goal: &Atom,
+    env: &HashMap<Var, Param>,
+) -> Option<(HashMap<Var, Param>, HashMap<Var, Term>)> {
+    debug_assert_eq!(head.pred, goal.pred);
+    let mut env2 = env.clone();
+    let mut head_bind: HashMap<Var, Term> = HashMap::new();
+    for (h, g) in head.terms.iter().zip(&goal.terms) {
+        // Resolve the goal side under the environment.
+        let gval: Option<Param> = match g {
+            Term::Param(p) => Some(*p),
+            Term::Var(v) => env2.get(v).copied(),
+        };
+        // Resolve the head side under the accumulated head bindings.
+        let hres: Term = match h {
+            Term::Param(p) => Term::Param(*p),
+            Term::Var(v) => head_bind.get(v).copied().unwrap_or(Term::Var(*v)),
+        };
+        match (hres, gval) {
+            (Term::Param(hp), Some(gp)) => {
+                if hp != gp {
+                    return None;
+                }
+            }
+            (Term::Param(hp), None) => {
+                // Goal variable becomes bound to the head's parameter.
+                let Term::Var(gv) = g else {
+                    unreachable!("gval None implies goal term is a variable")
+                };
+                env2.insert(*gv, hp);
+            }
+            (Term::Var(hv), Some(gp)) => {
+                head_bind.insert(hv, Term::Param(gp));
+            }
+            (Term::Var(hv), None) => {
+                let Term::Var(gv) = g else {
+                    unreachable!("gval None implies goal term is a variable")
+                };
+                head_bind.insert(hv, Term::Var(*gv));
+            }
+        }
+    }
+    Some((env2, head_bind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use epilog_syntax::parse;
+
+    fn atom(src: &str) -> Atom {
+        match parse(src).unwrap() {
+            epilog_syntax::Formula::Atom(a) => a,
+            other => panic!("not an atom: {other}"),
+        }
+    }
+
+    fn engine_program() -> Program {
+        Program::from_text(
+            "e(a, b)
+             e(b, c)
+             e(c, d)
+             forall x, y. e(x, y) -> t(x, y)
+             forall x, y, z. e(x, y) & t(y, z) -> t(x, z)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ground_goals() {
+        let p = engine_program();
+        let eng = SldEngine::new(&p);
+        assert_eq!(eng.proves(&atom("e(a, b)")), Some(true));
+        assert_eq!(eng.proves(&atom("e(b, a)")), Some(false));
+        assert_eq!(eng.proves(&atom("t(a, d)")), Some(true));
+        assert_eq!(eng.proves(&atom("t(d, a)")), Some(false));
+    }
+
+    #[test]
+    fn open_goals_enumerate_answers() {
+        let p = engine_program();
+        let eng = SldEngine::new(&p);
+        let goal = vec![Literal { atom: atom("t(a, x)"), positive: true }];
+        match eng.solve(&goal) {
+            SldOutcome::Success(sols) => {
+                assert_eq!(sols.len(), 3, "t(a,b), t(a,c), t(a,d)");
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let p = Program::from_text(
+            "p(a)
+             p(b)
+             q(a)",
+        )
+        .unwrap();
+        let eng = SldEngine::new(&p);
+        let goal = vec![
+            Literal { atom: atom("p(x)"), positive: true },
+            Literal { atom: atom("q(x)"), positive: false },
+        ];
+        match eng.solve(&goal) {
+            SldOutcome::Success(sols) => {
+                assert_eq!(sols.len(), 1);
+                let x = Var::new("x");
+                assert_eq!(sols[0][&x].name(), "b");
+            }
+            other => panic!("expected success, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sld_agrees_with_bottom_up() {
+        let p = engine_program();
+        let (model, _) = p.eval().unwrap();
+        let eng = SldEngine::new(&p);
+        // Every derivable t-atom is provable top-down, and vice versa.
+        for a in ["a", "b", "c", "d"] {
+            for b in ["a", "b", "c", "d"] {
+                let at = atom(&format!("t({a}, {b})"));
+                assert_eq!(
+                    eng.proves(&at),
+                    Some(model.contains(&at)),
+                    "divergence on t({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn left_recursion_hits_depth_bound() {
+        // t(x,z) ← t(x,y), e(y,z): left-recursive; SLD loops, the bound
+        // converts the loop into DepthExceeded (bottom-up handles it
+        // fine — that asymmetry is the point of keeping both engines).
+        let p = Program::from_text(
+            "e(a, b)
+             forall x, y. e(x, y) -> t(x, y)
+             forall x, y, z. t(x, y) & e(y, z) -> t(x, z)",
+        )
+        .unwrap();
+        let mut eng = SldEngine::new(&p);
+        eng.max_depth = 64;
+        // A failing ground goal forces exhaustive search into the loop.
+        assert_eq!(eng.proves(&atom("t(b, a)")), None);
+        // Bottom-up is unfazed.
+        let (model, _) = p.eval().unwrap();
+        assert!(!model.contains(&atom("t(b, a)")));
+    }
+
+    #[test]
+    fn same_generation_top_down() {
+        let p = Program::from_text(
+            "par(c1, p1)
+             par(c2, p1)
+             par(p1, g1)
+             par(p2, g1)
+             forall x, y, z. par(x, z) & par(y, z) -> sg(x, y)
+             forall x, y, u, v. par(x, u) & sg(u, v) & par(y, v) -> sg(x, y)",
+        )
+        .unwrap();
+        let eng = SldEngine::new(&p);
+        assert_eq!(eng.proves(&atom("sg(c1, c2)")), Some(true));
+        assert_eq!(eng.proves(&atom("sg(c1, p1)")), Some(false));
+        // Cross-check the full relation against bottom-up.
+        let (model, _) = p.eval().unwrap();
+        for a in ["c1", "c2", "p1", "p2", "g1"] {
+            for b in ["c1", "c2", "p1", "p2", "g1"] {
+                let at = atom(&format!("sg({a}, {b})"));
+                assert_eq!(eng.proves(&at), Some(model.contains(&at)), "sg({a},{b})");
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The enumeration interface `prove(f, Σ)` of §5.1.
+//!
+//! The paper specifies `prove` behaviourally: successive calls iterate
+//! through an enumeration `π` of all parameter tuples `p̄` such that
+//! `Σ ⊨_FOPCE f|p̄`, failing when the enumeration is exhausted. In Rust the
+//! natural rendering of that success/fail/redo protocol is a lazy
+//! [`Iterator`]; `demo`'s backtracking is then ordinary iterator
+//! composition.
+//!
+//! The enumeration ranges over the *answer domain* (active domain plus goal
+//! parameters) in deterministic lexicographic order. For goals inside the
+//! finite-instances fragment of §6 this is the complete instance set
+//! `Instances(f, Σ)` (Lemma 6.3: answers only mention parameters of `Σ`);
+//! outside it, the enumeration is still sound but may under-approximate —
+//! exactly the case Definition 6.2's `F_Σ` machinery exists to exclude.
+
+use crate::entail::Prover;
+use epilog_syntax::{is_first_order, Formula, Param, Var};
+
+/// Lazy stream of answer tuples for a first-order goal.
+///
+/// Yields each tuple `p̄` (aligned with [`AnswerIter::vars`]) for which
+/// `Σ ⊨ f|p̄`, in deterministic order. A goal that is a sentence yields a
+/// single empty tuple if entailed, nothing otherwise.
+pub struct AnswerIter<'a> {
+    prover: &'a Prover,
+    formula: Formula,
+    vars: Vec<Var>,
+    domain: Vec<Param>,
+    /// Position in the cartesian enumeration `domain^|vars|`.
+    cursor: usize,
+    /// Total number of candidate tuples.
+    total: usize,
+}
+
+impl<'a> AnswerIter<'a> {
+    /// Start the enumeration `prove(f, Σ)`.
+    ///
+    /// # Panics
+    /// Panics if `f` is not first-order.
+    pub fn new(prover: &'a Prover, f: &Formula) -> Self {
+        assert!(is_first_order(f), "prove() accepts FOPCE formulas only");
+        let vars = f.free_vars();
+        let domain = prover.answer_domain(f);
+        let total = if vars.is_empty() {
+            1
+        } else if domain.is_empty() {
+            0
+        } else {
+            domain
+                .len()
+                .checked_pow(vars.len() as u32)
+                .expect("candidate space overflow")
+        };
+        AnswerIter { prover, formula: f.clone(), vars, domain, cursor: 0, total }
+    }
+
+    /// The free variables of the goal, in the order answer tuples are
+    /// reported.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+
+    fn tuple_at(&self, mut idx: usize) -> Vec<Param> {
+        let mut out = vec![self.domain[0]; self.vars.len()];
+        for slot in out.iter_mut().rev() {
+            *slot = self.domain[idx % self.domain.len()];
+            idx /= self.domain.len();
+        }
+        out
+    }
+}
+
+impl Iterator for AnswerIter<'_> {
+    type Item = Vec<Param>;
+
+    fn next(&mut self) -> Option<Vec<Param>> {
+        while self.cursor < self.total {
+            let idx = self.cursor;
+            self.cursor += 1;
+            if self.vars.is_empty() {
+                if self.prover.entails(&self.formula) {
+                    return Some(Vec::new());
+                }
+                return None;
+            }
+            let tuple = self.tuple_at(idx);
+            let bound = self.formula.bind_free(&tuple);
+            if self.prover.entails(&bound) {
+                return Some(tuple);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::{parse, Theory};
+
+    fn teach() -> Prover {
+        Prover::new(
+            Theory::from_text(
+                "Teach(John, Math)
+                 exists x. Teach(x, CS)
+                 Teach(Mary, Psych) | Teach(Sue, Psych)",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn names(t: &[Param]) -> Vec<String> {
+        t.iter().map(|p| p.name()).collect()
+    }
+
+    #[test]
+    fn sentence_goal_yields_once() {
+        let p = teach();
+        let hits: Vec<_> =
+            AnswerIter::new(&p, &parse("Teach(John, Math)").unwrap()).collect();
+        assert_eq!(hits, vec![Vec::<Param>::new()]);
+        let misses: Vec<_> =
+            AnswerIter::new(&p, &parse("Teach(John, CS)").unwrap()).collect();
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn known_course_of_john() {
+        // prove(Teach(John, x), Σ) — the §1 query "is there a known course
+        // John teaches": yes, Math.
+        let p = teach();
+        let answers: Vec<_> =
+            AnswerIter::new(&p, &parse("Teach(John, x)").unwrap()).collect();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(names(&answers[0]), vec!["Math"]);
+    }
+
+    #[test]
+    fn no_known_cs_teacher() {
+        // ∃x Teach(x, CS) is entailed, but no parameter is a certain
+        // answer.
+        let p = teach();
+        let answers: Vec<_> =
+            AnswerIter::new(&p, &parse("Teach(x, CS)").unwrap()).collect();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn disjunction_gives_no_individual_answers() {
+        let p = teach();
+        let answers: Vec<_> =
+            AnswerIter::new(&p, &parse("Teach(x, Psych)").unwrap()).collect();
+        assert!(answers.is_empty(), "neither Mary nor Sue is *known* to teach Psych");
+    }
+
+    #[test]
+    fn multiple_answers_in_deterministic_order() {
+        let p = Prover::new(Theory::from_text("p(a)\np(b)\np(c)\nq(b)").unwrap());
+        let answers: Vec<_> = AnswerIter::new(&p, &parse("p(x)").unwrap()).collect();
+        assert_eq!(answers.len(), 3);
+        let run_again: Vec<_> = AnswerIter::new(&p, &parse("p(x)").unwrap()).collect();
+        assert_eq!(answers, run_again, "enumeration order is deterministic");
+    }
+
+    #[test]
+    fn conjunctive_goal() {
+        let p = Prover::new(Theory::from_text("p(a)\np(b)\nq(b)").unwrap());
+        let answers: Vec<_> =
+            AnswerIter::new(&p, &parse("p(x) & q(x)").unwrap()).collect();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(names(&answers[0]), vec!["b"]);
+    }
+
+    #[test]
+    fn two_variable_goal() {
+        let p = Prover::new(Theory::from_text("e(a, b)\ne(b, c)").unwrap());
+        let answers: Vec<_> = AnswerIter::new(&p, &parse("e(x, y)").unwrap()).collect();
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn equality_goal_binds() {
+        let p = Prover::new(Theory::from_text("p(a)\np(b)").unwrap());
+        let answers: Vec<_> = AnswerIter::new(&p, &parse("x = a").unwrap()).collect();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(names(&answers[0]), vec!["a"]);
+    }
+
+    #[test]
+    fn empty_domain_no_answers() {
+        let p = Prover::new(Theory::empty());
+        let answers: Vec<_> = AnswerIter::new(&p, &parse("p(x)").unwrap()).collect();
+        assert!(answers.is_empty());
+    }
+
+    #[test]
+    fn resumability_is_lazy() {
+        // Taking one answer must not force the rest of the enumeration.
+        let p = Prover::new(Theory::from_text("p(a)\np(b)\np(c)").unwrap());
+        let mut it = AnswerIter::new(&p, &parse("p(x)").unwrap());
+        let first = it.next().unwrap();
+        let calls_after_first = *p.sat_calls.borrow();
+        assert_eq!(names(&first), vec!["a"]);
+        let second = it.next().unwrap();
+        assert_eq!(names(&second), vec!["b"]);
+        assert!(*p.sat_calls.borrow() > calls_after_first);
+    }
+}

@@ -1,0 +1,307 @@
+//! First-order entailment for FOPCE by grounding + SAT.
+//!
+//! `Σ ⊨_FOPCE g` iff `Σ ∧ ¬g` has no model. Models of FOPCE theories are
+//! worlds over the countably infinite parameter domain; we ground over the
+//! finite universe consisting of the active domain plus a budget of fresh
+//! witness parameters and hand the result to the CDCL solver. See the crate
+//! docs for the exactness discussion.
+
+use crate::ground::GroundContext;
+use epilog_sat::{tseitin, Cnf, SatResult, Solver};
+use epilog_syntax::{is_first_order, transform, Formula, Param, Theory};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// How the finite grounding universe is chosen.
+#[derive(Debug, Clone, Copy)]
+pub struct UniversePolicy {
+    /// Maximum number of fresh witness parameters appended to the active
+    /// domain. Existentials that are not nested under universals need one
+    /// witness each for exactness; more witnesses only grow the grounding.
+    pub witness_cap: usize,
+}
+
+impl Default for UniversePolicy {
+    fn default() -> Self {
+        UniversePolicy { witness_cap: 3 }
+    }
+}
+
+/// A theorem prover for one fixed FOPCE theory `Σ`.
+///
+/// Entailment results are memoized per goal sentence — the `demo`
+/// evaluator asks the same ground questions repeatedly while backtracking.
+pub struct Prover {
+    theory: Theory,
+    witnesses: Vec<Param>,
+    memo: RefCell<HashMap<Formula, bool>>,
+    /// Count of SAT-solver invocations (exposed for benches/tests).
+    pub sat_calls: RefCell<u64>,
+}
+
+impl Prover {
+    /// Build a prover with the default universe policy.
+    pub fn new(theory: Theory) -> Self {
+        Prover::with_policy(theory, UniversePolicy::default())
+    }
+
+    /// Build a prover with an explicit universe policy.
+    pub fn with_policy(theory: Theory, policy: UniversePolicy) -> Self {
+        // One witness per existential node of the theory (counted on the
+        // NNF so polarities are explicit), plus one spare for goal-side
+        // quantifiers, at least 1 (the FOPCE domain is never empty),
+        // clamped by the cap.
+        let mut exists_nodes = 0usize;
+        for s in theory.sentences() {
+            exists_nodes += count_existentials(&transform::nnf(s));
+        }
+        let budget = (exists_nodes + 1).clamp(1, policy.witness_cap.max(1));
+        let witnesses = (0..budget).map(|_| Param::fresh("w")).collect();
+        Prover {
+            theory,
+            witnesses,
+            memo: RefCell::new(HashMap::new()),
+            sat_calls: RefCell::new(0),
+        }
+    }
+
+    /// The theory this prover answers questions about.
+    pub fn theory(&self) -> &Theory {
+        &self.theory
+    }
+
+    /// The grounding universe for a goal: active domain ∪ goal parameters
+    /// ∪ witnesses, deterministic order.
+    pub fn universe_for(&self, goal: &Formula) -> Vec<Param> {
+        let mut u = self.theory.active_domain();
+        for p in goal.params() {
+            if !u.contains(&p) {
+                u.push(p);
+            }
+        }
+        u.extend(self.witnesses.iter().copied());
+        u
+    }
+
+    /// The candidate answer domain: active domain ∪ goal parameters (no
+    /// witnesses — a fresh parameter is never a *certain* answer, because
+    /// nothing in `Σ` constrains it; if it were entailed, infinitely many
+    /// parameters would be, putting the goal outside the finite-instances
+    /// fragment of §6).
+    pub fn answer_domain(&self, goal: &Formula) -> Vec<Param> {
+        let mut u = self.theory.active_domain();
+        for p in goal.params() {
+            if !u.contains(&p) {
+                u.push(p);
+            }
+        }
+        u
+    }
+
+    /// Whether `Σ` is satisfiable.
+    pub fn satisfiable(&self) -> bool {
+        // Σ satisfiable iff Σ ⊭ (p ∧ ¬p) for a fresh proposition.
+        !self.entails(&Formula::and(
+            Formula::prop("__absurd"),
+            Formula::not(Formula::prop("__absurd")),
+        ))
+    }
+
+    /// Whether `Σ ∧ g` is satisfiable (the consistency reading of
+    /// integrity constraints, Definition 3.1).
+    pub fn consistent_with(&self, g: &Formula) -> bool {
+        !self.entails(&Formula::not(g.clone()))
+    }
+
+    /// Decide `Σ ⊨_FOPCE g` for a FOPCE sentence `g`.
+    ///
+    /// # Panics
+    /// Panics if `g` is modal or has free variables.
+    pub fn entails(&self, g: &Formula) -> bool {
+        assert!(is_first_order(g), "entailment goals must be FOPCE formulas");
+        assert!(g.is_sentence(), "entailment goals must be sentences");
+        if let Some(&cached) = self.memo.borrow().get(g) {
+            return cached;
+        }
+        let result = self.entails_uncached(g);
+        self.memo.borrow_mut().insert(g.clone(), result);
+        result
+    }
+
+    fn entails_uncached(&self, g: &Formula) -> bool {
+        *self.sat_calls.borrow_mut() += 1;
+        let universe = self.universe_for(g);
+        let mut ctx = GroundContext::new(universe);
+        let mut cnf = Cnf::new();
+        let mut roots = Vec::with_capacity(self.theory.len() + 1);
+        for s in self.theory.sentences() {
+            roots.push(ctx.ground(s));
+        }
+        roots.push(ctx.ground(&Formula::not(g.clone())));
+        // Atom variables come first, then Tseitin auxiliaries.
+        cnf.reserve_vars(ctx.num_atoms());
+        for p in &roots {
+            let root = tseitin(p, &mut cnf);
+            cnf.add_unit(root);
+        }
+        matches!(Solver::new(&cnf).solve(), SatResult::Unsat)
+    }
+
+    /// Number of memoized entailment results (diagnostics).
+    pub fn memo_len(&self) -> usize {
+        self.memo.borrow().len()
+    }
+}
+
+fn count_existentials(w: &Formula) -> usize {
+    let mut n = 0;
+    for s in w.subformulas() {
+        if matches!(s, Formula::Exists(..)) {
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::parse;
+
+    fn teach() -> Prover {
+        Prover::new(
+            Theory::from_text(
+                "Teach(John, Math)
+                 exists x. Teach(x, CS)
+                 Teach(Mary, Psych) | Teach(Sue, Psych)",
+            )
+            .unwrap(),
+        )
+    }
+
+    fn entails(p: &Prover, src: &str) -> bool {
+        p.entails(&parse(src).unwrap())
+    }
+
+    #[test]
+    fn extensional_facts() {
+        let p = teach();
+        assert!(entails(&p, "Teach(John, Math)"));
+        assert!(!entails(&p, "Teach(John, CS)"));
+        assert!(!entails(&p, "~Teach(John, CS)"));
+    }
+
+    #[test]
+    fn existential_knowledge() {
+        let p = teach();
+        assert!(entails(&p, "exists x. Teach(x, CS)"));
+        assert!(entails(&p, "exists x. Teach(x, Math)"));
+        assert!(!entails(&p, "exists x. Teach(x, Philosophy)"));
+    }
+
+    #[test]
+    fn disjunctive_knowledge() {
+        let p = teach();
+        assert!(entails(&p, "Teach(Mary, Psych) | Teach(Sue, Psych)"));
+        assert!(!entails(&p, "Teach(Mary, Psych)"));
+        assert!(!entails(&p, "Teach(Sue, Psych)"));
+        assert!(entails(&p, "exists x. Teach(x, Psych)"));
+    }
+
+    #[test]
+    fn null_value_not_a_known_individual() {
+        // ∃x Teach(x,CS) holds but no particular parameter teaches CS:
+        // Teach(p, CS) is not entailed for any p in the answer domain.
+        let p = teach();
+        for param in ["John", "Math", "CS", "Mary", "Sue", "Psych"] {
+            assert!(
+                !entails(&p, &format!("Teach({param}, CS)")),
+                "{param} should not be a known CS teacher"
+            );
+        }
+    }
+
+    #[test]
+    fn rules_chain() {
+        let p = Prover::new(
+            Theory::from_text(
+                "emp(Mary)
+                 forall x. emp(x) -> person(x)
+                 forall x. person(x) -> mortal(x)",
+            )
+            .unwrap(),
+        );
+        assert!(entails(&p, "mortal(Mary)"));
+        assert!(entails(&p, "exists x. mortal(x)"));
+        assert!(!entails(&p, "mortal(John)"));
+    }
+
+    #[test]
+    fn equality_semantics_unique_names() {
+        let p = Prover::new(Theory::from_text("p(a)").unwrap());
+        assert!(entails(&p, "a = a"));
+        assert!(entails(&p, "a != b"));
+        assert!(!entails(&p, "a = b"));
+        // Domain closure: something exists that equals a.
+        assert!(entails(&p, "exists x. x = a"));
+        // Infinitely many parameters: not everything equals a.
+        assert!(entails(&p, "~(forall x. x = a)"));
+        assert!(entails(&p, "exists x. x != a"));
+    }
+
+    #[test]
+    fn satisfiability() {
+        assert!(teach().satisfiable());
+        let contradictory =
+            Prover::new(Theory::from_text("p(a)\n~p(a)").unwrap());
+        assert!(!contradictory.satisfiable());
+        assert!(Prover::new(Theory::empty()).satisfiable());
+    }
+
+    #[test]
+    fn consistency_check_definition_31() {
+        // DB = {emp(Mary)} is consistent with the first-order IC
+        // ∀x (emp(x) ⊃ ∃y ss(x,y)) — the failure of Definition 3.1.
+        let p = Prover::new(Theory::from_text("emp(Mary)").unwrap());
+        let ic = parse("forall x. emp(x) -> exists y. ss(x, y)").unwrap();
+        assert!(p.consistent_with(&ic));
+        // But DB does not entail it — the failure mode of Definition 3.2
+        // is on the empty database below.
+        assert!(!p.entails(&ic));
+        let empty = Prover::new(Theory::empty());
+        assert!(!empty.entails(&ic), "even the empty DB fails the entailment reading");
+    }
+
+    #[test]
+    fn memoization_counts() {
+        let p = teach();
+        let q = parse("Teach(John, Math)").unwrap();
+        assert!(p.entails(&q));
+        assert!(p.entails(&q));
+        assert_eq!(*p.sat_calls.borrow(), 1, "second call must hit the memo");
+    }
+
+    #[test]
+    fn empty_theory_tautologies() {
+        let p = Prover::new(Theory::empty());
+        assert!(entails(&p, "p(a) | ~p(a)"));
+        assert!(entails(&p, "forall x. p(x) -> p(x)"));
+        assert!(!entails(&p, "p(a)"));
+        assert!(!entails(&p, "~p(a)"));
+    }
+
+    #[test]
+    fn existential_rule_heads() {
+        let p = Prover::new(
+            Theory::from_text(
+                "node(a)
+                 forall x. node(x) -> exists y. edge(x, y)",
+            )
+            .unwrap(),
+        );
+        assert!(entails(&p, "exists y. edge(a, y)"));
+        // No self-loop is forced: a fresh witness serves as the target.
+        assert!(!entails(&p, "edge(a, a)"));
+        assert!(!entails(&p, "exists x. edge(x, x)"));
+    }
+}

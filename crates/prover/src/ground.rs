@@ -1,0 +1,245 @@
+//! Grounding FOPCE sentences over a finite universe.
+//!
+//! A [`GroundContext`] fixes the universe (a finite list of parameters) and
+//! assigns propositional variables to ground atoms on demand. Grounding a
+//! sentence walks its NNF, expanding `∀`/`∃` over the universe and mapping
+//! equality atoms directly to constants — FOPCE's parameters are pairwise
+//! distinct, so `p = q` is decided syntactically.
+
+use epilog_sat::Prop;
+use epilog_syntax::formula::{Atom, Formula};
+use epilog_syntax::{Param, Term, Var};
+use std::collections::HashMap;
+
+/// Shared grounding state: the universe and the atom↔variable registry.
+#[derive(Debug, Clone, Default)]
+pub struct GroundContext {
+    universe: Vec<Param>,
+    vars: HashMap<Atom, u32>,
+    atoms: Vec<Atom>,
+}
+
+impl GroundContext {
+    /// A context over the given (deduplicated, order-preserving) universe.
+    pub fn new(universe: Vec<Param>) -> Self {
+        let mut seen = Vec::new();
+        for p in universe {
+            if !seen.contains(&p) {
+                seen.push(p);
+            }
+        }
+        GroundContext { universe: seen, vars: HashMap::new(), atoms: Vec::new() }
+    }
+
+    /// The universe parameters, in enumeration order.
+    pub fn universe(&self) -> &[Param] {
+        &self.universe
+    }
+
+    /// The propositional variable of a ground atom, allocating on demand.
+    pub fn var_of(&mut self, atom: &Atom) -> u32 {
+        debug_assert!(atom.is_ground(), "registry stores ground atoms only");
+        if let Some(&v) = self.vars.get(atom) {
+            return v;
+        }
+        let v = u32::try_from(self.atoms.len()).expect("atom registry overflow");
+        self.vars.insert(atom.clone(), v);
+        self.atoms.push(atom.clone());
+        v
+    }
+
+    /// The ground atom of a propositional variable, if allocated.
+    pub fn atom_of(&self, v: u32) -> Option<&Atom> {
+        self.atoms.get(v as usize)
+    }
+
+    /// Number of registered atoms (== number of propositional variables).
+    pub fn num_atoms(&self) -> u32 {
+        self.atoms.len() as u32
+    }
+
+    /// Ground a FOPCE sentence into a propositional formula, expanding
+    /// quantifiers over the universe.
+    ///
+    /// # Panics
+    /// Panics on modal formulas or formulas with free variables (bind them
+    /// first).
+    pub fn ground(&mut self, w: &Formula) -> Prop {
+        let mut env = HashMap::new();
+        self.go(w, &mut env)
+    }
+
+    fn term(&self, t: &Term, env: &HashMap<Var, Param>) -> Param {
+        match t {
+            Term::Param(p) => *p,
+            Term::Var(v) => *env
+                .get(v)
+                .unwrap_or_else(|| panic!("unbound variable {v} during grounding")),
+        }
+    }
+
+    fn go(&mut self, w: &Formula, env: &mut HashMap<Var, Param>) -> Prop {
+        match w {
+            Formula::Atom(a) => {
+                let terms: Vec<Term> =
+                    a.terms.iter().map(|t| Term::Param(self.term(t, env))).collect();
+                let ground = Atom::new(a.pred, terms);
+                Prop::Var(self.var_of(&ground))
+            }
+            Formula::Eq(a, b) => {
+                // Unique names: equality of parameters is syntactic
+                // identity.
+                if self.term(a, env) == self.term(b, env) {
+                    Prop::True
+                } else {
+                    Prop::False
+                }
+            }
+            Formula::Not(a) => self.go(a, env).negate(),
+            Formula::And(a, b) => Prop::and_all(vec![self.go(a, env), self.go(b, env)]),
+            Formula::Or(a, b) => Prop::or_all(vec![self.go(a, env), self.go(b, env)]),
+            Formula::Implies(a, b) => {
+                Prop::or_all(vec![self.go(a, env).negate(), self.go(b, env)])
+            }
+            Formula::Iff(a, b) => {
+                let pa = self.go(a, env);
+                let pb = self.go(b, env);
+                Prop::and_all(vec![
+                    Prop::or_all(vec![pa.clone().negate(), pb.clone()]),
+                    Prop::or_all(vec![pb.negate(), pa]),
+                ])
+            }
+            Formula::Forall(x, body) => {
+                let props = self.expand(*x, body, env);
+                Prop::and_all(props)
+            }
+            Formula::Exists(x, body) => {
+                let props = self.expand(*x, body, env);
+                Prop::or_all(props)
+            }
+            Formula::Know(_) => panic!("grounding is defined for FOPCE formulas only"),
+        }
+    }
+
+    fn expand(&mut self, x: Var, body: &Formula, env: &mut HashMap<Var, Param>) -> Vec<Prop> {
+        let universe = self.universe.clone();
+        let shadowed = env.get(&x).copied();
+        let mut out = Vec::with_capacity(universe.len());
+        for p in universe {
+            env.insert(x, p);
+            out.push(self.go(body, env));
+        }
+        match shadowed {
+            Some(p) => {
+                env.insert(x, p);
+            }
+            None => {
+                env.remove(&x);
+            }
+        }
+        out
+    }
+}
+
+/// A finished grounding of a theory: the conjunction of its sentences'
+/// propositional forms plus the registry that interprets the variables.
+#[derive(Debug, Clone)]
+pub struct Grounding {
+    /// The grounded sentences (conjoined for satisfiability checking).
+    pub props: Vec<Prop>,
+    /// The shared atom registry / universe.
+    pub ctx: GroundContext,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::parse;
+
+    fn params(names: &[&str]) -> Vec<Param> {
+        names.iter().map(|n| Param::new(n)).collect()
+    }
+
+    #[test]
+    fn atoms_get_stable_vars() {
+        let mut ctx = GroundContext::new(params(&["a", "b"]));
+        let w = parse("p(a) & p(a) & p(b)").unwrap();
+        let g = ctx.ground(&w);
+        assert_eq!(ctx.num_atoms(), 2);
+        // p(a) ∧ p(a) ∧ p(b) folds to a 2-conjunct after dedup of shape.
+        match g {
+            Prop::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_decided_at_ground_time() {
+        let mut ctx = GroundContext::new(params(&["a", "b"]));
+        assert_eq!(ctx.ground(&parse("a = a").unwrap()), Prop::True);
+        assert_eq!(ctx.ground(&parse("a = b").unwrap()), Prop::False);
+        assert_eq!(ctx.ground(&parse("a != b").unwrap()), Prop::True);
+    }
+
+    #[test]
+    fn quantifiers_expand_over_universe() {
+        let mut ctx = GroundContext::new(params(&["a", "b", "c"]));
+        let w = parse("exists x. p(x)").unwrap();
+        match ctx.ground(&w) {
+            Prop::Or(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected disjunction, got {other:?}"),
+        }
+        let w = parse("forall x. p(x)").unwrap();
+        match ctx.ground(&w) {
+            Prop::And(ps) => assert_eq!(ps.len(), 3),
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        let mut ctx = GroundContext::new(params(&["a", "b"]));
+        let w = parse("forall x. exists y. e(x, y)").unwrap();
+        // (e(a,a) ∨ e(a,b)) ∧ (e(b,a) ∨ e(b,b))
+        match ctx.ground(&w) {
+            Prop::And(ps) => {
+                assert_eq!(ps.len(), 2);
+                assert!(matches!(ps[0], Prop::Or(_)));
+            }
+            other => panic!("expected conjunction, got {other:?}"),
+        }
+        assert_eq!(ctx.num_atoms(), 4);
+    }
+
+    #[test]
+    fn quantified_equality_folds() {
+        // ∃x (x = a) is true over any universe containing a.
+        let mut ctx = GroundContext::new(params(&["a", "b"]));
+        assert_eq!(ctx.ground(&parse("exists x. x = a").unwrap()), Prop::True);
+        // ∀x (x = a) is false once the universe has a second element.
+        assert_eq!(ctx.ground(&parse("forall x. x = a").unwrap()), Prop::False);
+    }
+
+    #[test]
+    fn shadowing_respected() {
+        let mut ctx = GroundContext::new(params(&["a"]));
+        // exists x. p(x) & (exists x. q(x)) — inner x shadows outer.
+        let w = parse("exists x. p(x) & (exists x. q(x))").unwrap();
+        let _ = ctx.ground(&w);
+        assert_eq!(ctx.num_atoms(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "FOPCE")]
+    fn modal_rejected() {
+        let mut ctx = GroundContext::new(params(&["a"]));
+        let _ = ctx.ground(&parse("K p(a)").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn free_variables_rejected() {
+        let mut ctx = GroundContext::new(params(&["a"]));
+        let _ = ctx.ground(&parse("p(x)").unwrap());
+    }
+}

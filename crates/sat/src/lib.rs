@@ -1,0 +1,28 @@
+//! # epilog-sat — a from-scratch CDCL SAT solver
+//!
+//! The propositional engine underneath the FOPCE theorem prover
+//! (`epilog-prover`). First-order entailment `Σ ⊨ f` over the function-free
+//! FOPCE fragment is decided by grounding `Σ ∧ ¬f` and testing the
+//! resulting propositional formula for unsatisfiability; this crate does
+//! the propositional part.
+//!
+//! Components:
+//!
+//! * [`Lit`]/[`Cnf`] — literals and clause databases;
+//! * [`Prop`] + [`tseitin`] — arbitrary propositional formulas and their
+//!   equisatisfiable CNF encoding;
+//! * [`Solver`] — conflict-driven clause learning with two-watched
+//!   literals, 1-UIP learning, VSIDS branching, and Luby restarts;
+//! * [`solve_dpll`] — a plain DPLL baseline (unit propagation +
+//!   chronological backtracking, no learning), kept as the ablation
+//!   comparison for bench `f3_sat`;
+//! * model enumeration ([`Solver::enumerate`]) via blocking clauses, used
+//!   by the semantic oracle and by circumscription.
+
+pub mod cnf;
+pub mod dpll;
+pub mod solver;
+
+pub use cnf::{tseitin, Cnf, Lit, Prop};
+pub use dpll::solve_dpll;
+pub use solver::{SatResult, Solver};

@@ -1,0 +1,562 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! Standard architecture: two-watched-literal propagation, first-UIP
+//! conflict analysis with clause learning, VSIDS variable activities with
+//! phase saving, and Luby-scheduled restarts. No clause deletion — the
+//! workloads this repository generates stay far below the sizes where
+//! database reduction pays off.
+
+use crate::cnf::{Cnf, Lit};
+
+/// The outcome of a satisfiability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SatResult {
+    /// Satisfiable, with a witnessing total assignment indexed by variable.
+    Sat(Vec<bool>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl SatResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SatResult::Sat(_))
+    }
+}
+
+const UNASSIGNED: i8 = 0;
+
+/// The CDCL solver. Create with [`Solver::new`], run with
+/// [`Solver::solve`]; a solver instance is single-shot (build a fresh one
+/// per query — construction is linear in the formula).
+pub struct Solver {
+    num_vars: usize,
+    /// All clauses, original then learned. Clause ids index this vector.
+    clauses: Vec<Vec<Lit>>,
+    /// `watches[l.index()]`: ids of clauses currently watching literal `l`.
+    watches: Vec<Vec<usize>>,
+    /// Assignment by variable: 0 unassigned, +1 true, −1 false.
+    assign: Vec<i8>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Reason clause for each propagated variable.
+    reason: Vec<Option<usize>>,
+    /// Assignment trail, in order.
+    trail: Vec<Lit>,
+    /// Trail indexes where each decision level starts.
+    trail_lim: Vec<usize>,
+    /// Propagation queue head (index into `trail`).
+    qhead: usize,
+    /// VSIDS activity per variable.
+    activity: Vec<f64>,
+    var_inc: f64,
+    /// Saved phase per variable.
+    phase: Vec<bool>,
+    /// Set when an original clause is empty (immediately unsat).
+    empty_clause: bool,
+    /// Unit original clauses, queued for level-0 propagation.
+    units: Vec<Lit>,
+    /// Statistics: number of conflicts seen (exposed for benches).
+    pub conflicts: u64,
+}
+
+impl Solver {
+    /// Build a solver over a CNF.
+    pub fn new(cnf: &Cnf) -> Self {
+        let num_vars = cnf.num_vars() as usize;
+        let mut s = Solver {
+            num_vars,
+            clauses: Vec::with_capacity(cnf.clauses().len()),
+            watches: vec![Vec::new(); num_vars * 2],
+            assign: vec![UNASSIGNED; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![None; num_vars],
+            trail: Vec::with_capacity(num_vars),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            phase: vec![false; num_vars],
+            empty_clause: false,
+            units: Vec::new(),
+            conflicts: 0,
+        };
+        for c in cnf.clauses() {
+            s.add_clause(c.clone());
+        }
+        s
+    }
+
+    fn add_clause(&mut self, c: Vec<Lit>) {
+        match c.len() {
+            0 => self.empty_clause = true,
+            1 => self.units.push(c[0]),
+            _ => {
+                let id = self.clauses.len();
+                self.watches[c[0].index()].push(id);
+                self.watches[c[1].index()].push(id);
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    fn value(&self, l: Lit) -> i8 {
+        let a = self.assign[l.var() as usize];
+        if l.is_pos() {
+            a
+        } else {
+            -a
+        }
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<usize>) -> bool {
+        match self.value(l) {
+            1 => true,
+            -1 => false,
+            _ => {
+                let v = l.var() as usize;
+                self.assign[v] = if l.is_pos() { 1 } else { -1 };
+                self.level[v] = self.decision_level();
+                self.reason[v] = reason;
+                self.trail.push(l);
+                true
+            }
+        }
+    }
+
+    /// Propagate until fixpoint; returns the id of a conflicting clause.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let l = self.trail[self.qhead];
+            self.qhead += 1;
+            let fl = l.negate(); // literals watching `fl` just became false
+            let mut ws = std::mem::take(&mut self.watches[fl.index()]);
+            let mut i = 0;
+            let mut conflict = None;
+            'outer: while i < ws.len() {
+                let ci = ws[i];
+                // Make sure the false literal sits at position 1.
+                if self.clauses[ci][0] == fl {
+                    self.clauses[ci].swap(0, 1);
+                }
+                let first = self.clauses[ci][0];
+                if self.value(first) == 1 {
+                    i += 1;
+                    continue; // clause already satisfied
+                }
+                // Look for a non-false literal to watch instead.
+                for k in 2..self.clauses[ci].len() {
+                    if self.value(self.clauses[ci][k]) != -1 {
+                        self.clauses[ci].swap(1, k);
+                        let nw = self.clauses[ci][1];
+                        self.watches[nw.index()].push(ci);
+                        ws.swap_remove(i);
+                        continue 'outer;
+                    }
+                }
+                // No replacement: clause is unit (first) or conflicting.
+                if self.value(first) == -1 {
+                    conflict = Some(ci);
+                    break;
+                }
+                let ok = self.enqueue(first, Some(ci));
+                debug_assert!(ok, "enqueue of unit literal cannot fail here");
+                i += 1;
+            }
+            self.watches[fl.index()] = ws;
+            if let Some(ci) = conflict {
+                self.qhead = self.trail.len();
+                return Some(ci);
+            }
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: usize) -> (Vec<Lit>, u32) {
+        let current = self.decision_level();
+        let mut seen = vec![false; self.num_vars];
+        let mut learnt: Vec<Lit> = Vec::new();
+        let mut counter = 0u32;
+        let mut idx = self.trail.len();
+        let mut p: Option<Lit> = None;
+
+        loop {
+            let skip = usize::from(p.is_some()); // reason clauses: clause[0] == p
+            for k in skip..self.clauses[confl].len() {
+                let q = self.clauses[confl][k];
+                let v = q.var() as usize;
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] >= current {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if seen[self.trail[idx].var() as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            counter -= 1;
+            if counter == 0 {
+                p = Some(pl);
+                break;
+            }
+            confl = self.reason[pl.var() as usize]
+                .expect("non-decision literal must have a reason");
+            p = Some(pl);
+        }
+
+        let uip = p.expect("loop sets p before breaking").negate();
+        let mut clause = Vec::with_capacity(learnt.len() + 1);
+        clause.push(uip);
+        clause.extend(learnt);
+
+        // Backjump to the second-highest level in the clause; put a literal
+        // of that level in watch position 1.
+        let mut bl = 0;
+        let mut pos = 0;
+        for (k, l) in clause.iter().enumerate().skip(1) {
+            let lv = self.level[l.var() as usize];
+            if lv > bl {
+                bl = lv;
+                pos = k;
+            }
+        }
+        if pos != 0 {
+            clause.swap(1, pos);
+        }
+        (clause, bl)
+    }
+
+    fn backtrack(&mut self, to_level: u32) {
+        while self.decision_level() > to_level {
+            let start = self.trail_lim.pop().expect("level > 0 implies a limit");
+            for l in self.trail.drain(start..) {
+                let v = l.var() as usize;
+                self.phase[v] = l.is_pos();
+                self.assign[v] = UNASSIGNED;
+                self.reason[v] = None;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        let mut best: Option<usize> = None;
+        for v in 0..self.num_vars {
+            if self.assign[v] == UNASSIGNED
+                && best.is_none_or(|b| self.activity[v] > self.activity[b])
+            {
+                best = Some(v);
+            }
+        }
+        best.map(|v| {
+            if self.phase[v] {
+                Lit::pos(v as u32)
+            } else {
+                Lit::neg(v as u32)
+            }
+        })
+    }
+
+    /// Run the CDCL loop to completion.
+    pub fn solve(&mut self) -> SatResult {
+        if self.empty_clause {
+            return SatResult::Unsat;
+        }
+        for &u in &self.units.clone() {
+            if !self.enqueue(u, None) {
+                return SatResult::Unsat;
+            }
+        }
+        let mut restart_count = 0u32;
+        let mut conflicts_since_restart = 0u64;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    return SatResult::Unsat;
+                }
+                let (clause, bl) = self.analyze(confl);
+                self.backtrack(bl);
+                let assert_lit = clause[0];
+                let reason = if clause.len() == 1 {
+                    None
+                } else {
+                    let id = self.clauses.len();
+                    self.watches[clause[0].index()].push(id);
+                    self.watches[clause[1].index()].push(id);
+                    self.clauses.push(clause);
+                    Some(id)
+                };
+                let ok = self.enqueue(assert_lit, reason);
+                debug_assert!(ok, "asserting literal must be enqueueable after backjump");
+                self.var_inc /= 0.95;
+            } else if conflicts_since_restart >= 64 * u64::from(luby(restart_count)) {
+                restart_count += 1;
+                conflicts_since_restart = 0;
+                self.backtrack(0);
+            } else {
+                match self.decide() {
+                    None => {
+                        // Total assignment, no conflict: a model.
+                        let model =
+                            self.assign.iter().map(|&a| a == 1).collect::<Vec<bool>>();
+                        return SatResult::Sat(model);
+                    }
+                    Some(l) => {
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(l, None);
+                        debug_assert!(ok, "decision variable was unassigned");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Enumerate models of `cnf`, projected onto the first `project`
+    /// variables (the "real" atom variables, as opposed to Tseitin
+    /// auxiliaries). Returns the distinct projected models, up to `limit`,
+    /// together with a flag saying whether enumeration was exhaustive.
+    ///
+    /// Each found model is excluded with a blocking clause over the
+    /// projection and the solver is re-run; complexity is `limit` full
+    /// solves, which is fine at the scales of the semantic oracle.
+    pub fn enumerate(cnf: &Cnf, project: u32, limit: usize) -> (Vec<Vec<bool>>, bool) {
+        assert!(project <= cnf.num_vars(), "projection exceeds variable count");
+        let mut blocked = cnf.clone();
+        let mut models = Vec::new();
+        while models.len() < limit {
+            match Solver::new(&blocked).solve() {
+                SatResult::Unsat => return (models, true),
+                SatResult::Sat(m) => {
+                    let proj: Vec<bool> = m[..project as usize].to_vec();
+                    let blocking: Vec<Lit> = proj
+                        .iter()
+                        .enumerate()
+                        .map(|(v, &b)| {
+                            let v = v as u32;
+                            if b {
+                                Lit::neg(v)
+                            } else {
+                                Lit::pos(v)
+                            }
+                        })
+                        .collect();
+                    blocked.add_clause(&blocking);
+                    models.push(proj);
+                    if project == 0 {
+                        // Projection is trivial; one (empty) model is all
+                        // there is.
+                        return (models, true);
+                    }
+                }
+            }
+        }
+        // Check whether anything is left.
+        let exhausted = matches!(Solver::new(&blocked).solve(), SatResult::Unsat);
+        (models, exhausted)
+    }
+}
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+/// (`luby(0)` is the first element).
+fn luby(i: u32) -> u32 {
+    // Standard recurrence on 1-based index n: if n = 2^k − 1 the value is
+    // 2^(k−1); otherwise recurse on n − (2^(k−1) − 1) where k is maximal
+    // with 2^(k−1) − 1 < n.
+    let mut n = i + 1;
+    loop {
+        // Smallest k with 2^k − 1 >= n.
+        let mut k = 1u32;
+        while (1u32 << k) - 1 < n {
+            k += 1;
+        }
+        if (1u32 << k) - 1 == n {
+            return 1 << (k - 1);
+        }
+        n -= (1u32 << (k - 1)) - 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Cnf;
+
+    fn cnf_of(num_vars: u32, clauses: &[&[i32]]) -> Cnf {
+        // DIMACS-ish: positive k = Lit::pos(k-1), negative = neg.
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(num_vars);
+        for c in clauses {
+            let lits: Vec<Lit> = c
+                .iter()
+                .map(|&k| {
+                    let v = (k.unsigned_abs() - 1) as u32;
+                    if k > 0 {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
+                })
+                .collect();
+            cnf.add_clause(&lits);
+        }
+        cnf
+    }
+
+    fn check_model(cnf: &Cnf, m: &[bool]) {
+        for c in cnf.clauses() {
+            assert!(
+                c.iter().any(|l| if l.is_pos() {
+                    m[l.var() as usize]
+                } else {
+                    !m[l.var() as usize]
+                }),
+                "model violates clause {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let cnf = cnf_of(1, &[]);
+        assert!(Solver::new(&cnf).solve().is_sat());
+        let cnf = cnf_of(1, &[&[1], &[-1]]);
+        assert_eq!(Solver::new(&cnf).solve(), SatResult::Unsat);
+        let mut cnf = Cnf::new();
+        cnf.add_clause(&[]); // empty clause
+        assert_eq!(Solver::new(&cnf).solve(), SatResult::Unsat);
+    }
+
+    #[test]
+    fn simple_sat() {
+        let cnf = cnf_of(3, &[&[1, 2], &[-1, 3], &[-2, -3], &[2, 3]]);
+        match Solver::new(&cnf).solve() {
+            SatResult::Sat(m) => check_model(&cnf, &m),
+            SatResult::Unsat => panic!("satisfiable instance reported unsat"),
+        }
+    }
+
+    #[test]
+    fn chain_of_implications_unsat() {
+        // x1, x1→x2, …, x9→x10, ¬x10
+        let mut clauses: Vec<Vec<i32>> = vec![vec![1]];
+        for i in 1..10 {
+            clauses.push(vec![-i, i + 1]);
+        }
+        clauses.push(vec![-10]);
+        let refs: Vec<&[i32]> = clauses.iter().map(Vec::as_slice).collect();
+        let cnf = cnf_of(10, &refs);
+        assert_eq!(Solver::new(&cnf).solve(), SatResult::Unsat);
+    }
+
+    /// Pigeonhole principle PHP(n+1, n): unsatisfiable, requires real
+    /// conflict analysis to finish quickly.
+    fn pigeonhole(holes: u32) -> Cnf {
+        let pigeons = holes + 1;
+        let mut cnf = Cnf::new();
+        cnf.reserve_vars(pigeons * holes);
+        let v = |p: u32, h: u32| p * holes + h;
+        // Every pigeon in some hole.
+        for p in 0..pigeons {
+            let c: Vec<Lit> = (0..holes).map(|h| Lit::pos(v(p, h))).collect();
+            cnf.add_clause(&c);
+        }
+        // No two pigeons share a hole.
+        for h in 0..holes {
+            for p1 in 0..pigeons {
+                for p2 in (p1 + 1)..pigeons {
+                    cnf.add_clause(&[Lit::neg(v(p1, h)), Lit::neg(v(p2, h))]);
+                }
+            }
+        }
+        cnf
+    }
+
+    #[test]
+    fn pigeonhole_unsat() {
+        for holes in 2..=6 {
+            let cnf = pigeonhole(holes);
+            assert_eq!(Solver::new(&cnf).solve(), SatResult::Unsat, "PHP({holes})");
+        }
+    }
+
+    #[test]
+    fn satisfiable_assignment_verified() {
+        // A slightly larger random-ish satisfiable instance.
+        let cnf = cnf_of(
+            6,
+            &[
+                &[1, -2, 3],
+                &[-1, 2],
+                &[2, 4, -5],
+                &[-3, -4],
+                &[5, 6],
+                &[-6, 1],
+                &[-2, -6, 4],
+            ],
+        );
+        match Solver::new(&cnf).solve() {
+            SatResult::Sat(m) => check_model(&cnf, &m),
+            SatResult::Unsat => panic!("satisfiable instance reported unsat"),
+        }
+    }
+
+    #[test]
+    fn enumerate_all_models() {
+        // x0 ∨ x1 over 2 vars: 3 models.
+        let cnf = cnf_of(2, &[&[1, 2]]);
+        let (models, complete) = Solver::enumerate(&cnf, 2, 10);
+        assert!(complete);
+        assert_eq!(models.len(), 3);
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let cnf = cnf_of(3, &[]); // 8 models
+        let (models, complete) = Solver::enumerate(&cnf, 3, 5);
+        assert_eq!(models.len(), 5);
+        assert!(!complete);
+    }
+
+    #[test]
+    fn enumerate_projected() {
+        // x0 free, x1 forced true: projecting onto x0 gives 2 models.
+        let cnf = cnf_of(2, &[&[2]]);
+        let (models, complete) = Solver::enumerate(&cnf, 1, 10);
+        assert!(complete);
+        assert_eq!(models.len(), 2);
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let got: Vec<u32> = (0..15).map(luby).collect();
+        assert_eq!(got, vec![1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]);
+    }
+}

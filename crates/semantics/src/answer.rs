@@ -1,0 +1,75 @@
+//! The three-valued answer to a query sentence (Definition 2.1).
+
+use std::fmt;
+
+/// The answer to a KFOPCE *sentence* query against a database `Σ`:
+///
+/// * [`Answer::Yes`] — `Σ ⊨ q`;
+/// * [`Answer::No`] — `Σ ⊨ ¬q`;
+/// * [`Answer::Unknown`] — neither.
+///
+/// For *subjective* sentences the `Unknown` case is impossible
+/// (Lemma 5.2): the database always knows what it knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer {
+    /// The query is entailed.
+    Yes,
+    /// The query's negation is entailed.
+    No,
+    /// Neither the query nor its negation is entailed.
+    Unknown,
+}
+
+impl Answer {
+    /// Combine the two entailment checks into an answer.
+    ///
+    /// # Panics
+    /// Panics if both are claimed entailed — that would mean `Σ` is
+    /// unsatisfiable, which callers are expected to rule out first (the
+    /// soundness theorem 5.1 assumes a satisfiable `Σ`).
+    pub fn from_entailments(yes: bool, no: bool) -> Answer {
+        match (yes, no) {
+            (true, true) => {
+                panic!("both q and ~q entailed: the database is unsatisfiable")
+            }
+            (true, false) => Answer::Yes,
+            (false, true) => Answer::No,
+            (false, false) => Answer::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Answer::Yes => write!(f, "yes"),
+            Answer::No => write!(f, "no"),
+            Answer::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination() {
+        assert_eq!(Answer::from_entailments(true, false), Answer::Yes);
+        assert_eq!(Answer::from_entailments(false, true), Answer::No);
+        assert_eq!(Answer::from_entailments(false, false), Answer::Unknown);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsatisfiable")]
+    fn contradiction_panics() {
+        let _ = Answer::from_entailments(true, true);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Answer::Yes.to_string(), "yes");
+        assert_eq!(Answer::No.to_string(), "no");
+        assert_eq!(Answer::Unknown.to_string(), "unknown");
+    }
+}

@@ -1,0 +1,39 @@
+//! # epilog-semantics — model theory for FOPCE and KFOPCE
+//!
+//! This crate implements §2 of the paper directly:
+//!
+//! * a **world** is a set of true atomic sentences; truth of a FOPCE
+//!   sentence in a world is the usual recursion, with quantifiers ranging
+//!   over the parameters and equality fixed by unique names ([`world`]);
+//! * the truth of a KFOPCE sentence is relative to a pair `(W, 𝒮)` of a
+//!   world and a set of worlds; `Kw` is true iff `w` is true in `(S, 𝒮)`
+//!   for every `S ∈ 𝒮` ([`oracle::ModelSet::truth`]);
+//! * `Σ ⊨ q|p̄` (Definition 2.1, the paper's notion of *answer*) holds iff
+//!   `q|p̄` is true in `(W, ℳ(Σ))` for every model `W` of `Σ`
+//!   ([`oracle::ModelSet::certain`]);
+//! * the three-valued [`Answer`] of a query sentence: *yes* when
+//!   `Σ ⊨ q`, *no* when `Σ ⊨ ¬q`, *unknown* otherwise.
+//!
+//! The model set `ℳ(Σ)` is computed by **brute-force enumeration** of all
+//! subsets of a finite Herbrand base — exponential by construction. That is
+//! deliberate: this crate is the *oracle* every soundness property of the
+//! `demo` evaluator is tested against, and the baseline the `e5` bench
+//! figure compares `demo` to. Quantifiers are evaluated over a caller-fixed
+//! finite universe; this approximates FOPCE's countably infinite parameter
+//! domain and is exact for the finite-instances fragments the experiments
+//! use (add spare parameters to the universe to tighten the approximation).
+//!
+//! [`circumscription`] implements the minimal-model semantics and the
+//! generalized closed-world assumption needed for Example 7.2, which shows
+//! that — unlike Reiter's `Closure` — circumscription and the GCWA do
+//! *not* collapse the `K` operator.
+
+pub mod answer;
+pub mod circumscription;
+pub mod oracle;
+pub mod world;
+
+pub use answer::Answer;
+pub use circumscription::{gcwa_negations, minimal_worlds};
+pub use oracle::ModelSet;
+pub use world::holds_in_world;

@@ -1,0 +1,156 @@
+//! Worlds and FOPCE truth.
+//!
+//! A world (§2) is a set of true atomic sentences; we represent one as an
+//! `epilog_storage::Database`. Truth of a FOPCE sentence is the usual
+//! recursion, with two FOPCE-specific points: equality is decided by
+//! parameter identity (unique names), and quantifiers range over a
+//! caller-supplied finite universe approximating the countably infinite
+//! parameter domain.
+
+use epilog_storage::Database;
+use epilog_syntax::formula::{Atom, Formula};
+use epilog_syntax::{Param, Term, Var};
+use std::collections::HashMap;
+
+/// Truth of a FOPCE sentence in a world, quantifiers ranging over
+/// `universe`.
+///
+/// # Panics
+/// Panics on modal formulas (use [`crate::ModelSet::truth`]) and on free
+/// variables.
+pub fn holds_in_world(w: &Formula, world: &Database, universe: &[Param]) -> bool {
+    holds_env(w, world, universe, &mut HashMap::new())
+}
+
+pub(crate) fn holds_env(
+    w: &Formula,
+    world: &Database,
+    universe: &[Param],
+    env: &mut HashMap<Var, Param>,
+) -> bool {
+    match w {
+        Formula::Atom(a) => world.contains(&ground(a, env)),
+        Formula::Eq(a, b) => deref(a, env) == deref(b, env),
+        Formula::Not(x) => !holds_env(x, world, universe, env),
+        Formula::And(a, b) => {
+            holds_env(a, world, universe, env) && holds_env(b, world, universe, env)
+        }
+        Formula::Or(a, b) => {
+            holds_env(a, world, universe, env) || holds_env(b, world, universe, env)
+        }
+        Formula::Implies(a, b) => {
+            !holds_env(a, world, universe, env) || holds_env(b, world, universe, env)
+        }
+        Formula::Iff(a, b) => {
+            holds_env(a, world, universe, env) == holds_env(b, world, universe, env)
+        }
+        Formula::Forall(x, body) => {
+            let shadow = env.get(x).copied();
+            let ok = universe.iter().all(|p| {
+                env.insert(*x, *p);
+                holds_env(body, world, universe, env)
+            });
+            restore(env, *x, shadow);
+            ok
+        }
+        Formula::Exists(x, body) => {
+            let shadow = env.get(x).copied();
+            let ok = universe.iter().any(|p| {
+                env.insert(*x, *p);
+                holds_env(body, world, universe, env)
+            });
+            restore(env, *x, shadow);
+            ok
+        }
+        Formula::Know(_) => panic!("holds_in_world is FOPCE-only; use ModelSet::truth"),
+    }
+}
+
+pub(crate) fn ground(a: &Atom, env: &HashMap<Var, Param>) -> Atom {
+    let terms: Vec<Term> = a
+        .terms
+        .iter()
+        .map(|t| Term::Param(deref(t, env)))
+        .collect();
+    Atom::new(a.pred, terms)
+}
+
+fn deref(t: &Term, env: &HashMap<Var, Param>) -> Param {
+    match t {
+        Term::Param(p) => *p,
+        Term::Var(v) => *env
+            .get(v)
+            .unwrap_or_else(|| panic!("unbound variable {v} in truth evaluation")),
+    }
+}
+
+fn restore(env: &mut HashMap<Var, Param>, x: Var, shadow: Option<Param>) {
+    match shadow {
+        Some(p) => {
+            env.insert(x, p);
+        }
+        None => {
+            env.remove(&x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::parse;
+
+    fn world(atoms: &[&str]) -> Database {
+        atoms
+            .iter()
+            .map(|s| match parse(s).unwrap() {
+                Formula::Atom(a) => a,
+                other => panic!("not an atom: {other}"),
+            })
+            .collect()
+    }
+
+    fn u(names: &[&str]) -> Vec<Param> {
+        names.iter().map(|n| Param::new(n)).collect()
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let w = world(&["p(a)", "q(b)"]);
+        let universe = u(&["a", "b"]);
+        assert!(holds_in_world(&parse("p(a)").unwrap(), &w, &universe));
+        assert!(!holds_in_world(&parse("p(b)").unwrap(), &w, &universe));
+        assert!(holds_in_world(&parse("p(a) & q(b)").unwrap(), &w, &universe));
+        assert!(holds_in_world(&parse("p(b) | q(b)").unwrap(), &w, &universe));
+        assert!(holds_in_world(&parse("p(b) -> q(a)").unwrap(), &w, &universe));
+        assert!(holds_in_world(&parse("~p(b)").unwrap(), &w, &universe));
+    }
+
+    #[test]
+    fn quantifiers_over_universe() {
+        let w = world(&["p(a)", "p(b)"]);
+        assert!(holds_in_world(&parse("forall x. p(x)").unwrap(), &w, &u(&["a", "b"])));
+        assert!(!holds_in_world(
+            &parse("forall x. p(x)").unwrap(),
+            &w,
+            &u(&["a", "b", "c"])
+        ));
+        assert!(holds_in_world(&parse("exists x. p(x)").unwrap(), &w, &u(&["a", "b", "c"])));
+    }
+
+    #[test]
+    fn equality_unique_names() {
+        let w = world(&[]);
+        let universe = u(&["a", "b"]);
+        assert!(holds_in_world(&parse("a = a").unwrap(), &w, &universe));
+        assert!(!holds_in_world(&parse("a = b").unwrap(), &w, &universe));
+        assert!(holds_in_world(&parse("exists x. x != a").unwrap(), &w, &universe));
+    }
+
+    #[test]
+    #[should_panic(expected = "FOPCE-only")]
+    fn modal_rejected() {
+        let w = world(&[]);
+        holds_in_world(&parse("K p").unwrap(), &w, &[]);
+    }
+}

@@ -1,0 +1,210 @@
+//! A database: a catalog of relations keyed by predicate.
+
+use crate::relation::{Relation, Selection};
+use crate::Tuple;
+use epilog_syntax::formula::Atom;
+use epilog_syntax::{Param, Pred, Term};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of ground atoms organised as one [`Relation`] per predicate.
+///
+/// This is simultaneously the storage behind the Datalog engine's
+/// extensional/intensional databases and the representation of a *world*
+/// (a set of true atomic sentences, §2 of the paper) in `epilog-semantics`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Database {
+    relations: BTreeMap<Pred, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert a ground atom; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the atom is not ground.
+    pub fn insert(&mut self, atom: &Atom) -> bool {
+        let t = atom.param_tuple().expect("Database::insert requires a ground atom");
+        self.relations
+            .entry(atom.pred)
+            .or_insert_with(|| Relation::new(atom.pred.arity()))
+            .insert(t)
+    }
+
+    /// Insert a tuple directly under a predicate.
+    pub fn insert_tuple(&mut self, pred: Pred, t: Tuple) -> bool {
+        self.relations.entry(pred).or_insert_with(|| Relation::new(pred.arity())).insert(t)
+    }
+
+    /// Remove a ground atom; returns `true` if it was present.
+    pub fn remove(&mut self, atom: &Atom) -> bool {
+        let t = atom.param_tuple().expect("Database::remove requires a ground atom");
+        self.relations.get_mut(&atom.pred).is_some_and(|r| r.remove(&t))
+    }
+
+    /// Whether a ground atom is present.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        match atom.param_tuple() {
+            Some(t) => self.relations.get(&atom.pred).is_some_and(|r| r.contains(&t)),
+            None => false,
+        }
+    }
+
+    /// The relation stored under `pred`, if any.
+    pub fn relation(&self, pred: Pred) -> Option<&Relation> {
+        self.relations.get(&pred)
+    }
+
+    /// Mutable access, creating an empty relation if absent.
+    pub fn relation_mut(&mut self, pred: Pred) -> &mut Relation {
+        self.relations.entry(pred).or_insert_with(|| Relation::new(pred.arity()))
+    }
+
+    /// The predicates with at least one stored relation (possibly empty).
+    pub fn preds(&self) -> Vec<Pred> {
+        self.relations.keys().copied().collect()
+    }
+
+    /// Total number of stored atoms.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Whether no atoms are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over all stored atoms in deterministic order.
+    pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.relations.iter().flat_map(|(pred, rel)| {
+            rel.iter().map(move |t| {
+                Atom::new(*pred, t.iter().map(|p| Term::Param(*p)).collect())
+            })
+        })
+    }
+
+    /// All tuples of `pred` matching a partial binding pattern (no-index
+    /// scan; the engine layers keep their own mutable handles when indexed
+    /// selection matters).
+    pub fn select(&self, pred: Pred, pattern: &Selection) -> Vec<Tuple> {
+        self.relations.get(&pred).map(|r| r.select_scan(pattern)).unwrap_or_default()
+    }
+
+    /// Every parameter stored anywhere.
+    pub fn params(&self) -> BTreeSet<Param> {
+        self.relations.values().flat_map(Relation::params).collect()
+    }
+
+    /// Set-union with another database; returns the number of new atoms.
+    pub fn union_with(&mut self, other: &Database) -> usize {
+        let mut added = 0;
+        for (pred, rel) in &other.relations {
+            added += self
+                .relations
+                .entry(*pred)
+                .or_insert_with(|| Relation::new(rel.arity()))
+                .union_with(rel);
+        }
+        added
+    }
+
+    /// Whether `self ⊆ other` as sets of atoms.
+    pub fn subset_of(&self, other: &Database) -> bool {
+        self.relations.iter().all(|(pred, rel)| {
+            rel.iter().all(|t| {
+                other.relations.get(pred).is_some_and(|o| o.contains(t))
+            })
+        })
+    }
+}
+
+impl FromIterator<Atom> for Database {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        let mut db = Database::new();
+        for a in iter {
+            db.insert(&a);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::parse;
+
+    fn ga(src: &str) -> Atom {
+        match parse(src).unwrap() {
+            epilog_syntax::Formula::Atom(a) => a,
+            other => panic!("not an atom: {other}"),
+        }
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut db = Database::new();
+        assert!(db.insert(&ga("Teach(John, Math)")));
+        assert!(!db.insert(&ga("Teach(John, Math)")));
+        assert!(db.contains(&ga("Teach(John, Math)")));
+        assert!(!db.contains(&ga("Teach(John, CS)")));
+        assert!(db.remove(&ga("Teach(John, Math)")));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn atoms_round_trip() {
+        let mut db = Database::new();
+        db.insert(&ga("p(a)"));
+        db.insert(&ga("q(a, b)"));
+        db.insert(&ga("r"));
+        let all: Vec<Atom> = db.atoms().collect();
+        assert_eq!(all.len(), 3);
+        let db2: Database = all.into_iter().collect();
+        assert_eq!(db, db2);
+    }
+
+    #[test]
+    fn select_by_pattern() {
+        let mut db = Database::new();
+        db.insert(&ga("e(a, b)"));
+        db.insert(&ga("e(a, c)"));
+        db.insert(&ga("e(b, c)"));
+        let pred = Pred::new("e", 2);
+        let from_a = db.select(pred, &vec![Some(Param::new("a")), None]);
+        assert_eq!(from_a.len(), 2);
+        let none = db.select(Pred::new("missing", 1), &vec![None]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let mut small = Database::new();
+        small.insert(&ga("p(a)"));
+        let mut big = small.clone();
+        big.insert(&ga("p(b)"));
+        assert!(small.subset_of(&big));
+        assert!(!big.subset_of(&small));
+        assert_eq!(small.union_with(&big), 1);
+        assert!(big.subset_of(&small));
+    }
+
+    #[test]
+    fn params_across_relations() {
+        let mut db = Database::new();
+        db.insert(&ga("p(a)"));
+        db.insert(&ga("q(b, c)"));
+        assert_eq!(db.params().len(), 3);
+    }
+
+    #[test]
+    fn zero_ary_atoms() {
+        let mut db = Database::new();
+        assert!(db.insert(&ga("raining")));
+        assert!(db.contains(&ga("raining")));
+        assert_eq!(db.len(), 1);
+    }
+}

@@ -1,0 +1,26 @@
+//! # epilog-storage — relational substrate
+//!
+//! A small in-memory relational store used by every layer above it:
+//!
+//! * the Datalog engine stores its extensional and intensional relations
+//!   here ([`Relation`], [`Database`]);
+//! * the grounder of `epilog-prover` uses [`Relation`] iteration and the
+//!   per-column indexes to enumerate candidate bindings;
+//! * the possible-world structures of `epilog-semantics` are thin wrappers
+//!   over [`Database`] snapshots.
+//!
+//! Tuples are fixed-arity vectors of [`Param`]s (the function-free FOPCE
+//! fragment has no other ground terms). Relations maintain hash indexes per
+//! column, built lazily on first use, so selection with any partial binding
+//! pattern is sub-linear after warm-up.
+
+pub mod database;
+pub mod relation;
+
+pub use database::Database;
+pub use relation::{Relation, Selection};
+
+use epilog_syntax::Param;
+
+/// A stored tuple: a fixed-arity vector of parameters.
+pub type Tuple = Vec<Param>;

@@ -1,0 +1,275 @@
+//! Relations: ordered sets of fixed-arity tuples with lazy hash indexes.
+
+use crate::Tuple;
+use epilog_syntax::Param;
+use std::collections::{BTreeSet, HashMap};
+
+/// A selection pattern: per column, either a required parameter or a
+/// wildcard.
+pub type Selection = Vec<Option<Param>>;
+
+/// A relation instance: a set of tuples of a fixed arity.
+///
+/// Tuples are kept in a `BTreeSet` for deterministic iteration (important
+/// for the reproducibility of every experiment), with per-column hash
+/// indexes built lazily the first time a column is used for selection and
+/// invalidated on mutation.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: BTreeSet<Tuple>,
+    /// `indexes[c]` maps a parameter to the tuples whose column `c` holds
+    /// it. Rebuilt lazily; `None` when stale or never built.
+    indexes: Vec<Option<HashMap<Param, Vec<Tuple>>>>,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation { arity, tuples: BTreeSet::new(), indexes: vec![None; arity] }
+    }
+
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple's length differs from the relation's arity.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(t.len(), self.arity, "tuple arity mismatch");
+        let fresh = self.tuples.insert(t);
+        if fresh {
+            self.invalidate();
+        }
+        fresh
+    }
+
+    /// Remove a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        let removed = self.tuples.remove(t);
+        if removed {
+            self.invalidate();
+        }
+        removed
+    }
+
+    /// Whether the exact tuple is present.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.tuples.contains(t)
+    }
+
+    /// Iterate over all tuples in deterministic (lexicographic) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// All tuples matching a partial binding pattern, in deterministic
+    /// order.
+    ///
+    /// Uses the index of the first bound column when one exists (building
+    /// it if needed), then filters residually; with no bound column this is
+    /// a full scan.
+    pub fn select(&mut self, pattern: &Selection) -> Vec<Tuple> {
+        assert_eq!(pattern.len(), self.arity, "selection arity mismatch");
+        let first_bound = pattern.iter().position(Option::is_some);
+        match first_bound {
+            None => self.tuples.iter().cloned().collect(),
+            Some(c) => {
+                self.build_index(c);
+                let key = pattern[c].expect("position() found a bound column");
+                let index = self.indexes[c].as_ref().expect("just built");
+                let candidates = index.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                candidates
+                    .iter()
+                    .filter(|t| Self::matches(t, pattern))
+                    .cloned()
+                    .collect()
+            }
+        }
+    }
+
+    /// Read-only variant of [`Relation::select`]: no index is built, the
+    /// scan is residual. Useful when the relation is shared immutably.
+    pub fn select_scan(&self, pattern: &Selection) -> Vec<Tuple> {
+        assert_eq!(pattern.len(), self.arity, "selection arity mismatch");
+        self.tuples.iter().filter(|t| Self::matches(t, pattern)).cloned().collect()
+    }
+
+    fn matches(t: &Tuple, pattern: &Selection) -> bool {
+        t.iter().zip(pattern).all(|(v, p)| p.map_or(true, |q| q == *v))
+    }
+
+    fn build_index(&mut self, c: usize) {
+        if self.indexes[c].is_some() {
+            return;
+        }
+        let mut idx: HashMap<Param, Vec<Tuple>> = HashMap::new();
+        for t in &self.tuples {
+            idx.entry(t[c]).or_default().push(t.clone());
+        }
+        self.indexes[c] = Some(idx);
+    }
+
+    fn invalidate(&mut self) {
+        for i in &mut self.indexes {
+            *i = None;
+        }
+    }
+
+    /// Set-union with another relation of the same arity; returns the
+    /// number of new tuples.
+    pub fn union_with(&mut self, other: &Relation) -> usize {
+        assert_eq!(self.arity, other.arity, "relation arity mismatch");
+        let before = self.len();
+        for t in other.iter() {
+            self.tuples.insert(t.clone());
+        }
+        if self.len() != before {
+            self.invalidate();
+        }
+        self.len() - before
+    }
+
+    /// The set of parameters appearing anywhere in the relation.
+    pub fn params(&self) -> BTreeSet<Param> {
+        self.tuples.iter().flatten().copied().collect()
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
+
+impl FromIterator<Tuple> for Relation {
+    /// Build a relation from tuples; the arity is taken from the first
+    /// tuple (empty input yields a 0-ary relation).
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let arity = it.peek().map(Vec::len).unwrap_or(0);
+        let mut r = Relation::new(arity);
+        for t in it {
+            r.insert(t);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: &str) -> Param {
+        Param::new(n)
+    }
+
+    fn rel() -> Relation {
+        let mut r = Relation::new(2);
+        r.insert(vec![p("a"), p("b")]);
+        r.insert(vec![p("a"), p("c")]);
+        r.insert(vec![p("d"), p("b")]);
+        r
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut r = rel();
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&vec![p("a"), p("b")]));
+        assert!(!r.insert(vec![p("a"), p("b")]), "duplicate insert returns false");
+        assert_eq!(r.len(), 3);
+        assert!(r.remove(&vec![p("a"), p("b")]));
+        assert!(!r.contains(&vec![p("a"), p("b")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_enforced() {
+        let mut r = Relation::new(2);
+        r.insert(vec![p("a")]);
+    }
+
+    #[test]
+    fn select_with_index() {
+        let mut r = rel();
+        let got = r.select(&vec![Some(p("a")), None]);
+        assert_eq!(got.len(), 2);
+        let got = r.select(&vec![None, Some(p("b"))]);
+        assert_eq!(got.len(), 2);
+        let got = r.select(&vec![Some(p("a")), Some(p("c"))]);
+        assert_eq!(got, vec![vec![p("a"), p("c")]]);
+        let got = r.select(&vec![None, None]);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn select_scan_matches_select() {
+        let mut r = rel();
+        for pattern in [
+            vec![Some(p("a")), None],
+            vec![None, Some(p("b"))],
+            vec![None, None],
+            vec![Some(p("zz")), None],
+        ] {
+            assert_eq!(r.select(&pattern), r.select_scan(&pattern));
+        }
+    }
+
+    #[test]
+    fn index_invalidated_on_mutation() {
+        let mut r = rel();
+        let _ = r.select(&vec![Some(p("a")), None]); // build index
+        r.insert(vec![p("a"), p("z")]);
+        let got = r.select(&vec![Some(p("a")), None]);
+        assert_eq!(got.len(), 3, "index must see the new tuple");
+    }
+
+    #[test]
+    fn union_counts_new() {
+        let mut r = rel();
+        let mut other = Relation::new(2);
+        other.insert(vec![p("a"), p("b")]); // dup
+        other.insert(vec![p("x"), p("y")]); // new
+        assert_eq!(r.union_with(&other), 1);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn params_collected() {
+        let r = rel();
+        let names: Vec<String> = r.params().iter().map(|q| q.name()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn deterministic_iteration() {
+        let r = rel();
+        let order1: Vec<Tuple> = r.iter().cloned().collect();
+        let r2 = rel();
+        let order2: Vec<Tuple> = r2.iter().cloned().collect();
+        assert_eq!(order1, order2);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let r: Relation = vec![vec![p("a")], vec![p("b")]].into_iter().collect();
+        assert_eq!(r.arity(), 1);
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,51 @@
+//! # epilog-syntax — the languages FOPCE and KFOPCE
+//!
+//! This crate implements the syntax of Levesque's logics **FOPCE**
+//! (First-Order Predicate Calculus with Equality, over *parameters*) and
+//! **KFOPCE** (FOPCE plus a single epistemic modal operator `K`), exactly as
+//! used by Reiter in *"What Should a Database Know?"* (J. Logic Programming
+//! 14:127–153, 1992).
+//!
+//! The language has:
+//!
+//! * **predicate symbols** of fixed arity ([`Pred`]),
+//! * a countably infinite set of **variables** ([`Var`]),
+//! * a countably infinite set of **parameters** ([`Param`]) — pairwise
+//!   distinct constants that jointly form the single universal domain of
+//!   discourse (there are no function symbols in this fragment; see the
+//!   paper's footnote 1),
+//! * equality `t₁ = t₂`, the connectives `¬ ∧ ∨ ⊃ ≡`, the quantifiers
+//!   `∀ ∃`, and the modal operator `K` ("the database knows").
+//!
+//! Besides the AST ([`Formula`]) the crate provides:
+//!
+//! * a parser ([`parse()`](parse::parse)) and precedence-aware pretty-printer,
+//! * substitution and free-variable machinery,
+//! * every syntactic class the paper defines: *first-order*, *modal*,
+//!   *subjective* (Def. 5.2), *safe* (Def. 5.1), *admissible* (Def. 5.3),
+//!   *K₁*, *normal queries* (§5.2), *positive existential* formulas, *rules*
+//!   and *elementary theories* (Def. 6.3), *disjunctively linked variables*
+//!   (Def. 6.4) — see [`classify`],
+//! * the transforms of the paper: the modalizing map `ℛ(w)` of Def. 7.1,
+//!   the admissible rewriting of integrity constraints of Example 5.4, and
+//!   K45 modal flattening — see [`transform`].
+
+pub mod classify;
+pub mod formula;
+pub mod parse;
+pub mod symbols;
+pub mod term;
+pub mod theory;
+pub mod transform;
+
+pub use classify::{
+    admissibility, disjunctively_linked, is_admissible, is_elementary_sentence, is_first_order,
+    is_k1, is_modal, is_normal_query, is_positive_existential, is_rule, is_safe, is_subjective,
+    Admissibility, UnsafeReason,
+};
+pub use formula::{Atom, Formula};
+pub use parse::{parse, parse_theory, ParseError};
+pub use symbols::{Param, Pred, Var};
+pub use term::Term;
+pub use theory::Theory;
+pub use transform::{admissible_constraint, flatten_k45, modalize, nnf, strip_k};

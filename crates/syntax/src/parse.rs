@@ -1,0 +1,513 @@
+//! A parser for KFOPCE formulas in a readable ASCII syntax.
+//!
+//! # Grammar
+//!
+//! ```text
+//! formula  := iff
+//! iff      := implies ( "<->" implies )*
+//! implies  := or ( "->" implies )?            (right associative)
+//! or       := and ( "|" and )*
+//! and      := unary ( "&" unary )*
+//! unary    := "~" unary | "K" unary
+//!           | ("forall" | "all") var+ "." formula
+//!           | ("exists" | "some") var+ "." formula
+//!           | atom | "(" formula ")"
+//! atom     := ident ( "(" term ("," term)* ")" )?      — predicate
+//!           | term "=" term | term "!=" term
+//! term     := ident
+//! ```
+//!
+//! # Variables vs. parameters
+//!
+//! Following the paper's notational conventions, an identifier in term
+//! position is a **variable** iff it is one of `u v w x y z` optionally
+//! followed by digits (e.g. `x`, `y1`), or it is bound by an enclosing
+//! quantifier; every other identifier denotes a **parameter** (`John`,
+//! `Math`, `a`, `p1`, …). An identifier in predicate-application or bare
+//! formula position is a predicate symbol.
+
+use crate::formula::{Atom, Formula};
+use crate::symbols::{Param, Pred, Var};
+use crate::term::Term;
+use std::fmt;
+
+/// Error produced when parsing fails, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the source text where the error was noticed.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Not,
+    And,
+    Or,
+    Implies,
+    Iff,
+    Eq,
+    Neq,
+}
+
+struct Lexer {
+    pos: usize,
+    toks: Vec<(Tok, usize)>,
+}
+
+impl Lexer {
+    fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut l = Lexer { pos: 0, toks: Vec::new() };
+        let bytes = src.as_bytes();
+        while l.pos < bytes.len() {
+            let c = bytes[l.pos] as char;
+            let start = l.pos;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => {
+                    l.pos += 1;
+                }
+                '(' => l.push(Tok::LParen, 1, start),
+                ')' => l.push(Tok::RParen, 1, start),
+                ',' => l.push(Tok::Comma, 1, start),
+                '.' => l.push(Tok::Dot, 1, start),
+                '~' => l.push(Tok::Not, 1, start),
+                '&' => l.push(Tok::And, 1, start),
+                '|' => l.push(Tok::Or, 1, start),
+                '=' => l.push(Tok::Eq, 1, start),
+                '!' => {
+                    if bytes.get(l.pos + 1) == Some(&b'=') {
+                        l.push(Tok::Neq, 2, start);
+                    } else {
+                        l.push(Tok::Not, 1, start);
+                    }
+                }
+                '-' => {
+                    if bytes.get(l.pos + 1) == Some(&b'>') {
+                        l.push(Tok::Implies, 2, start);
+                    } else {
+                        return Err(ParseError {
+                            message: format!("unexpected character '{c}'"),
+                            offset: start,
+                        });
+                    }
+                }
+                '<' => {
+                    if src[l.pos..].starts_with("<->") {
+                        l.push(Tok::Iff, 3, start);
+                    } else {
+                        return Err(ParseError {
+                            message: format!("unexpected character '{c}'"),
+                            offset: start,
+                        });
+                    }
+                }
+                _ if c.is_ascii_alphabetic() || c == '_' => {
+                    let mut end = l.pos;
+                    while end < bytes.len() {
+                        let ch = bytes[end] as char;
+                        if ch.is_ascii_alphanumeric() || ch == '_' || ch == '\'' || ch == '#' {
+                            end += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    let word = &src[l.pos..end];
+                    l.toks.push((Tok::Ident(word.to_owned()), start));
+                    l.pos = end;
+                }
+                _ => {
+                    return Err(ParseError {
+                        message: format!("unexpected character '{c}'"),
+                        offset: start,
+                    })
+                }
+            }
+        }
+        Ok(l.toks)
+    }
+
+    fn push(&mut self, t: Tok, len: usize, at: usize) {
+        self.toks.push((t, at));
+        self.pos += len;
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    i: usize,
+    bound: Vec<String>,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.i).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.i).map(|(_, o)| *o).unwrap_or(self.end)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.i).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(t) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { message, offset: self.offset() }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.implies()?;
+        while self.peek() == Some(&Tok::Iff) {
+            self.i += 1;
+            let rhs = self.implies()?;
+            lhs = Formula::iff(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if self.peek() == Some(&Tok::Implies) {
+            self.i += 1;
+            let rhs = self.implies()?;
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.and()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.i += 1;
+            let rhs = self.and()?;
+            lhs = Formula::or(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut lhs = self.unary()?;
+        while self.peek() == Some(&Tok::And) {
+            self.i += 1;
+            let rhs = self.unary()?;
+            lhs = Formula::and(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.i += 1;
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::LParen) => {
+                self.i += 1;
+                let w = self.formula()?;
+                self.expect(&Tok::RParen, "')'")?;
+                // Allow a parenthesised formula to be the left side of an
+                // equality? Terms are identifiers only, so no.
+                Ok(w)
+            }
+            Some(Tok::Ident(word)) => {
+                let word = word.clone();
+                match word.as_str() {
+                    "K" => {
+                        self.i += 1;
+                        Ok(Formula::know(self.unary()?))
+                    }
+                    "forall" | "all" => {
+                        self.i += 1;
+                        self.quantifier(true)
+                    }
+                    "exists" | "some" => {
+                        self.i += 1;
+                        self.quantifier(false)
+                    }
+                    _ => self.atom_or_eq(),
+                }
+            }
+            _ => Err(self.err("expected a formula".into())),
+        }
+    }
+
+    fn quantifier(&mut self, forall: bool) -> Result<Formula, ParseError> {
+        let mut vars = Vec::new();
+        loop {
+            match self.bump() {
+                Some(Tok::Ident(name)) => vars.push(name),
+                Some(Tok::Comma) => continue,
+                Some(Tok::Dot) => break,
+                _ => return Err(self.err("expected variable list ending in '.'".into())),
+            }
+        }
+        if vars.is_empty() {
+            return Err(self.err("quantifier binds no variables".into()));
+        }
+        for v in &vars {
+            self.bound.push(v.clone());
+        }
+        let body = self.formula()?;
+        for _ in &vars {
+            self.bound.pop();
+        }
+        let mut w = body;
+        for name in vars.into_iter().rev() {
+            let v = Var::new(&name);
+            w = if forall { Formula::forall(v, w) } else { Formula::exists(v, w) };
+        }
+        Ok(w)
+    }
+
+    /// An identifier in term position denotes a variable iff it is bound by
+    /// an enclosing quantifier or follows the u/v/w/x/y/z convention.
+    fn term_of(&self, name: &str) -> Term {
+        if self.bound.iter().any(|b| b == name) || is_conventional_var(name) {
+            Term::Var(Var::new(name))
+        } else {
+            Term::Param(Param::new(name))
+        }
+    }
+
+    fn atom_or_eq(&mut self) -> Result<Formula, ParseError> {
+        let name = match self.bump() {
+            Some(Tok::Ident(n)) => n,
+            _ => return Err(self.err("expected identifier".into())),
+        };
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.i += 1;
+                let mut terms = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Tok::Ident(t)) => terms.push(self.term_of(&t)),
+                        _ => return Err(self.err("expected term".into())),
+                    }
+                    match self.bump() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RParen) => break,
+                        _ => return Err(self.err("expected ',' or ')'".into())),
+                    }
+                }
+                let pred = Pred::new(&name, terms.len());
+                Ok(Formula::Atom(Atom::new(pred, terms)))
+            }
+            Some(Tok::Eq) => {
+                self.i += 1;
+                let lhs = self.term_of(&name);
+                let rhs = match self.bump() {
+                    Some(Tok::Ident(t)) => self.term_of(&t),
+                    _ => return Err(self.err("expected term after '='".into())),
+                };
+                Ok(Formula::Eq(lhs, rhs))
+            }
+            Some(Tok::Neq) => {
+                self.i += 1;
+                let lhs = self.term_of(&name);
+                let rhs = match self.bump() {
+                    Some(Tok::Ident(t)) => self.term_of(&t),
+                    _ => return Err(self.err("expected term after '!='".into())),
+                };
+                Ok(Formula::not(Formula::Eq(lhs, rhs)))
+            }
+            _ => {
+                // Bare identifier in formula position: a proposition.
+                Ok(Formula::Atom(Atom::new(Pred::new(&name, 0), vec![])))
+            }
+        }
+    }
+}
+
+/// Whether an identifier follows the paper's variable-naming convention:
+/// one of `u v w x y z` followed only by digits.
+fn is_conventional_var(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some('u' | 'v' | 'w' | 'x' | 'y' | 'z') => chars.all(|c| c.is_ascii_digit()),
+        _ => false,
+    }
+}
+
+/// Parse a single KFOPCE formula from text.
+///
+/// ```
+/// use epilog_syntax::parse;
+/// let w = parse("exists x. K Teach(John, x)").unwrap();
+/// assert_eq!(w.to_string(), "exists x. K Teach(John, x)");
+/// ```
+pub fn parse(src: &str) -> Result<Formula, ParseError> {
+    let toks = Lexer::lex(src)?;
+    let mut p = Parser { toks, i: 0, bound: Vec::new(), end: src.len() };
+    let w = p.formula()?;
+    if p.i != p.toks.len() {
+        return Err(p.err("trailing input after formula".into()));
+    }
+    Ok(w)
+}
+
+/// Parse a theory: formulas separated by `;` or newlines. Everything from
+/// `%` or `//` to the end of a line is a comment. Every formula must be a
+/// sentence.
+pub fn parse_theory(src: &str) -> Result<Vec<Formula>, ParseError> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    for raw_chunk in src.split(|c| c == ';' || c == '\n') {
+        let uncommented = raw_chunk
+            .split('%')
+            .next()
+            .and_then(|s| s.split("//").next())
+            .unwrap_or("");
+        let chunk = uncommented.trim();
+        if !chunk.is_empty() {
+            let w = parse(chunk).map_err(|e| ParseError {
+                message: e.message,
+                offset: offset + e.offset,
+            })?;
+            out.push(w);
+        }
+        offset += raw_chunk.len() + 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> String {
+        parse(src).unwrap().to_string()
+    }
+
+    #[test]
+    fn paper_section1_queries_parse() {
+        // All queries from §1, in our ASCII syntax.
+        for q in [
+            "Teach(Mary, CS)",
+            "K Teach(Mary, CS)",
+            "K ~Teach(Mary, CS)",
+            "exists x. K Teach(John, x)",
+            "exists x. K Teach(x, CS)",
+            "K (exists x. Teach(x, CS))",
+            "exists x. Teach(x, Psych)",
+            "exists x. Teach(x, Psych) & ~Teach(x, CS)",
+            "exists x. Teach(x, Psych) & ~K Teach(x, CS)",
+            "K p | K ~p",
+        ] {
+            parse(q).unwrap_or_else(|e| panic!("failed to parse {q:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn precedence_and_associativity() {
+        assert_eq!(roundtrip("p & q | r"), "p & q | r");
+        assert_eq!(roundtrip("p | q & r"), "p | q & r");
+        assert_eq!(roundtrip("(p | q) & r"), "(p | q) & r");
+        assert_eq!(roundtrip("p -> q -> r"), "p -> q -> r");
+        assert_eq!(roundtrip("~p & q"), "~p & q");
+        assert_eq!(roundtrip("~(p & q)"), "~(p & q)");
+    }
+
+    #[test]
+    fn variables_vs_parameters() {
+        let w = parse("Teach(x, CS)").unwrap();
+        assert_eq!(w.free_vars().len(), 1);
+        assert_eq!(w.params().len(), 1);
+
+        // `a` is a parameter by convention even unbound...
+        let w2 = parse("P(a, b) | Q(a, c)").unwrap();
+        assert!(w2.free_vars().is_empty());
+        assert_eq!(w2.params().len(), 3);
+
+        // ...but bound occurrences are variables regardless of name.
+        let w3 = parse("exists a. P(a, b)").unwrap();
+        assert!(w3.free_vars().is_empty());
+        assert_eq!(w3.params(), vec![Param::new("b")]);
+    }
+
+    #[test]
+    fn multi_variable_quantifier() {
+        let w = parse("forall x, y. K mother(x, y) -> K person(y)").unwrap();
+        assert!(w.is_sentence());
+        assert_eq!(w.quantified_vars().len(), 2);
+    }
+
+    #[test]
+    fn quantifier_scope_extends_right() {
+        let w = parse("exists x. p(x) & q(x)").unwrap();
+        assert!(w.is_sentence(), "body of the quantifier is the whole conjunction");
+    }
+
+    #[test]
+    fn equality_and_inequality() {
+        let w = parse("x = y").unwrap();
+        assert_eq!(w.free_vars().len(), 2);
+        let w2 = parse("p1 != p2").unwrap();
+        assert_eq!(w2.to_string(), "p1 != p2");
+        assert!(matches!(w2, Formula::Not(_)));
+    }
+
+    #[test]
+    fn know_binds_tightly() {
+        let w = parse("K p & q").unwrap();
+        assert_eq!(w.to_string(), "K p & q");
+        assert!(matches!(w, Formula::And(..)));
+        let w2 = parse("K (p & q)").unwrap();
+        assert!(matches!(w2, Formula::Know(_)));
+    }
+
+    #[test]
+    fn parse_theory_with_comments() {
+        let t = parse_theory(
+            "% the Teach database\nTeach(John, Math)\nexists x. Teach(x, CS);\nTeach(Mary, Psych) | Teach(Sue, Psych)",
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn errors_have_offsets() {
+        let e = parse("p &").unwrap_err();
+        assert!(e.offset >= 2, "offset {} should be at/after '&'", e.offset);
+        assert!(parse("p q").is_err());
+        assert!(parse("(p").is_err());
+        assert!(parse("exists . p").is_err());
+    }
+
+    #[test]
+    fn conventional_variable_names() {
+        assert!(is_conventional_var("x"));
+        assert!(is_conventional_var("y12"));
+        assert!(!is_conventional_var("xy"));
+        assert!(!is_conventional_var("John"));
+        assert!(!is_conventional_var("a"));
+    }
+}

@@ -1,0 +1,313 @@
+//! First-order theories: the databases of the paper.
+//!
+//! A database is specified by a set of FOPCE *sentences* (§2). [`Theory`]
+//! enforces sentencehood and first-orderness at construction, and exposes
+//! the structural views the rest of the system needs: the active domain
+//! (mentioned parameters), the mentioned predicates, and — for elementary
+//! theories (Definition 6.3) — the decomposition into positive existential
+//! facts and rules.
+
+use crate::classify::{decompose_rule, is_elementary_sentence, is_first_order};
+use crate::formula::{Atom, Formula};
+use crate::parse::{parse_theory, ParseError};
+use crate::symbols::{Param, Pred, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Error raised when constructing a [`Theory`] from formulas that are not
+/// first-order sentences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TheoryError {
+    /// The formula contains the modal operator `K`; databases are
+    /// first-order (truths about the *world* go in the database, truths
+    /// about the *database* are integrity constraints — §3).
+    NotFirstOrder(String),
+    /// The formula has free variables.
+    NotSentence(String),
+    /// Parse failure when building from text.
+    Parse(ParseError),
+}
+
+impl fmt::Display for TheoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TheoryError::NotFirstOrder(s) => {
+                write!(f, "`{s}` mentions K; only FOPCE sentences may enter a database")
+            }
+            TheoryError::NotSentence(s) => write!(f, "`{s}` has free variables"),
+            TheoryError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TheoryError {}
+
+impl From<ParseError> for TheoryError {
+    fn from(e: ParseError) -> Self {
+        TheoryError::Parse(e)
+    }
+}
+
+/// A structured view of a rule `(∀x̄)(A ⊃ B)` of an elementary theory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The universally quantified variables `x̄`.
+    pub vars: Vec<Var>,
+    /// The body `A`: a conjunction of non-equality atoms, range-restricted.
+    pub body: Vec<Atom>,
+    /// The head `B`: a positive existential formula.
+    pub head: Formula,
+}
+
+/// A database: a finite set of FOPCE sentences.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Theory {
+    sentences: Vec<Formula>,
+}
+
+impl Theory {
+    /// The empty database — which, pleasingly, satisfies every constraint
+    /// of the form "every known employee has a known social security
+    /// number" (§3).
+    pub fn empty() -> Self {
+        Theory::default()
+    }
+
+    /// Construct from sentences, validating each.
+    pub fn new(sentences: Vec<Formula>) -> Result<Self, TheoryError> {
+        let mut t = Theory::empty();
+        for s in sentences {
+            t.assert(s)?;
+        }
+        Ok(t)
+    }
+
+    /// Parse a theory from text (`;`/newline-separated sentences, `%`
+    /// comments).
+    pub fn from_text(src: &str) -> Result<Self, TheoryError> {
+        Theory::new(parse_theory(src)?)
+    }
+
+    /// Add one sentence, validating it. Duplicate sentences are kept once.
+    pub fn assert(&mut self, w: Formula) -> Result<(), TheoryError> {
+        if !is_first_order(&w) {
+            return Err(TheoryError::NotFirstOrder(w.to_string()));
+        }
+        if !w.is_sentence() {
+            return Err(TheoryError::NotSentence(w.to_string()));
+        }
+        if !self.sentences.contains(&w) {
+            self.sentences.push(w);
+        }
+        Ok(())
+    }
+
+    /// Remove a sentence (by syntactic identity). Returns whether it was
+    /// present.
+    pub fn retract(&mut self, w: &Formula) -> bool {
+        let before = self.sentences.len();
+        self.sentences.retain(|s| s != w);
+        self.sentences.len() != before
+    }
+
+    /// The sentences of the theory.
+    pub fn sentences(&self) -> &[Formula] {
+        &self.sentences
+    }
+
+    /// Number of sentences.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Whether the theory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// The *active domain*: every parameter mentioned by some sentence,
+    /// sorted. (Lemma 6.2: an elementary theory has a model mentioning only
+    /// these parameters.)
+    pub fn active_domain(&self) -> Vec<Param> {
+        let mut out = BTreeSet::new();
+        for s in &self.sentences {
+            out.extend(s.params());
+        }
+        out.into_iter().collect()
+    }
+
+    /// Every predicate mentioned by some sentence, sorted.
+    pub fn preds(&self) -> Vec<Pred> {
+        let mut out = BTreeSet::new();
+        for s in &self.sentences {
+            out.extend(s.preds());
+        }
+        out.into_iter().collect()
+    }
+
+    /// Whether every sentence is elementary (Definition 6.3).
+    pub fn is_elementary(&self) -> bool {
+        self.sentences.iter().all(is_elementary_sentence)
+    }
+
+    /// The rules of the theory, in structured form. Non-rule sentences are
+    /// skipped.
+    pub fn rules(&self) -> Vec<Rule> {
+        self.sentences
+            .iter()
+            .filter_map(|s| {
+                decompose_rule(s).map(|(vars, body, head)| Rule {
+                    vars,
+                    body,
+                    head: head.clone(),
+                })
+            })
+            .collect()
+    }
+
+    /// The non-rule sentences (for an elementary theory: the positive
+    /// existential facts).
+    pub fn facts(&self) -> Vec<&Formula> {
+        self.sentences
+            .iter()
+            .filter(|s| decompose_rule(s).is_none())
+            .collect()
+    }
+
+    /// The ground atomic sentences among the facts (the extensional core).
+    pub fn ground_atoms(&self) -> Vec<Atom> {
+        self.sentences
+            .iter()
+            .filter_map(|s| match s {
+                Formula::Atom(a) if a.is_ground() => Some(a.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any sentence mentions the equality predicate. Elementary
+    /// theories never do (Definition 6.3).
+    pub fn mentions_equality(&self) -> bool {
+        self.sentences
+            .iter()
+            .flat_map(|s| s.subformulas())
+            .any(|w| matches!(w, Formula::Eq(_, _)))
+    }
+}
+
+impl fmt::Display for Theory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.sentences {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Formula> for Theory {
+    /// Collect sentences into a theory.
+    ///
+    /// # Panics
+    /// Panics if a formula is not a FOPCE sentence; use [`Theory::new`] for
+    /// fallible construction.
+    fn from_iter<I: IntoIterator<Item = Formula>>(iter: I) -> Self {
+        Theory::new(iter.into_iter().collect()).expect("invalid database sentence")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn teach_db() -> Theory {
+        Theory::from_text(
+            "Teach(John, Math)
+             exists x. Teach(x, CS)
+             Teach(Mary, Psych) | Teach(Sue, Psych)",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let mut t = Theory::empty();
+        assert!(t.assert(parse("p(a)").unwrap()).is_ok());
+        assert!(matches!(
+            t.assert(parse("K p(a)").unwrap()),
+            Err(TheoryError::NotFirstOrder(_))
+        ));
+        assert!(matches!(
+            t.assert(parse("p(x)").unwrap()),
+            Err(TheoryError::NotSentence(_))
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut t = Theory::empty();
+        t.assert(parse("p(a)").unwrap()).unwrap();
+        t.assert(parse("p(a)").unwrap()).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn retract_works() {
+        let mut t = teach_db();
+        assert!(t.retract(&parse("Teach(John, Math)").unwrap()));
+        assert!(!t.retract(&parse("Teach(John, Math)").unwrap()));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn active_domain_and_preds() {
+        let t = teach_db();
+        let dom: Vec<String> = t.active_domain().iter().map(|p| p.name()).collect();
+        let mut expect = vec!["CS", "John", "Math", "Mary", "Psych", "Sue"];
+        let mut got = dom.clone();
+        got.sort();
+        expect.sort();
+        assert_eq!(got, expect);
+        assert_eq!(t.preds().len(), 1);
+    }
+
+    #[test]
+    fn teach_db_is_elementary() {
+        assert!(teach_db().is_elementary());
+        let mut t = teach_db();
+        t.assert(parse("~Teach(John, CS)").unwrap()).unwrap();
+        assert!(!t.is_elementary());
+    }
+
+    #[test]
+    fn rules_and_facts_split() {
+        let t = Theory::from_text(
+            "p(a)
+             forall x. p(x) -> q(x)
+             exists x. r(x)",
+        )
+        .unwrap();
+        assert_eq!(t.rules().len(), 1);
+        assert_eq!(t.facts().len(), 2);
+        assert_eq!(t.ground_atoms().len(), 1);
+        let rule = &t.rules()[0];
+        assert_eq!(rule.vars.len(), 1);
+        assert_eq!(rule.body.len(), 1);
+    }
+
+    #[test]
+    fn equality_mention_detected() {
+        let t = Theory::from_text("p(a)").unwrap();
+        assert!(!t.mentions_equality());
+        let t2 = Theory::from_text("a = a").unwrap();
+        assert!(t2.mentions_equality());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let t = teach_db();
+        let t2 = Theory::from_text(&t.to_string()).unwrap();
+        assert_eq!(t, t2);
+    }
+}

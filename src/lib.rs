@@ -1,0 +1,61 @@
+//! # epilog — an epistemic deductive database engine
+//!
+//! A production-grade reproduction of Raymond Reiter's *"What Should a
+//! Database Know?"* (J. Logic Programming 14:127–153, 1992; expanded from
+//! the 1988/1990 conference papers).
+//!
+//! A database is a set of first-order sentences about the world; queries
+//! and integrity constraints are sentences of the epistemic modal logic
+//! **KFOPCE**, which can also address what the database *knows*:
+//!
+//! ```
+//! use epilog::prelude::*;
+//!
+//! let db = EpistemicDb::from_text(
+//!     "Teach(John, Math)
+//!      exists x. Teach(x, CS)
+//!      Teach(Mary, Psych) | Teach(Sue, Psych)",
+//! ).unwrap();
+//!
+//! // Is Teach(Mary, CS) true in the world?           — unknown
+//! assert_eq!(db.ask(&parse("Teach(Mary, CS)").unwrap()), Answer::Unknown);
+//! // Does the database KNOW Teach(Mary, CS)?         — no
+//! assert_eq!(db.ask(&parse("K Teach(Mary, CS)").unwrap()), Answer::No);
+//! // Is there a KNOWN course John teaches?           — yes (Math)
+//! assert_eq!(db.ask(&parse("exists x. K Teach(John, x)").unwrap()), Answer::Yes);
+//! // Is someone known to teach CS, without being a known individual? — yes
+//! assert_eq!(db.ask(&parse("K (exists x. Teach(x, CS))").unwrap()), Answer::Yes);
+//! ```
+//!
+//! The crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`syntax`] | FOPCE/KFOPCE language, parser, the paper's syntactic classes |
+//! | [`storage`] | relational substrate (relations, indexes, databases) |
+//! | [`sat`] | CDCL SAT solver (the propositional engine) |
+//! | [`prover`] | FOPCE theorem prover: entailment + the `prove` enumeration |
+//! | [`datalog`] | Datalog engine with stratified negation; Clark completion |
+//! | [`semantics`] | worlds, KFOPCE truth, the brute-force oracle, circumscription |
+//! | [`core`] | the `demo` evaluator, queries, integrity constraints, closure |
+
+pub use epilog_core as core;
+pub use epilog_datalog as datalog;
+pub use epilog_prover as prover;
+pub use epilog_sat as sat;
+pub use epilog_semantics as semantics;
+pub use epilog_storage as storage;
+pub use epilog_syntax as syntax;
+
+/// The items most programs need.
+pub mod prelude {
+    pub use epilog_core::{
+        all_answers, ask, demo, demo_sentence, ic_satisfaction, Answer, ClosedDb, DemoOutcome,
+        EpistemicDb, IcDefinition, IcReport,
+    };
+    pub use epilog_prover::Prover;
+    pub use epilog_syntax::{
+        admissibility, is_admissible, is_safe, is_subjective, parse, parse_theory, Formula,
+        Param, Pred, Term, Theory, Var,
+    };
+}

@@ -1,0 +1,165 @@
+//! Property tests for the syntax layer: parser/printer round-trips and
+//! semantic equivalence of every transformation, checked against the
+//! model-theoretic oracle.
+
+use epilog::prelude::*;
+use epilog::semantics::ModelSet;
+use epilog::syntax::transform::{elim_double_neg, kernel};
+use epilog::syntax::{flatten_k45, nnf, Pred};
+use proptest::prelude::*;
+
+const PARAMS: [&str; 2] = ["a", "b"];
+
+/// A random FOPCE formula over unary p/q and the parameters/one variable.
+fn fopce() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..2usize, 0..2usize).prop_map(|(pr, pa)| {
+            parse(&format!("{}({})", ["p", "q"][pr], PARAMS[pa])).unwrap()
+        }),
+        (0..2usize, 0..2usize).prop_map(|(a, b)| {
+            parse(&format!("{} = {}", PARAMS[a], PARAMS[b])).unwrap()
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            inner.clone().prop_map(|a| {
+                // Quantify a fresh variable over a disjunct with a
+                // variable atom so quantifiers are exercised.
+                let x = Var::new("x");
+                Formula::forall(
+                    x,
+                    Formula::or(Formula::atom("p", vec![x.into()]), a),
+                )
+            }),
+            inner.clone().prop_map(|a| {
+                let x = Var::new("x");
+                Formula::exists(
+                    x,
+                    Formula::and(Formula::atom("q", vec![x.into()]), a),
+                )
+            }),
+        ]
+    })
+}
+
+/// A random KFOPCE sentence: a FOPCE core with some K's sprinkled in.
+fn kfopce() -> impl Strategy<Value = Formula> {
+    fopce().prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::know),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            inner.clone().prop_map(Formula::not),
+        ]
+    })
+}
+
+fn oracle() -> ModelSet {
+    // An arbitrary nonempty theory over the vocabulary; equivalences must
+    // hold in *every* (W, 𝒮), so we check truth pointwise over all worlds
+    // of several model sets.
+    let theory = Theory::from_text("p(a) | q(b)").unwrap();
+    let universe: Vec<Param> = PARAMS.iter().map(|n| Param::new(n)).collect();
+    ModelSet::models(&theory, &universe, &[Pred::new("p", 1), Pred::new("q", 1)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print ∘ parse = id (up to reprinting).
+    #[test]
+    fn parse_print_roundtrip(w in kfopce()) {
+        let printed = w.to_string();
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(
+            reparsed.to_string(),
+            printed.clone(),
+            "unstable printing for {}", printed
+        );
+        prop_assert_eq!(reparsed, w);
+    }
+
+    /// kernel() preserves truth in every world of the oracle's model set.
+    #[test]
+    fn kernel_is_equivalent(w in kfopce()) {
+        prop_assume!(w.is_sentence());
+        let ms = oracle();
+        let k = kernel(&w);
+        for i in 0..ms.worlds().len() {
+            prop_assert_eq!(ms.truth(&w, i), ms.truth(&k, i), "kernel broke {}", w);
+        }
+    }
+
+    /// nnf() preserves FOPCE truth.
+    #[test]
+    fn nnf_is_equivalent(w in fopce()) {
+        prop_assume!(w.is_sentence());
+        let ms = oracle();
+        let n = nnf(&w);
+        for i in 0..ms.worlds().len() {
+            prop_assert_eq!(ms.truth(&w, i), ms.truth(&n, i), "nnf broke {}", w);
+        }
+        // And NNF really is negation-normal: no ¬ above a non-atom.
+        for s in n.subformulas() {
+            if let Formula::Not(inner) = s {
+                prop_assert!(
+                    matches!(inner.as_ref(), Formula::Atom(_) | Formula::Eq(_, _)),
+                    "negation not pushed to a literal in {}", n
+                );
+            }
+        }
+    }
+
+    /// Double-negation elimination preserves truth.
+    #[test]
+    fn elim_double_neg_is_equivalent(w in kfopce()) {
+        prop_assume!(w.is_sentence());
+        let ms = oracle();
+        let e = elim_double_neg(&w);
+        for i in 0..ms.worlds().len() {
+            prop_assert_eq!(ms.truth(&w, i), ms.truth(&e, i), "elim_dd broke {}", w);
+        }
+    }
+
+    /// flatten_k45 preserves truth under the weak-S5 semantics.
+    #[test]
+    fn flatten_k45_is_equivalent(w in kfopce()) {
+        prop_assume!(w.is_sentence());
+        let ms = oracle();
+        let f = flatten_k45(&w);
+        for i in 0..ms.worlds().len() {
+            prop_assert_eq!(ms.truth(&w, i), ms.truth(&f, i), "flatten broke {}", w);
+        }
+    }
+
+    /// rename_apart is alpha-equivalence: truth is preserved and the
+    /// quantified variables come out distinct.
+    #[test]
+    fn rename_apart_is_alpha(w in kfopce()) {
+        prop_assume!(w.is_sentence());
+        let ms = oracle();
+        let r = w.rename_apart();
+        let qv = r.quantified_vars();
+        let mut dedup = qv.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(qv.len(), dedup.len(), "{} still repeats a variable", r);
+        for i in 0..ms.worlds().len() {
+            prop_assert_eq!(ms.truth(&w, i), ms.truth(&r, i), "rename broke {}", w);
+        }
+    }
+
+    /// Safety is decidable and stable under printing (a regression guard
+    /// for the classifier's interplay with the printer).
+    #[test]
+    fn classification_stable_under_roundtrip(w in kfopce()) {
+        let reparsed = parse(&w.to_string()).unwrap();
+        prop_assert_eq!(is_safe(&w), is_safe(&reparsed));
+        prop_assert_eq!(is_admissible(&w), is_admissible(&reparsed));
+        prop_assert_eq!(is_subjective(&w), is_subjective(&reparsed));
+    }
+}
