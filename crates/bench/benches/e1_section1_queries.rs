@@ -38,8 +38,7 @@ fn bench(c: &mut Criterion) {
         )
     });
     g.bench_function("demo/admissible_subset", |b| {
-        let admissible: Vec<_> =
-            queries.iter().filter(|(w, _)| is_admissible(w)).collect();
+        let admissible: Vec<_> = queries.iter().filter(|(w, _)| is_admissible(w)).collect();
         b.iter_with_setup(
             || Prover::new(teach_db()),
             |prover| {

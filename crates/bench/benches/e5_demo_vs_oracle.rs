@@ -24,8 +24,7 @@ fn bench(c: &mut Criterion) {
     {
         let (theory, preds) = propositional_db(6);
         let prover = Prover::new(theory.clone());
-        let oracle =
-            ModelSet::models(&theory, &[epilog_syntax::Param::new("c")], &preds);
+        let oracle = ModelSet::models(&theory, &[epilog_syntax::Param::new("c")], &preds);
         assert_eq!(ask(&prover, &query), Answer::Yes);
         assert_eq!(oracle.answer(&query), Answer::Yes);
         assert_eq!(

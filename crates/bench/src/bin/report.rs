@@ -11,15 +11,21 @@ use epilog_core::{ask, demo_sentence, ic_satisfaction, IcDefinition, IcReport};
 use epilog_prover::Prover;
 use epilog_semantics::{minimal_worlds, ModelSet};
 use epilog_syntax::{is_admissible, parse, Param, Pred, Theory};
+use std::sync::atomic::{AtomicU32, Ordering};
 
-static mut FAILURES: u32 = 0;
+static FAILURES: AtomicU32 = AtomicU32::new(0);
 
 fn check(label: &str, expected: &str, got: &str) {
     let ok = expected == got;
-    println!("  {:<58} paper: {:<9} measured: {:<9} {}", label, expected, got, if ok { "ok" } else { "MISMATCH" });
+    println!(
+        "  {:<58} paper: {:<9} measured: {:<9} {}",
+        label,
+        expected,
+        got,
+        if ok { "ok" } else { "MISMATCH" }
+    );
     if !ok {
-        // Single-threaded binary; the unsafe counter is fine.
-        unsafe { FAILURES += 1 };
+        FAILURES.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -34,7 +40,11 @@ fn main() {
                 epilog_core::DemoOutcome::Succeeds => "yes",
                 epilog_core::DemoOutcome::FinitelyFails => "not-derivable",
             };
-            let expect_demo = if expected == "yes" { "yes" } else { "not-derivable" };
+            let expect_demo = if expected == "yes" {
+                "yes"
+            } else {
+                "not-derivable"
+            };
             check(&format!("  demo: {q}"), expect_demo, via_demo);
         }
     }
@@ -49,12 +59,48 @@ fn main() {
     let ic_fo = parse("forall x. emp(x) -> exists y. ss(x, y)").unwrap();
     let ic_modal = parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap();
     let cases: [(&str, &str, IcDefinition, &epilog_syntax::Formula, &str); 6] = [
-        ("{emp(Mary)}", "3.1 consistency", IcDefinition::Consistency, &ic_fo, "satisfied"),
-        ("{emp(Mary)}", "3.5 epistemic", IcDefinition::Epistemic, &ic_modal, "violated"),
-        ("{}", "3.2 entailment", IcDefinition::Entailment, &ic_fo, "violated"),
-        ("{}", "3.5 epistemic", IcDefinition::Epistemic, &ic_modal, "satisfied"),
-        ("{emp(Mary), ss(Mary,n1)}", "3.5 epistemic", IcDefinition::Epistemic, &ic_modal, "satisfied"),
-        ("{emp(Mary)|emp(Sue)}", "3.4 Comp-entailment", IcDefinition::CompEntailment, &ic_fo, "n/a"),
+        (
+            "{emp(Mary)}",
+            "3.1 consistency",
+            IcDefinition::Consistency,
+            &ic_fo,
+            "satisfied",
+        ),
+        (
+            "{emp(Mary)}",
+            "3.5 epistemic",
+            IcDefinition::Epistemic,
+            &ic_modal,
+            "violated",
+        ),
+        (
+            "{}",
+            "3.2 entailment",
+            IcDefinition::Entailment,
+            &ic_fo,
+            "violated",
+        ),
+        (
+            "{}",
+            "3.5 epistemic",
+            IcDefinition::Epistemic,
+            &ic_modal,
+            "satisfied",
+        ),
+        (
+            "{emp(Mary), ss(Mary,n1)}",
+            "3.5 epistemic",
+            IcDefinition::Epistemic,
+            &ic_modal,
+            "satisfied",
+        ),
+        (
+            "{emp(Mary)|emp(Sue)}",
+            "3.4 Comp-entailment",
+            IcDefinition::CompEntailment,
+            &ic_fo,
+            "n/a",
+        ),
     ];
     for (db_label, def_label, def, ic, expected) in cases {
         let src = match db_label {
@@ -79,16 +125,27 @@ fn main() {
         ("exists x. ~K p(x)", "unsafe"),
         ("~K q(x) & K r(x)", "unsafe"),
     ] {
-        let got = if epilog_syntax::is_safe(&parse(f).unwrap()) { "safe" } else { "unsafe" };
+        let got = if epilog_syntax::is_safe(&parse(f).unwrap()) {
+            "safe"
+        } else {
+            "unsafe"
+        };
         check(f, expected, got);
     }
     for (f, expected) in [
         ("exists x. K Teach(x, CS)", "admissible"),
-        ("exists x. Teach(x, Psych) & ~K Teach(x, CS)", "inadmissible"),
+        (
+            "exists x. Teach(x, Psych) & ~K Teach(x, CS)",
+            "inadmissible",
+        ),
         ("p(x) & K q(x)", "admissible"),
         ("exists x. p(x) & K q(x)", "inadmissible"),
     ] {
-        let got = if is_admissible(&parse(f).unwrap()) { "admissible" } else { "inadmissible" };
+        let got = if is_admissible(&parse(f).unwrap()) {
+            "admissible"
+        } else {
+            "inadmissible"
+        };
         check(f, expected, got);
     }
 
@@ -98,7 +155,9 @@ fn main() {
     check(
         "Closure: forall x. K p(x) | K ~p(x)   (Example 7.1)",
         "yes",
-        &closed.ask(&parse("forall x. K p(x) | K ~p(x)").unwrap()).to_string(),
+        &closed
+            .ask(&parse("forall x. K p(x) | K ~p(x)").unwrap())
+            .to_string(),
     );
     let theory = Theory::from_text("p | q").unwrap();
     let ms = ModelSet::models(
@@ -120,9 +179,13 @@ fn main() {
     let graph = Prover::new(Theory::from_text("q(a)\nq(b)\nr(a, b)").unwrap());
     let w = parse("q(x) & ~(exists y. r(x, y) & q(y))").unwrap();
     let got: Vec<String> = cwa_demo(&graph, &w).unwrap().map(|t| t[0].name()).collect();
-    check("demo(R(w)) on Example 7.3 graph", "[\"b\"]", &format!("{got:?}"));
+    check(
+        "demo(R(w)) on Example 7.3 graph",
+        "[\"b\"]",
+        &format!("{got:?}"),
+    );
 
-    let failures = unsafe { FAILURES };
+    let failures = FAILURES.load(Ordering::Relaxed);
     println!("\n{} mismatches", failures);
     std::process::exit(if failures == 0 { 0 } else { 1 });
 }

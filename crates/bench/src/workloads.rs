@@ -156,10 +156,7 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(
-            random_elementary(7, 3, 5),
-            random_elementary(7, 3, 5)
-        );
+        assert_eq!(random_elementary(7, 3, 5), random_elementary(7, 3, 5));
         let a = random_3sat(1, 10, 30);
         let b = random_3sat(1, 10, 30);
         assert_eq!(a.clauses(), b.clauses());
@@ -177,10 +174,7 @@ mod tests {
         use epilog_prover::Prover;
         let t = employees_db(4);
         let p = Prover::new(t);
-        let ic = epilog_syntax::parse(
-            "forall x. K emp(x) -> exists y. K ss(x, y)",
-        )
-        .unwrap();
+        let ic = epilog_syntax::parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap();
         assert!(epilog_core::ask::certain(&p, &ic));
     }
 

@@ -30,7 +30,10 @@ use std::collections::HashMap;
 /// Panics if `q` has free variables (bind them, or use
 /// [`answers`]).
 pub fn ask(prover: &Prover, q: &Formula) -> Answer {
-    assert!(q.is_sentence(), "ask() takes sentence queries; use answers() for open ones");
+    assert!(
+        q.is_sentence(),
+        "ask() takes sentence queries; use answers() for open ones"
+    );
     let yes = certain(prover, q);
     let no = certain(prover, &Formula::not(q.clone()));
     Answer::from_entailments(yes, no)
@@ -41,7 +44,11 @@ pub fn ask(prover: &Prover, q: &Formula) -> Answer {
 pub fn answers(prover: &Prover, q: &Formula) -> Vec<Vec<Param>> {
     let vars = q.free_vars();
     if vars.is_empty() {
-        return if certain(prover, q) { vec![vec![]] } else { vec![] };
+        return if certain(prover, q) {
+            vec![vec![]]
+        } else {
+            vec![]
+        };
     }
     let domain = prover.answer_domain(q);
     let mut out = Vec::new();
@@ -86,10 +93,9 @@ fn modal_quantifier_depth(w: &Formula) -> usize {
     match w {
         Formula::Atom(_) | Formula::Eq(_, _) => 0,
         Formula::Not(a) | Formula::Know(a) => modal_quantifier_depth(a),
-        Formula::And(a, b)
-        | Formula::Or(a, b)
-        | Formula::Implies(a, b)
-        | Formula::Iff(a, b) => modal_quantifier_depth(a).max(modal_quantifier_depth(b)),
+        Formula::And(a, b) | Formula::Or(a, b) | Formula::Implies(a, b) | Formula::Iff(a, b) => {
+            modal_quantifier_depth(a).max(modal_quantifier_depth(b))
+        }
         Formula::Forall(_, a) | Formula::Exists(_, a) => {
             let inner = modal_quantifier_depth(a);
             if is_first_order(a) {
@@ -188,8 +194,7 @@ fn apply(w: &Formula, env: &HashMap<Var, Param>) -> Formula {
     if env.is_empty() {
         return w.clone();
     }
-    let map: HashMap<Var, Term> =
-        env.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
+    let map: HashMap<Var, Term> = env.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
     w.subst(&map)
 }
 

@@ -60,7 +60,11 @@ impl ClosedDb {
             .sentences()
             .iter()
             .all(|s| holds_in_world(s, &world, &universe));
-        ClosedDb { world, satisfiable, universe }
+        ClosedDb {
+            world,
+            satisfiable,
+            universe,
+        }
     }
 
     /// The unique model (meaningful only when [`ClosedDb::satisfiable`]).
@@ -96,7 +100,11 @@ impl ClosedDb {
         let fo = strip_k(q);
         let vars = fo.free_vars();
         if vars.is_empty() {
-            return if self.ask(q) == Answer::Yes { vec![vec![]] } else { vec![] };
+            return if self.ask(q) == Answer::Yes {
+                vec![vec![]]
+            } else {
+                vec![]
+            };
         }
         let domain: Vec<Param> = self
             .universe
@@ -131,10 +139,7 @@ impl ClosedDb {
 /// closure computation. If the call succeeds with bindings `p̄` then
 /// `Closure(Σ) ⊨_FOPCE w|p̄`; if it finitely fails then
 /// `Closure(Σ) ⊨ ¬(∃x̄)w`.
-pub fn cwa_demo<'a>(
-    prover: &'a Prover,
-    w: &Formula,
-) -> Result<DemoStream<'a>, Admissibility> {
+pub fn cwa_demo<'a>(prover: &'a Prover, w: &Formula) -> Result<DemoStream<'a>, Admissibility> {
     let modal = modalize(w).rename_apart();
     demo(prover, &modal)
 }
@@ -162,12 +167,10 @@ pub fn closure_theory(prover: &Prover) -> Theory {
     let base = epilog_semantics::oracle::herbrand_base(&domain, &theory.preds());
     let mut out = theory.clone();
     for pred in theory.preds() {
-        let vars: Vec<Var> =
-            (0..pred.arity()).map(|i| Var::fresh(&format!("x{i}"))).collect();
-        let head = Formula::atom(
-            &pred.name(),
-            vars.iter().map(|v| Term::Var(*v)).collect(),
-        );
+        let vars: Vec<Var> = (0..pred.arity())
+            .map(|i| Var::fresh(&format!("x{i}")))
+            .collect();
+        let head = Formula::atom(&pred.name(), vars.iter().map(|v| Term::Var(*v)).collect());
         let mut disjuncts = Vec::new();
         for atom in base.iter().filter(|a| a.pred == pred) {
             if prover.entails(&Formula::Atom((*atom).clone())) {
@@ -177,12 +180,10 @@ pub fn closure_theory(prover: &Prover) -> Theory {
                     .zip(tuple)
                     .map(|(v, c)| Formula::Eq(Term::Var(*v), Term::Param(c)))
                     .collect();
-                disjuncts.push(
-                    Formula::and_all(eqs).unwrap_or_else(|| {
-                        let c = epilog_syntax::Param::new("c0");
-                        Formula::eq(c, c)
-                    }),
-                );
+                disjuncts.push(Formula::and_all(eqs).unwrap_or_else(|| {
+                    let c = epilog_syntax::Param::new("c0");
+                    Formula::eq(c, c)
+                }));
             }
         }
         let mut sentence = match Formula::or_all(disjuncts) {
@@ -192,7 +193,8 @@ pub fn closure_theory(prover: &Prover) -> Theory {
         for v in vars.into_iter().rev() {
             sentence = Formula::forall(v, sentence);
         }
-        out.assert(sentence).expect("closure axiom is a FOPCE sentence");
+        out.assert(sentence)
+            .expect("closure axiom is a FOPCE sentence");
     }
     out
 }
@@ -219,7 +221,10 @@ mod tests {
     fn example_71_closed_db_knows_whether() {
         // ∀x (Kp(x) ∨ K¬p(x)) holds in every closed-world database.
         let (_, c) = closed("p(a)\np(b)");
-        assert_eq!(c.ask(&parse("forall x. K p(x) | K ~p(x)").unwrap()), Answer::Yes);
+        assert_eq!(
+            c.ask(&parse("forall x. K p(x) | K ~p(x)").unwrap()),
+            Answer::Yes
+        );
         // Whereas for the open database this fails on unknown atoms: the
         // equivalent stripped query is valid, so here it is the *open*
         // reading that differs — see the e7 integration tests.
@@ -274,9 +279,7 @@ mod tests {
     #[test]
     fn example_73_cwa_demo() {
         // Evaluate q(x) ∧ ¬∃y (r(x,y) ∧ q(y)) under CWA via demo(ℛ(w)).
-        let p = Prover::new(
-            Theory::from_text("q(a)\nq(b)\nr(a, b)").unwrap(),
-        );
+        let p = Prover::new(Theory::from_text("q(a)\nq(b)\nr(a, b)").unwrap());
         let w = parse("q(x) & ~(exists y. r(x, y) & q(y))").unwrap();
         let got: Vec<Vec<String>> = cwa_demo(&p, &w)
             .unwrap()

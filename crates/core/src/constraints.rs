@@ -81,7 +81,13 @@ impl fmt::Display for IcReport {
 /// [`IcReport::Inapplicable`] on modal constraints, and the `Comp`
 /// definitions additionally require the database to be Prolog-like.
 pub fn ic_satisfaction(prover: &Prover, ic: &Formula, def: IcDefinition) -> IcReport {
-    let verdict = |b: bool| if b { IcReport::Satisfied } else { IcReport::Violated };
+    let verdict = |b: bool| {
+        if b {
+            IcReport::Satisfied
+        } else {
+            IcReport::Violated
+        }
+    };
     match def {
         IcDefinition::Epistemic => verdict(certain(prover, ic)),
         IcDefinition::Consistency => {
@@ -124,8 +130,9 @@ fn completion_prover(theory: &Theory, ic: &Formula) -> Option<Prover> {
     let covered = prog.preds();
     for pred in ic.preds() {
         if !covered.contains(&pred) {
-            let vars: Vec<Var> =
-                (0..pred.arity()).map(|i| Var::fresh(&format!("x{i}"))).collect();
+            let vars: Vec<Var> = (0..pred.arity())
+                .map(|i| Var::fresh(&format!("x{i}")))
+                .collect();
             let mut w = Formula::not(Formula::atom(
                 &pred.name(),
                 vars.iter().map(|v| Term::Var(*v)).collect(),
@@ -236,8 +243,7 @@ mod tests {
 
     #[test]
     fn example_32_sex_must_be_assigned() {
-        let ic =
-            parse("forall x. K person(x) -> K male(x) | K female(x)").unwrap();
+        let ic = parse("forall x. K person(x) -> K male(x) | K female(x)").unwrap();
         let ok = prover("person(Sam)\nmale(Sam)");
         assert_eq!(
             ic_satisfaction(&ok, &ic, IcDefinition::Epistemic),
@@ -253,10 +259,7 @@ mod tests {
 
     #[test]
     fn example_35_functional_dependency() {
-        let ic = parse(
-            "forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z",
-        )
-        .unwrap();
+        let ic = parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap();
         let ok = prover("ss(Mary, n1)\nss(Sue, n2)");
         assert_eq!(
             ic_satisfaction(&ok, &ic, IcDefinition::Epistemic),
@@ -305,7 +308,10 @@ mod tests {
             IcDefinition::CompConsistency,
             IcDefinition::CompEntailment,
         ] {
-            assert_eq!(ic_satisfaction(&p, &ic_modal(), def), IcReport::Inapplicable);
+            assert_eq!(
+                ic_satisfaction(&p, &ic_modal(), def),
+                IcReport::Inapplicable
+            );
         }
     }
 
@@ -318,8 +324,7 @@ mod tests {
         let p = prover("emp(Mary)\nss(Mary, n1)");
         let ic = ic_modal();
         let as_query = ask(&p, &ic) == Answer::Yes;
-        let as_ic = ic_satisfaction(&p, &ic, IcDefinition::Epistemic)
-            == IcReport::Satisfied;
+        let as_ic = ic_satisfaction(&p, &ic, IcDefinition::Epistemic) == IcReport::Satisfied;
         assert_eq!(as_query, as_ic);
     }
 }

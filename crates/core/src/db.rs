@@ -62,7 +62,10 @@ pub struct EpistemicDb {
 impl EpistemicDb {
     /// Open a database over a theory.
     pub fn new(theory: Theory) -> Self {
-        EpistemicDb { prover: Prover::new(theory), constraints: Vec::new() }
+        EpistemicDb {
+            prover: Prover::new(theory),
+            constraints: Vec::new(),
+        }
     }
 
     /// Open a database from theory text.
@@ -117,9 +120,7 @@ impl EpistemicDb {
         if !ic.is_sentence() {
             return Err(DbError::OpenConstraint(ic));
         }
-        if ic_satisfaction(&self.prover, &ic, IcDefinition::Epistemic)
-            != IcReport::Satisfied
-        {
+        if ic_satisfaction(&self.prover, &ic, IcDefinition::Epistemic) != IcReport::Satisfied {
             return Err(DbError::ConstraintViolated(ic));
         }
         self.constraints.push(ic);
@@ -129,10 +130,9 @@ impl EpistemicDb {
     /// Whether the database currently satisfies every registered
     /// constraint (`Σ ⊨ IC` for each, Definition 3.5).
     pub fn satisfies_constraints(&self) -> bool {
-        self.constraints
-            .iter()
-            .all(|ic| ic_satisfaction(&self.prover, ic, IcDefinition::Epistemic)
-                == IcReport::Satisfied)
+        self.constraints.iter().all(|ic| {
+            ic_satisfaction(&self.prover, ic, IcDefinition::Epistemic) == IcReport::Satisfied
+        })
     }
 
     /// Transactionally assert a sentence: if the enlarged database would
@@ -143,9 +143,7 @@ impl EpistemicDb {
         theory.assert(w)?;
         let candidate = Prover::new(theory);
         for ic in &self.constraints {
-            if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic)
-                != IcReport::Satisfied
-            {
+            if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic) != IcReport::Satisfied {
                 return Err(DbError::ConstraintViolated(ic.clone()));
             }
         }
@@ -163,9 +161,7 @@ impl EpistemicDb {
         }
         let candidate = Prover::new(theory);
         for ic in &self.constraints {
-            if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic)
-                != IcReport::Satisfied
-            {
+            if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic) != IcReport::Satisfied {
                 return Err(DbError::ConstraintViolated(ic.clone()));
             }
         }
@@ -239,10 +235,8 @@ mod tests {
     #[test]
     fn retract_can_restore_integrity_paths() {
         let mut d = db("emp(Mary)\nss(Mary, n1)");
-        d.add_constraint(
-            parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap(),
-        )
-        .unwrap();
+        d.add_constraint(parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+            .unwrap();
         // Retracting the ss fact while Mary is an employee is rejected.
         let err = d.retract(&parse("ss(Mary, n1)").unwrap()).unwrap_err();
         assert!(matches!(err, DbError::ConstraintViolated(_)));

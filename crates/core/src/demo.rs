@@ -70,9 +70,8 @@ impl Iterator for DemoStream<'_> {
             self.vars
                 .iter()
                 .map(|v| {
-                    *env.get(v).unwrap_or_else(|| {
-                        panic!("Lemma 5.4 violated: {v} unbound after success")
-                    })
+                    *env.get(v)
+                        .unwrap_or_else(|| panic!("Lemma 5.4 violated: {v} unbound after success"))
                 })
                 .collect(),
         )
@@ -92,13 +91,20 @@ pub fn demo<'a>(prover: &'a Prover, w: &Formula) -> Result<DemoStream<'a>, Admis
     // defined connectives in modal positions. First-order subtrees go to
     // `prove` whole, whatever their shape.
     let kerneled = kernel_modal(w);
-    Ok(DemoStream { inner: stream(prover, kerneled, Env::new()), vars: w.free_vars() })
+    Ok(DemoStream {
+        inner: stream(prover, kerneled, Env::new()),
+        vars: w.free_vars(),
+    })
 }
 
 /// Run `demo` on a sentence, classifying the outcome.
 pub fn demo_sentence(prover: &Prover, w: &Formula) -> Result<DemoOutcome, Admissibility> {
     let mut s = demo(prover, w)?;
-    Ok(if s.next().is_some() { DemoOutcome::Succeeds } else { DemoOutcome::FinitelyFails })
+    Ok(if s.next().is_some() {
+        DemoOutcome::Succeeds
+    } else {
+        DemoOutcome::FinitelyFails
+    })
 }
 
 /// All answers to an admissible query, deduplicated, in first-derivation
@@ -174,9 +180,7 @@ fn stream<'a>(prover: &'a Prover, w: Formula, env: Env) -> Box<dyn Iterator<Item
         // Clause 5: left-to-right conjunction; bindings flow rightward.
         Formula::And(a, b) => {
             let b = *b;
-            Box::new(stream(prover, *a, env).flat_map(move |env1| {
-                stream(prover, b.clone(), env1)
-            }))
+            Box::new(stream(prover, *a, env).flat_map(move |env1| stream(prover, b.clone(), env1)))
         }
         other => unreachable!("admissible-after-kernel formulas cannot be {other}"),
     }
@@ -187,8 +191,7 @@ fn apply(w: &Formula, env: &Env) -> Formula {
     if env.is_empty() {
         return w.clone();
     }
-    let map: HashMap<Var, Term> =
-        env.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
+    let map: HashMap<Var, Term> = env.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
     w.subst(&map)
 }
 
@@ -262,8 +265,7 @@ mod tests {
     fn conjunction_binds_left_to_right() {
         let prover = Prover::new(Theory::from_text("p(a)\np(b)\nq(b)\nr(b)").unwrap());
         // K p(x) ∧ K q(x) ∧ ¬K s(x): bindings from the left feed the right.
-        let answers =
-            all_answers(&prover, &parse("K p(x) & K q(x) & ~K s(x)").unwrap()).unwrap();
+        let answers = all_answers(&prover, &parse("K p(x) & K q(x) & ~K s(x)").unwrap()).unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0][0].name(), "b");
     }
@@ -287,9 +289,11 @@ mod tests {
         // that violates it and one that satisfies it.
         let ic = parse("~(exists x. K emp(x) & ~K (exists y. ss(x, y)))").unwrap();
         let bad = Prover::new(Theory::from_text("emp(Mary)").unwrap());
-        assert_eq!(demo_sentence(&bad, &ic).unwrap(), DemoOutcome::FinitelyFails);
-        let good =
-            Prover::new(Theory::from_text("emp(Mary)\nexists y. ss(Mary, y)").unwrap());
+        assert_eq!(
+            demo_sentence(&bad, &ic).unwrap(),
+            DemoOutcome::FinitelyFails
+        );
+        let good = Prover::new(Theory::from_text("emp(Mary)\nexists y. ss(Mary, y)").unwrap());
         assert_eq!(demo_sentence(&good, &ic).unwrap(), DemoOutcome::Succeeds);
         let empty = Prover::new(Theory::empty());
         assert_eq!(demo_sentence(&empty, &ic).unwrap(), DemoOutcome::Succeeds);
@@ -314,8 +318,7 @@ mod tests {
     #[test]
     fn all_answers_recovers_everything() {
         // §6.1.1: iterating through failure recovers all answers.
-        let prover =
-            Prover::new(Theory::from_text("p(a)\np(b)\np(c)\nq(c)").unwrap());
+        let prover = Prover::new(Theory::from_text("p(a)\np(b)\np(c)\nq(c)").unwrap());
         let answers = all_answers(&prover, &parse("K p(x)").unwrap()).unwrap();
         assert_eq!(answers.len(), 3);
         let answers = all_answers(&prover, &parse("K p(x) & K q(x)").unwrap()).unwrap();

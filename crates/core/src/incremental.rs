@@ -97,7 +97,9 @@ impl CompiledConstraint {
             if pattern.pred != fact.pred {
                 continue;
             }
-            let Some(binding) = match_pattern(pattern, fact) else { continue };
+            let Some(binding) = match_pattern(pattern, fact) else {
+                continue;
+            };
             let map: HashMap<Var, Term> =
                 binding.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
             let mut w = self.body.subst(&map);
@@ -126,7 +128,9 @@ impl IncrementalChecker {
             .iter()
             .map(CompiledConstraint::compile)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(IncrementalChecker { constraints: compiled })
+        Ok(IncrementalChecker {
+            constraints: compiled,
+        })
     }
 
     /// The constraints that an update of this predicate can affect.
@@ -164,7 +168,9 @@ impl IncrementalChecker {
 
     /// Full (non-incremental) check of every constraint, for comparison.
     pub fn check_full(&self, prover: &Prover) -> Option<&CompiledConstraint> {
-        self.constraints.iter().find(|c| !certain(prover, &c.rewritten))
+        self.constraints
+            .iter()
+            .find(|c| !certain(prover, &c.rewritten))
     }
 }
 
@@ -247,7 +253,10 @@ mod tests {
             &parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
         )
         .unwrap();
-        assert_eq!(c2.trigger_preds(), vec![Pred::new("ss", 2), Pred::new("ss", 2)]);
+        assert_eq!(
+            c2.trigger_preds(),
+            vec![Pred::new("ss", 2), Pred::new("ss", 2)]
+        );
     }
 
     #[test]
@@ -256,15 +265,16 @@ mod tests {
         assert!(ck.affected(Pred::new("hobby", 2)).is_empty());
         let prover =
             Prover::new(Theory::from_text("emp(Mary)\nss(Mary, n1)\nhobby(Mary, chess)").unwrap());
-        assert!(ck.check_update(&prover, &ga("hobby(Mary, chess)")).is_none());
+        assert!(ck
+            .check_update(&prover, &ga("hobby(Mary, chess)"))
+            .is_none());
     }
 
     #[test]
     fn relevant_update_detects_violation() {
         let ck = checker();
         // Asserting emp(Sue) with no number on file: violated.
-        let prover =
-            Prover::new(Theory::from_text("emp(Mary)\nss(Mary, n1)\nemp(Sue)").unwrap());
+        let prover = Prover::new(Theory::from_text("emp(Mary)\nss(Mary, n1)\nemp(Sue)").unwrap());
         let hit = ck.check_update(&prover, &ga("emp(Sue)"));
         assert!(hit.is_some());
         assert!(hit.unwrap().original.to_string().contains("emp"));
@@ -282,8 +292,7 @@ mod tests {
     #[test]
     fn fd_violation_caught_incrementally() {
         let ck = checker();
-        let prover =
-            Prover::new(Theory::from_text("ss(Mary, n1)\nss(Mary, n2)").unwrap());
+        let prover = Prover::new(Theory::from_text("ss(Mary, n1)\nss(Mary, n2)").unwrap());
         let hit = ck.check_update(&prover, &ga("ss(Mary, n2)"));
         assert!(hit.is_some());
         assert!(hit.unwrap().original.to_string().contains("y = z"));
@@ -315,10 +324,8 @@ mod tests {
         // A rule derives emp from hired: the update hired(Sue) can violate
         // the emp constraint even though its predicate is not a trigger…
         let prover = Prover::new(
-            Theory::from_text(
-                "ss(Mary, n1)\nemp(Mary)\nhired(Sue)\nforall x. hired(x) -> emp(x)",
-            )
-            .unwrap(),
+            Theory::from_text("ss(Mary, n1)\nemp(Mary)\nhired(Sue)\nforall x. hired(x) -> emp(x)")
+                .unwrap(),
         );
         // …which is why `affected` is keyed on the update's predicate and
         // hired is not a trigger: the caller must consult `affected` per
@@ -334,8 +341,7 @@ mod tests {
     #[test]
     fn prohibition_constraints_compile_and_trigger() {
         // ∀x ¬K bad(x) rewrites to ¬∃x K bad(x): the K-literal indexes it.
-        let c =
-            CompiledConstraint::compile(&parse("forall x. ~K bad(x)").unwrap()).unwrap();
+        let c = CompiledConstraint::compile(&parse("forall x. ~K bad(x)").unwrap()).unwrap();
         assert_eq!(c.trigger_preds(), vec![Pred::new("bad", 1)]);
         let ck = IncrementalChecker::new(&[parse("forall x. ~K bad(x)").unwrap()]).unwrap();
         let prover = Prover::new(Theory::from_text("bad(Joe)").unwrap());

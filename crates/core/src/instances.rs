@@ -19,9 +19,7 @@
 
 use epilog_prover::Prover;
 use epilog_syntax::classify::almost_admissible;
-use epilog_syntax::{
-    is_first_order, is_positive_existential, Formula, Param, Term, Theory, Var,
-};
+use epilog_syntax::{is_first_order, is_positive_existential, Formula, Param, Term, Theory, Var};
 use std::collections::BTreeSet;
 
 /// `Instances(w, Σ)` (Definition 6.1) for a first-order formula, computed
@@ -65,14 +63,23 @@ fn eq_side_ok(t: &Term, _bound: &BTreeSet<Var>) -> bool {
 /// Disjunctive linkage (Definition 6.4), with conjunction-bound variables
 /// treated as parameters.
 fn disjunctively_linked_mod(w: &Formula, bound: &BTreeSet<Var>) -> bool {
-    let top: BTreeSet<Var> =
-        w.free_vars().into_iter().filter(|v| !bound.contains(v)).collect();
+    let top: BTreeSet<Var> = w
+        .free_vars()
+        .into_iter()
+        .filter(|v| !bound.contains(v))
+        .collect();
     for s in w.subformulas() {
         if let Formula::Or(a, b) = s {
-            let fa: BTreeSet<Var> =
-                a.free_vars().into_iter().filter(|v| top.contains(v)).collect();
-            let fb: BTreeSet<Var> =
-                b.free_vars().into_iter().filter(|v| top.contains(v)).collect();
+            let fa: BTreeSet<Var> = a
+                .free_vars()
+                .into_iter()
+                .filter(|v| top.contains(v))
+                .collect();
+            let fb: BTreeSet<Var> = b
+                .free_vars()
+                .into_iter()
+                .filter(|v| top.contains(v))
+                .collect();
             if fa != fb {
                 return false;
             }
@@ -193,7 +200,10 @@ mod tests {
     #[test]
     fn certified_counts_are_finite_and_exact() {
         let p = prover("p(a)\np(b)\nq(b)\nforall x. q(x) -> p(x)");
-        assert_eq!(certified_instance_count(&p, &parse("p(x)").unwrap()), Some(2));
+        assert_eq!(
+            certified_instance_count(&p, &parse("p(x)").unwrap()),
+            Some(2)
+        );
         assert_eq!(
             certified_instance_count(&p, &parse("K p(x) & ~K q(x)").unwrap()),
             Some(1)

@@ -37,8 +37,8 @@ pub use ask::ask;
 pub use closure::ClosedDb;
 pub use constraints::{ic_satisfaction, IcDefinition, IcReport};
 pub use db::EpistemicDb;
-pub use incremental::{CompiledConstraint, IncrementalChecker};
 pub use demo::{all_answers, demo, demo_sentence, DemoOutcome, DemoStream};
-pub use instances::{admissible_wrt_f_sigma, instances, theorem_62_applies};
 pub use epilog_semantics::Answer;
+pub use incremental::{CompiledConstraint, IncrementalChecker};
+pub use instances::{admissible_wrt_f_sigma, instances, theorem_62_applies};
 pub use optimize::{eliminate_redundant_conjuncts, valid_kfopce};

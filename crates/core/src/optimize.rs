@@ -63,7 +63,11 @@ pub fn valid_kfopce(w: &Formula, universe: &[Param], preds: &[Pred]) -> bool {
 /// `α ⊨_KFOPCE β`, i.e. `⊨_KFOPCE α ⊃ β` (for sentences, by the deduction
 /// property of this validity notion over fixed structures).
 pub fn entails_kfopce(alpha: &Formula, beta: &Formula, universe: &[Param], preds: &[Pred]) -> bool {
-    valid_kfopce(&Formula::implies(alpha.clone(), beta.clone()), universe, preds)
+    valid_kfopce(
+        &Formula::implies(alpha.clone(), beta.clone()),
+        universe,
+        preds,
+    )
 }
 
 /// Corollary 4.2, as a checker: under constraint `ic`, do `q` and `q'`
@@ -76,7 +80,11 @@ pub fn equivalent_under(
     universe: &[Param],
     preds: &[Pred],
 ) -> bool {
-    assert_eq!(q.free_vars(), q2.free_vars(), "Corollary 4.2 needs matching free variables");
+    assert_eq!(
+        q.free_vars(),
+        q2.free_vars(),
+        "Corollary 4.2 needs matching free variables"
+    );
     let mut body = Formula::iff(q.clone(), q2.clone());
     for v in q.free_vars().into_iter().rev() {
         body = Formula::forall(v, body);
@@ -100,8 +108,7 @@ pub fn eliminate_redundant_conjuncts(
     while conjuncts.len() > 1 && i < conjuncts.len() {
         let mut candidate = conjuncts.clone();
         candidate.remove(i);
-        let shorter =
-            Formula::and_all(candidate.clone()).expect("len > 1 before removal");
+        let shorter = Formula::and_all(candidate.clone()).expect("len > 1 before removal");
         // The shorter query must keep the same free variables — dropping a
         // conjunct that binds a variable changes the answer arity.
         if shorter.free_vars() == q.free_vars()
@@ -141,7 +148,11 @@ mod tests {
         let u = [Param::new("c")];
         let pq = props(&["p", "q"]);
         // Distribution.
-        assert!(valid_kfopce(&parse("K (p & q) <-> K p & K q").unwrap(), &u, &pq));
+        assert!(valid_kfopce(
+            &parse("K (p & q) <-> K p & K q").unwrap(),
+            &u,
+            &pq
+        ));
         // Positive and negative introspection.
         assert!(valid_kfopce(&parse("K p -> K K p").unwrap(), &u, &pq));
         assert!(valid_kfopce(&parse("~K p -> K ~K p").unwrap(), &u, &pq));
@@ -151,7 +162,11 @@ mod tests {
         // S5, not S5 — the evaluation world may lie outside 𝒮).
         assert!(!valid_kfopce(&parse("K p -> p").unwrap(), &u, &pq));
         // K does not distribute over ∨.
-        assert!(!valid_kfopce(&parse("K (p | q) -> K p | K q").unwrap(), &u, &pq));
+        assert!(!valid_kfopce(
+            &parse("K (p | q) -> K p | K q").unwrap(),
+            &u,
+            &pq
+        ));
     }
 
     #[test]

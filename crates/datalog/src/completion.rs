@@ -27,8 +27,7 @@ pub fn completion(prog: &Program) -> Vec<Formula> {
 
 fn pred_completion(prog: &Program, pred: Pred) -> Formula {
     let arity = pred.arity();
-    let head_vars: Vec<Var> =
-        (0..arity).map(|i| Var::new(&format!("x{i}"))).collect();
+    let head_vars: Vec<Var> = (0..arity).map(|i| Var::new(&format!("x{i}"))).collect();
     let head_atom = Formula::atom(
         &pred.name(),
         head_vars.iter().map(|v| Term::Var(*v)).collect(),
@@ -106,7 +105,10 @@ fn rename_away_from(rule: &crate::program::Rule, head_vars: &[Var]) -> crate::pr
         body: rule
             .body
             .iter()
-            .map(|l| crate::program::Literal { atom: fix(&l.atom), positive: l.positive })
+            .map(|l| crate::program::Literal {
+                atom: fix(&l.atom),
+                positive: l.positive,
+            })
             .collect(),
     }
 }
@@ -135,10 +137,7 @@ mod tests {
         let p = Program::from_text("p(a)\np(b)").unwrap();
         let comp = completion(&p);
         assert_eq!(comp.len(), 1);
-        assert_eq!(
-            comp[0].to_string(),
-            "forall x0. p(x0) <-> x0 = a | x0 = b"
-        );
+        assert_eq!(comp[0].to_string(), "forall x0. p(x0) <-> x0 = a | x0 = b");
     }
 
     #[test]

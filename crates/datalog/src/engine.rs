@@ -117,10 +117,9 @@ fn derive(
         if !lit.positive {
             continue; // negative literals filter afterwards
         }
-        let source = if delta.is_some() && i == delta_pos {
-            delta.expect("checked is_some")
-        } else {
-            db
+        let source = match delta {
+            Some(d) if i == delta_pos => d,
+            _ => db,
         };
         let mut next = Vec::new();
         for env in &envs {
@@ -189,7 +188,8 @@ fn ground_atom(atom: &Atom, env: &HashMap<Var, Param>) -> Atom {
         .map(|t| match t {
             Term::Param(p) => Term::Param(*p),
             Term::Var(v) => Term::Param(
-                *env.get(v).unwrap_or_else(|| panic!("unbound variable {v} in head")),
+                *env.get(v)
+                    .unwrap_or_else(|| panic!("unbound variable {v} in head")),
             ),
         })
         .collect();

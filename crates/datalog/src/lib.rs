@@ -22,6 +22,6 @@ pub mod program;
 pub mod sld;
 
 pub use completion::completion;
-pub use sld::{SldEngine, SldOutcome};
 pub use engine::EvalStats;
 pub use program::{DatalogError, Literal, Program, Rule};
+pub use sld::{SldEngine, SldOutcome};

@@ -106,7 +106,12 @@ impl Program {
             .head
             .vars()
             .into_iter()
-            .chain(rule.body.iter().filter(|l| !l.positive).flat_map(|l| l.atom.vars()))
+            .chain(
+                rule.body
+                    .iter()
+                    .filter(|l| !l.positive)
+                    .flat_map(|l| l.atom.vars()),
+            )
             .collect();
         for v in needs {
             if !positive_vars.contains(&v) {
@@ -126,8 +131,8 @@ impl Program {
             match s {
                 Formula::Atom(a) if a.is_ground() => prog.fact(a),
                 _ => {
-                    let rule = as_datalog_rule(s)
-                        .ok_or_else(|| DatalogError::NotARule(s.to_string()))?;
+                    let rule =
+                        as_datalog_rule(s).ok_or_else(|| DatalogError::NotARule(s.to_string()))?;
                     prog.rule(rule)?;
                 }
             }
@@ -175,9 +180,7 @@ impl Program {
             if !changed {
                 // A stratum above the predicate count implies a negative
                 // cycle was being chased.
-                if let Some((p, _)) =
-                    stratum.iter().find(|(_, &s)| s > preds.len())
-                {
+                if let Some((p, _)) = stratum.iter().find(|(_, &s)| s > preds.len()) {
                     return Err(DatalogError::NotStratifiable(p.name()));
                 }
                 return Ok(stratum);
@@ -203,27 +206,41 @@ fn as_datalog_rule(w: &Formula) -> Option<Rule> {
     let Formula::Implies(body, head) = cur else {
         // A bare (possibly non-ground) atom as a rule with empty body.
         if let Formula::Atom(a) = cur {
-            return Some(Rule { head: a.clone(), body: vec![] });
+            return Some(Rule {
+                head: a.clone(),
+                body: vec![],
+            });
         }
         return None;
     };
-    let Formula::Atom(h) = head.as_ref() else { return None };
+    let Formula::Atom(h) = head.as_ref() else {
+        return None;
+    };
     let mut lits = Vec::new();
     if !collect_literals(body, &mut lits) {
         return None;
     }
-    Some(Rule { head: h.clone(), body: lits })
+    Some(Rule {
+        head: h.clone(),
+        body: lits,
+    })
 }
 
 fn collect_literals(w: &Formula, out: &mut Vec<Literal>) -> bool {
     match w {
         Formula::Atom(a) => {
-            out.push(Literal { atom: a.clone(), positive: true });
+            out.push(Literal {
+                atom: a.clone(),
+                positive: true,
+            });
             true
         }
         Formula::Not(inner) => match inner.as_ref() {
             Formula::Atom(a) => {
-                out.push(Literal { atom: a.clone(), positive: false });
+                out.push(Literal {
+                    atom: a.clone(),
+                    positive: false,
+                });
                 true
             }
             _ => false,
@@ -238,15 +255,13 @@ impl Program {
     /// Parse using the `epilog-syntax` formula grammar: ground atoms are
     /// facts, `forall x̄. body -> head` sentences are rules.
     pub fn from_text(src: &str) -> Result<Self, String> {
-        let sentences =
-            epilog_syntax::parse_theory(src).map_err(|e| e.to_string())?;
+        let sentences = epilog_syntax::parse_theory(src).map_err(|e| e.to_string())?;
         Program::from_sentences(&sentences).map_err(|e| e.to_string())
     }
 
     /// Render the rules as FOPCE sentences (ground facts included).
     pub fn sentences(&self) -> Vec<Formula> {
-        let mut out: Vec<Formula> =
-            self.edb.atoms().map(Formula::Atom).collect();
+        let mut out: Vec<Formula> = self.edb.atoms().map(Formula::Atom).collect();
         for r in &self.rules {
             out.push(rule_sentence(r));
         }
@@ -329,7 +344,13 @@ mod tests {
             Formula::Atom(a) => a,
             _ => unreachable!(),
         };
-        let r = Rule { head, body: vec![Literal { atom: batom, positive: true }] };
+        let r = Rule {
+            head,
+            body: vec![Literal {
+                atom: batom,
+                positive: true,
+            }],
+        };
         assert!(matches!(p.rule(r), Err(DatalogError::Unsafe(_))));
     }
 
@@ -364,7 +385,10 @@ mod tests {
              forall x. q(x) -> r(x)",
         )
         .unwrap();
-        assert!(matches!(p.stratify(), Err(DatalogError::NotStratifiable(_))));
+        assert!(matches!(
+            p.stratify(),
+            Err(DatalogError::NotStratifiable(_))
+        ));
     }
 
     #[test]

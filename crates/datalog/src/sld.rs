@@ -57,7 +57,10 @@ impl<'a> SldEngine<'a> {
                 "SLD engine does not support repeated head variables: {rule}"
             );
         }
-        SldEngine { program, max_depth: 256 }
+        SldEngine {
+            program,
+            max_depth: 256,
+        }
     }
 
     /// Solve a conjunctive goal of literals, left to right.
@@ -65,14 +68,20 @@ impl<'a> SldEngine<'a> {
         let mut solutions = Vec::new();
         let mut exceeded = false;
         let mut stack = Vec::new();
-        self.solve_rec(goal, &HashMap::new(), 0, &mut stack, &mut solutions, &mut exceeded);
+        self.solve_rec(
+            goal,
+            &HashMap::new(),
+            0,
+            &mut stack,
+            &mut solutions,
+            &mut exceeded,
+        );
         if !solutions.is_empty() {
             // Deduplicate while preserving order.
+            let goal_vars: Vec<Var> = goal.iter().flat_map(|l| l.atom.vars()).collect();
             let mut seen: Vec<HashMap<Var, Param>> = Vec::new();
             for s in solutions {
                 // Restrict to the goal's own variables.
-                let goal_vars: Vec<Var> =
-                    goal.iter().flat_map(|l| l.atom.vars()).collect();
                 let restricted: HashMap<Var, Param> = s
                     .into_iter()
                     .filter(|(v, _)| goal_vars.contains(v))
@@ -91,7 +100,10 @@ impl<'a> SldEngine<'a> {
 
     /// Whether a single ground atom is derivable.
     pub fn proves(&self, atom: &Atom) -> Option<bool> {
-        match self.solve(&[Literal { atom: atom.clone(), positive: true }]) {
+        match self.solve(&[Literal {
+            atom: atom.clone(),
+            positive: true,
+        }]) {
             SldOutcome::Success(_) => Some(true),
             SldOutcome::Failure => Some(false),
             SldOutcome::DepthExceeded => None,
@@ -133,8 +145,11 @@ impl<'a> SldEngine<'a> {
                 self.solve_rec(rest, &env2, depth + 1, stack, solutions, exceeded);
             }
             // Rule resolution.
-            for rule in
-                self.program.rules.iter().filter(|r| r.head.pred == first.atom.pred)
+            for rule in self
+                .program
+                .rules
+                .iter()
+                .filter(|r| r.head.pred == first.atom.pred)
             {
                 let rule = rename_rule(rule);
                 if let Some((env2, head_bind)) = unify_atom(&rule.head, &first.atom, env) {
@@ -167,7 +182,10 @@ impl<'a> SldEngine<'a> {
             let mut sub_exceeded = false;
             let mut sub_stack = Vec::new();
             self.solve_rec(
-                &[Literal { atom: ground, positive: true }],
+                &[Literal {
+                    atom: ground,
+                    positive: true,
+                }],
                 &HashMap::new(),
                 depth + 1,
                 &mut sub_stack,
@@ -205,8 +223,7 @@ impl<'a> SldEngine<'a> {
 
 /// Apply an environment to an atom, grounding its bound variables.
 fn apply_atom(atom: &Atom, env: &HashMap<Var, Param>) -> Atom {
-    let map: HashMap<Var, Term> =
-        env.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
+    let map: HashMap<Var, Term> = env.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
     atom.subst(&map)
 }
 
@@ -242,7 +259,8 @@ fn rename_rule(rule: &Rule) -> Rule {
     let mut ren: HashMap<Var, Term> = HashMap::new();
     for a in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
         for v in a.vars() {
-            ren.entry(v).or_insert_with(|| Term::Var(Var::fresh(&v.name())));
+            ren.entry(v)
+                .or_insert_with(|| Term::Var(Var::fresh(&v.name())));
         }
     }
     Rule {
@@ -250,7 +268,10 @@ fn rename_rule(rule: &Rule) -> Rule {
         body: rule
             .body
             .iter()
-            .map(|l| Literal { atom: l.atom.subst(&ren), positive: l.positive })
+            .map(|l| Literal {
+                atom: l.atom.subst(&ren),
+                positive: l.positive,
+            })
             .collect(),
     }
 }
@@ -348,7 +369,10 @@ mod tests {
     fn open_goals_enumerate_answers() {
         let p = engine_program();
         let eng = SldEngine::new(&p);
-        let goal = vec![Literal { atom: atom("t(a, x)"), positive: true }];
+        let goal = vec![Literal {
+            atom: atom("t(a, x)"),
+            positive: true,
+        }];
         match eng.solve(&goal) {
             SldOutcome::Success(sols) => {
                 assert_eq!(sols.len(), 3, "t(a,b), t(a,c), t(a,d)");
@@ -367,8 +391,14 @@ mod tests {
         .unwrap();
         let eng = SldEngine::new(&p);
         let goal = vec![
-            Literal { atom: atom("p(x)"), positive: true },
-            Literal { atom: atom("q(x)"), positive: false },
+            Literal {
+                atom: atom("p(x)"),
+                positive: true,
+            },
+            Literal {
+                atom: atom("q(x)"),
+                positive: false,
+            },
         ];
         match eng.solve(&goal) {
             SldOutcome::Success(sols) => {

@@ -52,7 +52,14 @@ impl<'a> AnswerIter<'a> {
                 .checked_pow(vars.len() as u32)
                 .expect("candidate space overflow")
         };
-        AnswerIter { prover, formula: f.clone(), vars, domain, cursor: 0, total }
+        AnswerIter {
+            prover,
+            formula: f.clone(),
+            vars,
+            domain,
+            cursor: 0,
+            total,
+        }
     }
 
     /// The free variables of the goal, in the order answer tuples are
@@ -117,11 +124,9 @@ mod tests {
     #[test]
     fn sentence_goal_yields_once() {
         let p = teach();
-        let hits: Vec<_> =
-            AnswerIter::new(&p, &parse("Teach(John, Math)").unwrap()).collect();
+        let hits: Vec<_> = AnswerIter::new(&p, &parse("Teach(John, Math)").unwrap()).collect();
         assert_eq!(hits, vec![Vec::<Param>::new()]);
-        let misses: Vec<_> =
-            AnswerIter::new(&p, &parse("Teach(John, CS)").unwrap()).collect();
+        let misses: Vec<_> = AnswerIter::new(&p, &parse("Teach(John, CS)").unwrap()).collect();
         assert!(misses.is_empty());
     }
 
@@ -130,8 +135,7 @@ mod tests {
         // prove(Teach(John, x), Σ) — the §1 query "is there a known course
         // John teaches": yes, Math.
         let p = teach();
-        let answers: Vec<_> =
-            AnswerIter::new(&p, &parse("Teach(John, x)").unwrap()).collect();
+        let answers: Vec<_> = AnswerIter::new(&p, &parse("Teach(John, x)").unwrap()).collect();
         assert_eq!(answers.len(), 1);
         assert_eq!(names(&answers[0]), vec!["Math"]);
     }
@@ -141,17 +145,18 @@ mod tests {
         // ∃x Teach(x, CS) is entailed, but no parameter is a certain
         // answer.
         let p = teach();
-        let answers: Vec<_> =
-            AnswerIter::new(&p, &parse("Teach(x, CS)").unwrap()).collect();
+        let answers: Vec<_> = AnswerIter::new(&p, &parse("Teach(x, CS)").unwrap()).collect();
         assert!(answers.is_empty());
     }
 
     #[test]
     fn disjunction_gives_no_individual_answers() {
         let p = teach();
-        let answers: Vec<_> =
-            AnswerIter::new(&p, &parse("Teach(x, Psych)").unwrap()).collect();
-        assert!(answers.is_empty(), "neither Mary nor Sue is *known* to teach Psych");
+        let answers: Vec<_> = AnswerIter::new(&p, &parse("Teach(x, Psych)").unwrap()).collect();
+        assert!(
+            answers.is_empty(),
+            "neither Mary nor Sue is *known* to teach Psych"
+        );
     }
 
     #[test]
@@ -166,8 +171,7 @@ mod tests {
     #[test]
     fn conjunctive_goal() {
         let p = Prover::new(Theory::from_text("p(a)\np(b)\nq(b)").unwrap());
-        let answers: Vec<_> =
-            AnswerIter::new(&p, &parse("p(x) & q(x)").unwrap()).collect();
+        let answers: Vec<_> = AnswerIter::new(&p, &parse("p(x) & q(x)").unwrap()).collect();
         assert_eq!(answers.len(), 1);
         assert_eq!(names(&answers[0]), vec!["b"]);
     }

@@ -68,11 +68,9 @@ fn pe_atoms(w: &Formula, witness: Param, env: &HashMap<Var, Param>) -> Vec<Atom>
                 .iter()
                 .map(|t| match t {
                     Term::Param(p) => Term::Param(*p),
-                    Term::Var(v) => Term::Param(
-                        *env.get(v).unwrap_or_else(|| {
-                            panic!("unbound variable {v} in positive existential formula")
-                        }),
-                    ),
+                    Term::Var(v) => Term::Param(*env.get(v).unwrap_or_else(|| {
+                        panic!("unbound variable {v} in positive existential formula")
+                    })),
                 })
                 .collect();
             vec![Atom::new(a.pred, terms)]
@@ -139,7 +137,6 @@ fn body_matches(rule: &Rule, db: &Database) -> Vec<HashMap<Var, Param>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use epilog_syntax::parse;
 
     /// Evaluate a FOPCE sentence in a finite world over a finite universe —
     /// a little model checker used only to validate `S(Σ) ⊨ Σ`.
@@ -224,7 +221,10 @@ mod tests {
         assert!(m.len() >= 4);
         let params = m.params();
         for p in &params {
-            assert!(!p.is_fresh(), "S(Σ) mentions only parameters of Σ (Lemma 6.2)");
+            assert!(
+                !p.is_fresh(),
+                "S(Σ) mentions only parameters of Σ (Lemma 6.2)"
+            );
         }
     }
 
@@ -288,6 +288,10 @@ mod tests {
         let t = Theory::from_text("p(a) | q(b)").unwrap();
         let m = canonical_model(&t).unwrap();
         check_is_model(&t);
-        assert_eq!(m.len(), 2, "the construction takes the union of both disjuncts");
+        assert_eq!(
+            m.len(),
+            2,
+            "the construction takes the union of both disjuncts"
+        );
     }
 }

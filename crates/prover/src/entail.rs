@@ -252,8 +252,7 @@ mod tests {
     #[test]
     fn satisfiability() {
         assert!(teach().satisfiable());
-        let contradictory =
-            Prover::new(Theory::from_text("p(a)\n~p(a)").unwrap());
+        let contradictory = Prover::new(Theory::from_text("p(a)\n~p(a)").unwrap());
         assert!(!contradictory.satisfiable());
         assert!(Prover::new(Theory::empty()).satisfiable());
     }
@@ -269,7 +268,10 @@ mod tests {
         // is on the empty database below.
         assert!(!p.entails(&ic));
         let empty = Prover::new(Theory::empty());
-        assert!(!empty.entails(&ic), "even the empty DB fails the entailment reading");
+        assert!(
+            !empty.entails(&ic),
+            "even the empty DB fails the entailment reading"
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ impl GroundContext {
                 seen.push(p);
             }
         }
-        GroundContext { universe: seen, vars: HashMap::new(), atoms: Vec::new() }
+        GroundContext {
+            universe: seen,
+            vars: HashMap::new(),
+            atoms: Vec::new(),
+        }
     }
 
     /// The universe parameters, in enumeration order.
@@ -81,8 +85,11 @@ impl GroundContext {
     fn go(&mut self, w: &Formula, env: &mut HashMap<Var, Param>) -> Prop {
         match w {
             Formula::Atom(a) => {
-                let terms: Vec<Term> =
-                    a.terms.iter().map(|t| Term::Param(self.term(t, env))).collect();
+                let terms: Vec<Term> = a
+                    .terms
+                    .iter()
+                    .map(|t| Term::Param(self.term(t, env)))
+                    .collect();
                 let ground = Atom::new(a.pred, terms);
                 Prop::Var(self.var_of(&ground))
             }
@@ -98,9 +105,7 @@ impl GroundContext {
             Formula::Not(a) => self.go(a, env).negate(),
             Formula::And(a, b) => Prop::and_all(vec![self.go(a, env), self.go(b, env)]),
             Formula::Or(a, b) => Prop::or_all(vec![self.go(a, env), self.go(b, env)]),
-            Formula::Implies(a, b) => {
-                Prop::or_all(vec![self.go(a, env).negate(), self.go(b, env)])
-            }
+            Formula::Implies(a, b) => Prop::or_all(vec![self.go(a, env).negate(), self.go(b, env)]),
             Formula::Iff(a, b) => {
                 let pa = self.go(a, env);
                 let pb = self.go(b, env);

@@ -117,7 +117,7 @@ mod tests {
             let lits: Vec<Lit> = c
                 .iter()
                 .map(|&k| {
-                    let v = (k.unsigned_abs() - 1) as u32;
+                    let v = k.unsigned_abs() - 1;
                     if k > 0 {
                         Lit::pos(v)
                     } else {
@@ -141,7 +141,9 @@ mod tests {
         // Deterministic pseudo-random 3-SAT instances via a small LCG.
         let mut seed: u64 = 0x9E3779B97F4A7C15;
         let mut rand = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as u32
         };
         for instance in 0..30 {

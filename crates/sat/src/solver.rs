@@ -224,8 +224,8 @@ impl Solver {
                 p = Some(pl);
                 break;
             }
-            confl = self.reason[pl.var() as usize]
-                .expect("non-decision literal must have a reason");
+            confl =
+                self.reason[pl.var() as usize].expect("non-decision literal must have a reason");
             p = Some(pl);
         }
 
@@ -325,8 +325,7 @@ impl Solver {
                 match self.decide() {
                     None => {
                         // Total assignment, no conflict: a model.
-                        let model =
-                            self.assign.iter().map(|&a| a == 1).collect::<Vec<bool>>();
+                        let model = self.assign.iter().map(|&a| a == 1).collect::<Vec<bool>>();
                         return SatResult::Sat(model);
                     }
                     Some(l) => {
@@ -348,7 +347,10 @@ impl Solver {
     /// projection and the solver is re-run; complexity is `limit` full
     /// solves, which is fine at the scales of the semantic oracle.
     pub fn enumerate(cnf: &Cnf, project: u32, limit: usize) -> (Vec<Vec<bool>>, bool) {
-        assert!(project <= cnf.num_vars(), "projection exceeds variable count");
+        assert!(
+            project <= cnf.num_vars(),
+            "projection exceeds variable count"
+        );
         let mut blocked = cnf.clone();
         let mut models = Vec::new();
         while models.len() < limit {
@@ -417,7 +419,7 @@ mod tests {
             let lits: Vec<Lit> = c
                 .iter()
                 .map(|&k| {
-                    let v = (k.unsigned_abs() - 1) as u32;
+                    let v = k.unsigned_abs() - 1;
                     if k > 0 {
                         Lit::pos(v)
                     } else {

@@ -41,11 +41,18 @@ impl ModelSet {
                 .filter(|(i, _)| mask & (1 << i) != 0)
                 .map(|(_, a)| a.clone())
                 .collect();
-            if theory.sentences().iter().all(|s| holds_in_world(s, &world, universe)) {
+            if theory
+                .sentences()
+                .iter()
+                .all(|s| holds_in_world(s, &world, universe))
+            {
                 worlds.push(world);
             }
         }
-        ModelSet { worlds, universe: universe.to_vec() }
+        ModelSet {
+            worlds,
+            universe: universe.to_vec(),
+        }
     }
 
     /// Wrap an explicit set of worlds (used by circumscription and by
@@ -85,30 +92,19 @@ impl ModelSet {
         self.truth_env(w, world, &mut HashMap::new())
     }
 
-    fn truth_env(
-        &self,
-        w: &Formula,
-        world: &Database,
-        env: &mut HashMap<Var, Param>,
-    ) -> bool {
+    fn truth_env(&self, w: &Formula, world: &Database, env: &mut HashMap<Var, Param>) -> bool {
         match w {
             Formula::Know(body) => self
                 .worlds
                 .iter()
                 .all(|s| self.truth_env(body, s, &mut env.clone())),
             Formula::Not(x) => !self.truth_env(x, world, env),
-            Formula::And(a, b) => {
-                self.truth_env(a, world, env) && self.truth_env(b, world, env)
-            }
-            Formula::Or(a, b) => {
-                self.truth_env(a, world, env) || self.truth_env(b, world, env)
-            }
+            Formula::And(a, b) => self.truth_env(a, world, env) && self.truth_env(b, world, env),
+            Formula::Or(a, b) => self.truth_env(a, world, env) || self.truth_env(b, world, env),
             Formula::Implies(a, b) => {
                 !self.truth_env(a, world, env) || self.truth_env(b, world, env)
             }
-            Formula::Iff(a, b) => {
-                self.truth_env(a, world, env) == self.truth_env(b, world, env)
-            }
+            Formula::Iff(a, b) => self.truth_env(a, world, env) == self.truth_env(b, world, env),
             Formula::Forall(x, body) => {
                 let universe = self.universe.clone();
                 universe.iter().all(|p| {
@@ -134,9 +130,7 @@ impl ModelSet {
                 })
             }
             // First-order leaves: delegate to world truth.
-            Formula::Atom(_) | Formula::Eq(_, _) => {
-                holds_env(w, world, &self.universe, env)
-            }
+            Formula::Atom(_) | Formula::Eq(_, _) => holds_env(w, world, &self.universe, env),
         }
     }
 
@@ -156,11 +150,17 @@ impl ModelSet {
     pub fn answers(&self, q: &Formula) -> Vec<Vec<Param>> {
         let vars = q.free_vars();
         if vars.is_empty() {
-            return if self.certain(q) { vec![vec![]] } else { vec![] };
+            return if self.certain(q) {
+                vec![vec![]]
+            } else {
+                vec![]
+            };
         }
         let mut out = Vec::new();
         let n = self.universe.len();
-        let total = n.checked_pow(vars.len() as u32).expect("answer space overflow");
+        let total = n
+            .checked_pow(vars.len() as u32)
+            .expect("answer space overflow");
         for mut idx in 0..total {
             let mut tuple = vec![self.universe[0]; vars.len()];
             for slot in tuple.iter_mut().rev() {
@@ -253,7 +253,10 @@ mod tests {
         // ∃x K q(x): no known q-individual.
         assert_eq!(ms.answer(&parse("exists x. K q(x)").unwrap()), Answer::No);
         // K ∃x q(x): but the database knows someone is a q.
-        assert_eq!(ms.answer(&parse("K (exists x. q(x))").unwrap()), Answer::Yes);
+        assert_eq!(
+            ms.answer(&parse("K (exists x. q(x))").unwrap()),
+            Answer::Yes
+        );
     }
 
     #[test]
@@ -301,7 +304,11 @@ mod tests {
         for q in ["K p", "~K p", "K (p | q)", "K p | K q"] {
             let w = parse(q).unwrap();
             assert!(epilog_syntax::is_subjective(&w));
-            assert_ne!(ms.answer(&w), Answer::Unknown, "subjective {q} must be decided");
+            assert_ne!(
+                ms.answer(&w),
+                Answer::Unknown,
+                "subjective {q} must be decided"
+            );
         }
     }
 }

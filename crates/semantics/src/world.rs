@@ -67,11 +67,7 @@ pub(crate) fn holds_env(
 }
 
 pub(crate) fn ground(a: &Atom, env: &HashMap<Var, Param>) -> Atom {
-    let terms: Vec<Term> = a
-        .terms
-        .iter()
-        .map(|t| Term::Param(deref(t, env)))
-        .collect();
+    let terms: Vec<Term> = a.terms.iter().map(|t| Term::Param(deref(t, env))).collect();
     Atom::new(a.pred, terms)
 }
 
@@ -120,22 +116,42 @@ mod tests {
         let universe = u(&["a", "b"]);
         assert!(holds_in_world(&parse("p(a)").unwrap(), &w, &universe));
         assert!(!holds_in_world(&parse("p(b)").unwrap(), &w, &universe));
-        assert!(holds_in_world(&parse("p(a) & q(b)").unwrap(), &w, &universe));
-        assert!(holds_in_world(&parse("p(b) | q(b)").unwrap(), &w, &universe));
-        assert!(holds_in_world(&parse("p(b) -> q(a)").unwrap(), &w, &universe));
+        assert!(holds_in_world(
+            &parse("p(a) & q(b)").unwrap(),
+            &w,
+            &universe
+        ));
+        assert!(holds_in_world(
+            &parse("p(b) | q(b)").unwrap(),
+            &w,
+            &universe
+        ));
+        assert!(holds_in_world(
+            &parse("p(b) -> q(a)").unwrap(),
+            &w,
+            &universe
+        ));
         assert!(holds_in_world(&parse("~p(b)").unwrap(), &w, &universe));
     }
 
     #[test]
     fn quantifiers_over_universe() {
         let w = world(&["p(a)", "p(b)"]);
-        assert!(holds_in_world(&parse("forall x. p(x)").unwrap(), &w, &u(&["a", "b"])));
+        assert!(holds_in_world(
+            &parse("forall x. p(x)").unwrap(),
+            &w,
+            &u(&["a", "b"])
+        ));
         assert!(!holds_in_world(
             &parse("forall x. p(x)").unwrap(),
             &w,
             &u(&["a", "b", "c"])
         ));
-        assert!(holds_in_world(&parse("exists x. p(x)").unwrap(), &w, &u(&["a", "b", "c"])));
+        assert!(holds_in_world(
+            &parse("exists x. p(x)").unwrap(),
+            &w,
+            &u(&["a", "b", "c"])
+        ));
     }
 
     #[test]
@@ -144,7 +160,11 @@ mod tests {
         let universe = u(&["a", "b"]);
         assert!(holds_in_world(&parse("a = a").unwrap(), &w, &universe));
         assert!(!holds_in_world(&parse("a = b").unwrap(), &w, &universe));
-        assert!(holds_in_world(&parse("exists x. x != a").unwrap(), &w, &universe));
+        assert!(holds_in_world(
+            &parse("exists x. x != a").unwrap(),
+            &w,
+            &universe
+        ));
     }
 
     #[test]

@@ -27,7 +27,9 @@ impl Database {
     /// # Panics
     /// Panics if the atom is not ground.
     pub fn insert(&mut self, atom: &Atom) -> bool {
-        let t = atom.param_tuple().expect("Database::insert requires a ground atom");
+        let t = atom
+            .param_tuple()
+            .expect("Database::insert requires a ground atom");
         self.relations
             .entry(atom.pred)
             .or_insert_with(|| Relation::new(atom.pred.arity()))
@@ -36,19 +38,29 @@ impl Database {
 
     /// Insert a tuple directly under a predicate.
     pub fn insert_tuple(&mut self, pred: Pred, t: Tuple) -> bool {
-        self.relations.entry(pred).or_insert_with(|| Relation::new(pred.arity())).insert(t)
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(pred.arity()))
+            .insert(t)
     }
 
     /// Remove a ground atom; returns `true` if it was present.
     pub fn remove(&mut self, atom: &Atom) -> bool {
-        let t = atom.param_tuple().expect("Database::remove requires a ground atom");
-        self.relations.get_mut(&atom.pred).is_some_and(|r| r.remove(&t))
+        let t = atom
+            .param_tuple()
+            .expect("Database::remove requires a ground atom");
+        self.relations
+            .get_mut(&atom.pred)
+            .is_some_and(|r| r.remove(&t))
     }
 
     /// Whether a ground atom is present.
     pub fn contains(&self, atom: &Atom) -> bool {
         match atom.param_tuple() {
-            Some(t) => self.relations.get(&atom.pred).is_some_and(|r| r.contains(&t)),
+            Some(t) => self
+                .relations
+                .get(&atom.pred)
+                .is_some_and(|r| r.contains(&t)),
             None => false,
         }
     }
@@ -60,7 +72,9 @@ impl Database {
 
     /// Mutable access, creating an empty relation if absent.
     pub fn relation_mut(&mut self, pred: Pred) -> &mut Relation {
-        self.relations.entry(pred).or_insert_with(|| Relation::new(pred.arity()))
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::new(pred.arity()))
     }
 
     /// The predicates with at least one stored relation (possibly empty).
@@ -81,9 +95,8 @@ impl Database {
     /// Iterate over all stored atoms in deterministic order.
     pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
         self.relations.iter().flat_map(|(pred, rel)| {
-            rel.iter().map(move |t| {
-                Atom::new(*pred, t.iter().map(|p| Term::Param(*p)).collect())
-            })
+            rel.iter()
+                .map(move |t| Atom::new(*pred, t.iter().map(|p| Term::Param(*p)).collect()))
         })
     }
 
@@ -91,7 +104,10 @@ impl Database {
     /// scan; the engine layers keep their own mutable handles when indexed
     /// selection matters).
     pub fn select(&self, pred: Pred, pattern: &Selection) -> Vec<Tuple> {
-        self.relations.get(&pred).map(|r| r.select_scan(pattern)).unwrap_or_default()
+        self.relations
+            .get(&pred)
+            .map(|r| r.select_scan(pattern))
+            .unwrap_or_default()
     }
 
     /// Every parameter stored anywhere.
@@ -115,9 +131,8 @@ impl Database {
     /// Whether `self ⊆ other` as sets of atoms.
     pub fn subset_of(&self, other: &Database) -> bool {
         self.relations.iter().all(|(pred, rel)| {
-            rel.iter().all(|t| {
-                other.relations.get(pred).is_some_and(|o| o.contains(t))
-            })
+            rel.iter()
+                .all(|t| other.relations.get(pred).is_some_and(|o| o.contains(t)))
         })
     }
 }

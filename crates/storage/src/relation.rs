@@ -26,7 +26,11 @@ pub struct Relation {
 impl Relation {
     /// An empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, tuples: BTreeSet::new(), indexes: vec![None; arity] }
+        Relation {
+            arity,
+            tuples: BTreeSet::new(),
+            indexes: vec![None; arity],
+        }
     }
 
     /// The arity of the relation.
@@ -105,11 +109,17 @@ impl Relation {
     /// scan is residual. Useful when the relation is shared immutably.
     pub fn select_scan(&self, pattern: &Selection) -> Vec<Tuple> {
         assert_eq!(pattern.len(), self.arity, "selection arity mismatch");
-        self.tuples.iter().filter(|t| Self::matches(t, pattern)).cloned().collect()
+        self.tuples
+            .iter()
+            .filter(|t| Self::matches(t, pattern))
+            .cloned()
+            .collect()
     }
 
     fn matches(t: &Tuple, pattern: &Selection) -> bool {
-        t.iter().zip(pattern).all(|(v, p)| p.map_or(true, |q| q == *v))
+        t.iter()
+            .zip(pattern)
+            .all(|(v, p)| p.is_none_or(|q| q == *v))
     }
 
     fn build_index(&mut self, c: usize) {
@@ -192,7 +202,10 @@ mod tests {
         let mut r = rel();
         assert_eq!(r.len(), 3);
         assert!(r.contains(&vec![p("a"), p("b")]));
-        assert!(!r.insert(vec![p("a"), p("b")]), "duplicate insert returns false");
+        assert!(
+            !r.insert(vec![p("a"), p("b")]),
+            "duplicate insert returns false"
+        );
         assert_eq!(r.len(), 3);
         assert!(r.remove(&vec![p("a"), p("b")]));
         assert!(!r.contains(&vec![p("a"), p("b")]));

@@ -143,7 +143,10 @@ impl Formula {
         Formula::Eq(a.into(), b.into())
     }
 
-    /// Negation.
+    /// Negation. (Deliberately shares its name with [`std::ops::Not`]:
+    /// it is the constructor the combinator style `Formula::not(w)` and
+    /// `prop_map(Formula::not)` read best with.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(w: Formula) -> Formula {
         Formula::Not(Box::new(w))
     }
@@ -401,8 +404,10 @@ impl Formula {
     pub fn bind_free(&self, params: &[Param]) -> Formula {
         let fv = self.free_vars();
         assert_eq!(fv.len(), params.len(), "binding arity mismatch");
-        let map: HashMap<Var, Term> =
-            fv.into_iter().zip(params.iter().map(|p| Term::Param(*p))).collect();
+        let map: HashMap<Var, Term> = fv
+            .into_iter()
+            .zip(params.iter().map(|p| Term::Param(*p)))
+            .collect();
         self.subst(&map)
     }
 
@@ -417,7 +422,11 @@ impl Formula {
             ren: &HashMap<Var, Var>,
             used: &mut BTreeSet<Var>,
         ) -> Formula {
-            let nx = if used.contains(x) { Var::fresh(&x.name()) } else { *x };
+            let nx = if used.contains(x) {
+                Var::fresh(&x.name())
+            } else {
+                *x
+            };
             used.insert(nx);
             let mut ren2 = ren.clone();
             ren2.insert(*x, nx);
@@ -655,7 +664,10 @@ mod tests {
     #[test]
     fn and_all_or_all() {
         let ws = vec![Formula::prop("p"), Formula::prop("q"), Formula::prop("r")];
-        assert_eq!(Formula::and_all(ws.clone()).unwrap().to_string(), "p & q & r");
+        assert_eq!(
+            Formula::and_all(ws.clone()).unwrap().to_string(),
+            "p & q & r"
+        );
         assert_eq!(Formula::or_all(ws).unwrap().to_string(), "p | q | r");
         assert!(Formula::and_all(vec![]).is_none());
     }

@@ -71,7 +71,10 @@ struct Lexer {
 
 impl Lexer {
     fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
-        let mut l = Lexer { pos: 0, toks: Vec::new() };
+        let mut l = Lexer {
+            pos: 0,
+            toks: Vec::new(),
+        };
         let bytes = src.as_bytes();
         while l.pos < bytes.len() {
             let c = bytes[l.pos] as char;
@@ -95,26 +98,8 @@ impl Lexer {
                         l.push(Tok::Not, 1, start);
                     }
                 }
-                '-' => {
-                    if bytes.get(l.pos + 1) == Some(&b'>') {
-                        l.push(Tok::Implies, 2, start);
-                    } else {
-                        return Err(ParseError {
-                            message: format!("unexpected character '{c}'"),
-                            offset: start,
-                        });
-                    }
-                }
-                '<' => {
-                    if src[l.pos..].starts_with("<->") {
-                        l.push(Tok::Iff, 3, start);
-                    } else {
-                        return Err(ParseError {
-                            message: format!("unexpected character '{c}'"),
-                            offset: start,
-                        });
-                    }
-                }
+                '-' if bytes.get(l.pos + 1) == Some(&b'>') => l.push(Tok::Implies, 2, start),
+                '<' if src[l.pos..].starts_with("<->") => l.push(Tok::Iff, 3, start),
                 _ if c.is_ascii_alphabetic() || c == '_' => {
                     let mut end = l.pos;
                     while end < bytes.len() {
@@ -180,7 +165,10 @@ impl Parser {
     }
 
     fn err(&self, message: String) -> ParseError {
-        ParseError { message, offset: self.offset() }
+        ParseError {
+            message,
+            offset: self.offset(),
+        }
     }
 
     fn formula(&mut self) -> Result<Formula, ParseError> {
@@ -283,7 +271,11 @@ impl Parser {
         let mut w = body;
         for name in vars.into_iter().rev() {
             let v = Var::new(&name);
-            w = if forall { Formula::forall(v, w) } else { Formula::exists(v, w) };
+            w = if forall {
+                Formula::forall(v, w)
+            } else {
+                Formula::exists(v, w)
+            };
         }
         Ok(w)
     }
@@ -366,7 +358,12 @@ fn is_conventional_var(name: &str) -> bool {
 /// ```
 pub fn parse(src: &str) -> Result<Formula, ParseError> {
     let toks = Lexer::lex(src)?;
-    let mut p = Parser { toks, i: 0, bound: Vec::new(), end: src.len() };
+    let mut p = Parser {
+        toks,
+        i: 0,
+        bound: Vec::new(),
+        end: src.len(),
+    };
     let w = p.formula()?;
     if p.i != p.toks.len() {
         return Err(p.err("trailing input after formula".into()));
@@ -380,7 +377,7 @@ pub fn parse(src: &str) -> Result<Formula, ParseError> {
 pub fn parse_theory(src: &str) -> Result<Vec<Formula>, ParseError> {
     let mut out = Vec::new();
     let mut offset = 0usize;
-    for raw_chunk in src.split(|c| c == ';' || c == '\n') {
+    for raw_chunk in src.split([';', '\n']) {
         let uncommented = raw_chunk
             .split('%')
             .next()
@@ -463,7 +460,10 @@ mod tests {
     #[test]
     fn quantifier_scope_extends_right() {
         let w = parse("exists x. p(x) & q(x)").unwrap();
-        assert!(w.is_sentence(), "body of the quantifier is the whole conjunction");
+        assert!(
+            w.is_sentence(),
+            "body of the quantifier is the whole conjunction"
+        );
     }
 
     #[test]

@@ -51,11 +51,18 @@ fn table() -> &'static RwLock<Interner> {
 }
 
 fn intern(space: Space, name: &str) -> u32 {
-    table().write().expect("symbol table poisoned").intern(space, name)
+    table()
+        .write()
+        .expect("symbol table poisoned")
+        .intern(space, name)
 }
 
 fn resolve(id: u32) -> String {
-    table().read().expect("symbol table poisoned").name(id).to_owned()
+    table()
+        .read()
+        .expect("symbol table poisoned")
+        .name(id)
+        .to_owned()
 }
 
 /// A predicate symbol together with its arity.
@@ -72,7 +79,10 @@ impl Pred {
     /// Intern a predicate symbol of the given arity.
     pub fn new(name: &str, arity: usize) -> Self {
         let arity = u8::try_from(arity).expect("predicate arity > 255 unsupported");
-        Pred { id: intern(Space::Pred, name), arity }
+        Pred {
+            id: intern(Space::Pred, name),
+            arity,
+        }
     }
 
     /// The predicate's name.

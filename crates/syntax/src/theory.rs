@@ -32,7 +32,10 @@ impl fmt::Display for TheoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TheoryError::NotFirstOrder(s) => {
-                write!(f, "`{s}` mentions K; only FOPCE sentences may enter a database")
+                write!(
+                    f,
+                    "`{s}` mentions K; only FOPCE sentences may enter a database"
+                )
             }
             TheoryError::NotSentence(s) => write!(f, "`{s}` has free variables"),
             TheoryError::Parse(e) => write!(f, "{e}"),

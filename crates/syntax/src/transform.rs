@@ -28,9 +28,10 @@ pub fn kernel(w: &Formula) -> Formula {
         Formula::Not(a) => Formula::not(kernel(a)),
         Formula::And(a, b) => Formula::and(kernel(a), kernel(b)),
         // a ∨ b  ≡  ¬(¬a ∧ ¬b)
-        Formula::Or(a, b) => {
-            Formula::not(Formula::and(Formula::not(kernel(a)), Formula::not(kernel(b))))
-        }
+        Formula::Or(a, b) => Formula::not(Formula::and(
+            Formula::not(kernel(a)),
+            Formula::not(kernel(b)),
+        )),
         // a ⊃ b  ≡  ¬(a ∧ ¬b)
         Formula::Implies(a, b) => Formula::not(Formula::and(kernel(a), Formula::not(kernel(b)))),
         // a ≡ b  ≡  ¬(a ∧ ¬b) ∧ ¬(b ∧ ¬a)
@@ -66,9 +67,7 @@ pub fn kernel_top(w: &Formula) -> Formula {
             Formula::not(Formula::and((**a).clone(), Formula::not((**b).clone()))),
             Formula::not(Formula::and((**b).clone(), Formula::not((**a).clone()))),
         ),
-        Formula::Forall(x, a) => {
-            Formula::not(Formula::exists(*x, Formula::not((**a).clone())))
-        }
+        Formula::Forall(x, a) => Formula::not(Formula::exists(*x, Formula::not((**a).clone()))),
         other => other.clone(),
     }
 }
@@ -105,10 +104,9 @@ pub fn nnf(w: &Formula) -> Formula {
             Formula::And(a, b) => Formula::and(pos(a), pos(b)),
             Formula::Or(a, b) => Formula::or(pos(a), pos(b)),
             Formula::Implies(a, b) => Formula::or(neg(a), pos(b)),
-            Formula::Iff(a, b) => Formula::and(
-                Formula::or(neg(a), pos(b)),
-                Formula::or(neg(b), pos(a)),
-            ),
+            Formula::Iff(a, b) => {
+                Formula::and(Formula::or(neg(a), pos(b)), Formula::or(neg(b), pos(a)))
+            }
             Formula::Forall(x, a) => Formula::forall(*x, pos(a)),
             Formula::Exists(x, a) => Formula::exists(*x, pos(a)),
             Formula::Know(_) => unreachable!("checked first-order"),
@@ -121,10 +119,9 @@ pub fn nnf(w: &Formula) -> Formula {
             Formula::And(a, b) => Formula::or(neg(a), neg(b)),
             Formula::Or(a, b) => Formula::and(neg(a), neg(b)),
             Formula::Implies(a, b) => Formula::and(pos(a), neg(b)),
-            Formula::Iff(a, b) => Formula::or(
-                Formula::and(pos(a), neg(b)),
-                Formula::and(pos(b), neg(a)),
-            ),
+            Formula::Iff(a, b) => {
+                Formula::or(Formula::and(pos(a), neg(b)), Formula::and(pos(b), neg(a)))
+            }
             Formula::Forall(x, a) => Formula::exists(*x, neg(a)),
             Formula::Exists(x, a) => Formula::forall(*x, neg(a)),
             Formula::Know(_) => unreachable!("checked first-order"),
@@ -212,7 +209,7 @@ pub fn admissible_constraint(ic: &Formula) -> Formula {
 /// Applied bottom-up to a fixpoint. Every K₁-subjective formula is left
 /// with modal depth exactly 1 and iterated modalities are eliminated.
 pub fn flatten_k45(w: &Formula) -> Formula {
-    let out = match w {
+    match w {
         Formula::Atom(_) | Formula::Eq(_, _) => w.clone(),
         Formula::Not(a) => {
             let a = flatten_k45(a);
@@ -240,8 +237,7 @@ pub fn flatten_k45(w: &Formula) -> Formula {
                 Formula::know(a)
             }
         }
-    };
-    out
+    }
 }
 
 #[cfg(test)]
@@ -254,10 +250,7 @@ mod tests {
     fn kernel_eliminates_sugar() {
         let w = parse("forall x. p(x) -> q(x) | r(x)").unwrap();
         let k = kernel(&w);
-        assert_eq!(
-            k.to_string(),
-            "~(exists x. ~~(p(x) & ~~(~q(x) & ~r(x))))"
-        );
+        assert_eq!(k.to_string(), "~(exists x. ~~(p(x) & ~~(~q(x) & ~r(x))))");
     }
 
     #[test]
@@ -288,10 +281,7 @@ mod tests {
         // ℛ(q(x) ∧ ¬∃y (r(x,y) ∧ ¬q(y))) = Kq(x) ∧ ¬∃y (Kr(x,y) ∧ ¬Kq(y))
         let w = parse("q(x) & ~(exists y. r(x, y) & ~q(y))").unwrap();
         let m = modalize(&w);
-        assert_eq!(
-            m.to_string(),
-            "K q(x) & ~(exists y. K r(x, y) & ~K q(y))"
-        );
+        assert_eq!(m.to_string(), "K q(x) & ~(exists y. K r(x, y) & ~K q(y))");
         assert!(is_subjective(&m), "Remark 7.1: ℛ(w) is subjective");
         assert!(is_k1(&m), "Remark 7.1: ℛ(w) is K₁");
     }
@@ -338,10 +328,8 @@ mod tests {
 
     #[test]
     fn example_54_mother_typing() {
-        let ic = parse(
-            "forall x, y. K mother(x, y) -> K(person(x) & female(x) & person(y))",
-        )
-        .unwrap();
+        let ic =
+            parse("forall x, y. K mother(x, y) -> K(person(x) & female(x) & person(y))").unwrap();
         let a = admissible_constraint(&ic);
         assert_eq!(
             a.to_string(),
@@ -354,8 +342,7 @@ mod tests {
     fn example_54_functional_dependency() {
         // ∀x,y,z (Kss(x,y) ∧ Kss(x,z) ⊃ K y=z)
         //   ↝ ¬∃x,y,z (Kss(x,y) ∧ Kss(x,z) ∧ ¬K y=z)
-        let ic =
-            parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap();
+        let ic = parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap();
         let a = admissible_constraint(&ic);
         assert_eq!(
             a.to_string(),

@@ -41,9 +41,15 @@ fn main() {
     let circ = minimal_worlds(&ms);
     let notkp = parse("~K p").unwrap();
     let notp = parse("~p").unwrap();
-    println!("  Circ({{p | q}}) has {} minimal models", circ.worlds().len());
+    println!(
+        "  Circ({{p | q}}) has {} minimal models",
+        circ.worlds().len()
+    );
     println!("  Circ ⊨ ~K p ?  {}", circ.certain(&notkp));
-    println!("  Circ ⊨ ~p   ?  {}   <- K genuinely matters here\n", circ.certain(&notp));
+    println!(
+        "  Circ ⊨ ~p   ?  {}   <- K genuinely matters here\n",
+        circ.certain(&notp)
+    );
     assert!(circ.certain(&notkp));
     assert!(!circ.certain(&notp));
     // Whereas Closure({p ∨ q}) is outright unsatisfiable:
@@ -55,10 +61,7 @@ fn main() {
 
     // ----- Theorem 7.3 / Example 7.3: demo(ℛ(w)) -------------------------
     println!("== Example 7.3: CWA evaluation via demo(R(w)) ==\n");
-    let graph = EpistemicDb::from_text(
-        "q(a)\nq(b)\nq(c)\nr(a, b)\nr(b, c)",
-    )
-    .unwrap();
+    let graph = EpistemicDb::from_text("q(a)\nq(b)\nq(c)\nr(a, b)\nr(b, c)").unwrap();
     let w = parse("q(x) & ~(exists y. r(x, y) & q(y))").unwrap();
     println!("  query w       = {w}");
     println!("  modalized R(w) = {}", modalize(&w));
@@ -67,17 +70,18 @@ fn main() {
         .map(|t| t[0].name())
         .collect();
     println!("  demo(R(w), Σ) answers -> {via_demo:?}");
-    let via_closure: Vec<String> =
-        graph.closed().answers(&w).iter().map(|t| t[0].name()).collect();
+    let via_closure: Vec<String> = graph
+        .closed()
+        .answers(&w)
+        .iter()
+        .map(|t| t[0].name())
+        .collect();
     println!("  Closure(Σ) answers     -> {via_closure:?}");
     assert_eq!(via_demo, via_closure);
 
     // ----- Relational databases --------------------------------------------
     println!("\n== Relational instance under CWA ==\n");
-    let rel = EpistemicDb::from_text(
-        "Emp(Mary, Sales)\nEmp(Sue, Eng)\nMgr(Sales, Ann)",
-    )
-    .unwrap();
+    let rel = EpistemicDb::from_text("Emp(Mary, Sales)\nEmp(Sue, Eng)\nMgr(Sales, Ann)").unwrap();
     let closed = rel.closed();
     assert!(closed.satisfiable());
     for q in [

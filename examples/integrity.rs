@@ -26,11 +26,21 @@ fn main() {
         IcDefinition::Epistemic,
     ];
     for (label, src) in dbs {
-        println!("  {label}  (intuition: {} satisfy the constraint)",
-            if src.is_empty() { "SHOULD" } else { "should NOT" });
+        println!(
+            "  {label}  (intuition: {} satisfy the constraint)",
+            if src.is_empty() {
+                "SHOULD"
+            } else {
+                "should NOT"
+            }
+        );
         let prover = Prover::new(Theory::from_text(src).unwrap());
         for def in defs {
-            let ic = if def == IcDefinition::Epistemic { &ic_modal } else { &ic_fo };
+            let ic = if def == IcDefinition::Epistemic {
+                &ic_modal
+            } else {
+                &ic_fo
+            };
             let verdict = ic_satisfaction(&prover, ic, def);
             println!("    {def:<28} -> {verdict}");
         }
@@ -44,22 +54,21 @@ fn main() {
     db.add_constraint(parse("forall x. K emp(x) -> K (exists y. ss(x, y))").unwrap())
         .unwrap();
     // Example 3.5: social security numbers are unique (an epistemic FD).
-    db.add_constraint(
-        parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
-    )
-    .unwrap();
+    db.add_constraint(parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap())
+        .unwrap();
     // Example 3.1: nobody is both male and female.
-    db.add_constraint(parse("forall x. ~K (male(x) & female(x))").unwrap()).unwrap();
+    db.add_constraint(parse("forall x. ~K (male(x) & female(x))").unwrap())
+        .unwrap();
 
     let updates = [
         "ss(Mary, n1)",
         "emp(Mary)",
-        "emp(Sue)",          // rejected: no number on file for Sue
+        "emp(Sue)",             // rejected: no number on file for Sue
         "exists y. ss(Sue, y)", // a number known to exist (a null) suffices
-        "emp(Sue)",          // now accepted
-        "ss(Mary, n2)",      // rejected: violates the functional dependency
+        "emp(Sue)",             // now accepted
+        "ss(Mary, n2)",         // rejected: violates the functional dependency
         "male(Sam)",
-        "female(Sam)",       // rejected: Example 3.1
+        "female(Sam)", // rejected: Example 3.1
     ];
     for u in updates {
         let w = parse(u).unwrap();

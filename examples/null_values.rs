@@ -35,10 +35,22 @@ fn main() {
     }
     // Mary: both yes. Sue: on file but not known. Ann: on file (the
     // disjunction guarantees existence) but not known.
-    assert_eq!(db.ask(&parse("exists y. K ss(Mary, y)").unwrap()), Answer::Yes);
-    assert_eq!(db.ask(&parse("exists y. K ss(Sue, y)").unwrap()), Answer::No);
-    assert_eq!(db.ask(&parse("K (exists y. ss(Ann, y))").unwrap()), Answer::Yes);
-    assert_eq!(db.ask(&parse("exists y. K ss(Ann, y)").unwrap()), Answer::No);
+    assert_eq!(
+        db.ask(&parse("exists y. K ss(Mary, y)").unwrap()),
+        Answer::Yes
+    );
+    assert_eq!(
+        db.ask(&parse("exists y. K ss(Sue, y)").unwrap()),
+        Answer::No
+    );
+    assert_eq!(
+        db.ask(&parse("K (exists y. ss(Ann, y))").unwrap()),
+        Answer::Yes
+    );
+    assert_eq!(
+        db.ask(&parse("exists y. K ss(Ann, y)").unwrap()),
+        Answer::No
+    );
 
     println!("\n== The weak constraint tolerates nulls ==\n");
     let weak = parse("forall x. K emp(x) -> K (exists y. ss(x, y))").unwrap();

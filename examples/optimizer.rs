@@ -39,7 +39,13 @@ fn main() {
     println!("  constraint : {constraint}");
     println!("  query      : {query}");
     println!("  optimized  : {optimized}");
-    assert!(equivalent_under(&constraint, &query, &optimized, &universe, &preds));
+    assert!(equivalent_under(
+        &constraint,
+        &query,
+        &optimized,
+        &universe,
+        &preds
+    ));
 
     // Verify identical answers on a database satisfying the constraint,
     // and compare the prover work saved.
@@ -49,7 +55,11 @@ fn main() {
     }
     src.push_str("q(extra)\n");
     let db = EpistemicDb::from_text(&src).unwrap();
-    assert_eq!(db.ask(&constraint), Answer::Yes, "DB satisfies the constraint");
+    assert_eq!(
+        db.ask(&constraint),
+        Answer::Yes,
+        "DB satisfies the constraint"
+    );
 
     // Fresh databases per run so the prover's memo table cannot blur the
     // comparison.

@@ -64,7 +64,11 @@ fn main() {
         let w = parse(query).unwrap();
         let answer = db.ask(&w);
         // Which evaluator handles it? demo covers the admissible fragment.
-        let via = if is_admissible(&w) { "demo+ask" } else { "ask    " };
+        let via = if is_admissible(&w) {
+            "demo+ask"
+        } else {
+            "ask    "
+        };
         println!("  [{via}] {gloss:<42} -> {answer}");
 
         // Cross-check demo on admissible sentence queries.
@@ -84,18 +88,12 @@ fn main() {
     let answers = db.demo_all(&open).unwrap();
     println!(
         "  K Teach(John, x)  known courses of John       -> {:?}",
-        answers
-            .iter()
-            .map(|t| t[0].name())
-            .collect::<Vec<_>>()
+        answers.iter().map(|t| t[0].name()).collect::<Vec<_>>()
     );
     let open = parse("Teach(x, Psych)").unwrap();
     let answers = db.demo_all(&open).unwrap();
     println!(
         "  Teach(x, Psych)   known teachers of Psych     -> {:?} (Mary-or-Sue is not a binding)",
-        answers
-            .iter()
-            .map(|t| t[0].name())
-            .collect::<Vec<_>>()
+        answers.iter().map(|t| t[0].name()).collect::<Vec<_>>()
     );
 }

@@ -55,7 +55,7 @@ pub mod prelude {
     };
     pub use epilog_prover::Prover;
     pub use epilog_syntax::{
-        admissibility, is_admissible, is_safe, is_subjective, parse, parse_theory, Formula,
-        Param, Pred, Term, Theory, Var,
+        admissibility, is_admissible, is_safe, is_subjective, parse, parse_theory, Formula, Param,
+        Pred, Term, Theory, Var,
     };
 }

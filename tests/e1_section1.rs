@@ -96,14 +96,23 @@ fn teach_table_demo_agreement() {
 fn mary_or_sue_answer_shape() {
     // "yes, Mary or Sue": the sentence is certain but neither binding is.
     let db = teach_db();
-    assert_eq!(db.ask(&parse("exists x. Teach(x, Psych)").unwrap()), Answer::Yes);
+    assert_eq!(
+        db.ask(&parse("exists x. Teach(x, Psych)").unwrap()),
+        Answer::Yes
+    );
     assert!(db.answers(&parse("Teach(x, Psych)").unwrap()).is_empty());
     assert_eq!(
         db.ask(&parse("Teach(Mary, Psych) | Teach(Sue, Psych)").unwrap()),
         Answer::Yes
     );
-    assert_eq!(db.ask(&parse("Teach(Mary, Psych)").unwrap()), Answer::Unknown);
-    assert_eq!(db.ask(&parse("Teach(Sue, Psych)").unwrap()), Answer::Unknown);
+    assert_eq!(
+        db.ask(&parse("Teach(Mary, Psych)").unwrap()),
+        Answer::Unknown
+    );
+    assert_eq!(
+        db.ask(&parse("Teach(Sue, Psych)").unwrap()),
+        Answer::Unknown
+    );
 }
 
 #[test]

@@ -66,15 +66,15 @@ fn full_table() {
     use IcReport::*;
     let cases: Vec<(&str, IcDefinition, IcReport)> = vec![
         // DB = {emp(Mary)} — intuition: violated.
-        ("emp(Mary)", Consistency, Satisfied),      // wrong
-        ("emp(Mary)", Entailment, Violated),        // right, by accident
-        ("emp(Mary)", CompConsistency, Violated),   // right (Comp closes ss)
-        ("emp(Mary)", CompEntailment, Violated),    // right (Comp closes ss)
+        ("emp(Mary)", Consistency, Satisfied),    // wrong
+        ("emp(Mary)", Entailment, Violated),      // right, by accident
+        ("emp(Mary)", CompConsistency, Violated), // right (Comp closes ss)
+        ("emp(Mary)", CompEntailment, Violated),  // right (Comp closes ss)
         // DB = {} — intuition: satisfied.
-        ("", Consistency, Satisfied),               // right, by accident
-        ("", Entailment, Violated),                 // wrong
-        ("", CompConsistency, Satisfied),           // right
-        ("", CompEntailment, Satisfied),            // right
+        ("", Consistency, Satisfied),     // right, by accident
+        ("", Entailment, Violated),       // wrong
+        ("", CompConsistency, Satisfied), // right
+        ("", CompEntailment, Satisfied),  // right
     ];
     for (src, def, expected) in cases {
         let p = Prover::new(Theory::from_text(src).unwrap());
@@ -87,9 +87,7 @@ fn full_table() {
     // And the epistemic definition is right on both (tested above); the
     // decisive separation is the disjunctive database, where Comp does
     // not even apply but Definition 3.5 still works:
-    let disj = Prover::new(
-        Theory::from_text("emp(Mary) | emp(Sue)").unwrap(),
-    );
+    let disj = Prover::new(Theory::from_text("emp(Mary) | emp(Sue)").unwrap());
     assert_eq!(
         ic_satisfaction(&disj, &ic_fo(), CompEntailment),
         Inapplicable

@@ -18,8 +18,7 @@ fn verdict(db_src: &str, ic_src: &str) -> bool {
         "rewrite of {ic_src} must be admissible: {}",
         admissibility(&rewritten)
     );
-    let via_demo =
-        demo_sentence(db.prover(), &rewritten).unwrap() == DemoOutcome::Succeeds;
+    let via_demo = demo_sentence(db.prover(), &rewritten).unwrap() == DemoOutcome::Succeeds;
     assert_eq!(
         semantic, via_demo,
         "ask vs demo divergence on `{ic_src}` against `{db_src}`"

@@ -59,7 +59,10 @@ fn example_53_admissibility_of_section1() {
         "exists x. Teach(x, Psych) & ~Teach(x, CS)",
     ];
     for src in admissible {
-        assert!(is_admissible(&parse(src).unwrap()), "expected admissible: {src}");
+        assert!(
+            is_admissible(&parse(src).unwrap()),
+            "expected admissible: {src}"
+        );
     }
     // The last §1 query and the extra Example 5.3 formula are not.
     assert!(matches!(
@@ -90,7 +93,10 @@ fn result_51_subjective_k1() {
     // cautionary example): not admissible.
     let dup = parse("exists x. K (exists x. p(x)) & K q(x)").unwrap();
     assert!(is_subjective(&dup) && is_k1(&dup));
-    assert!(matches!(admissibility(&dup), Admissibility::VariableCollision(_)));
+    assert!(matches!(
+        admissibility(&dup),
+        Admissibility::VariableCollision(_)
+    ));
 
     // Unsafe subjective K₁: not admissible.
     let unsafe_s = parse("exists x. ~K p(x)").unwrap();

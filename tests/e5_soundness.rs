@@ -28,16 +28,18 @@ fn preds() -> Vec<Pred> {
 
 /// A random database sentence, elementary by construction.
 fn sentence_strategy() -> impl Strategy<Value = String> {
-    let atom = (0..2usize, 0..PARAMS.len()).prop_map(|(pr, pa)| {
-        format!("{}({})", ["p", "q"][pr], PARAMS[pa])
-    });
+    let atom = (0..2usize, 0..PARAMS.len())
+        .prop_map(|(pr, pa)| format!("{}({})", ["p", "q"][pr], PARAMS[pa]));
     prop_oneof![
         atom.clone(),
         Just("r".to_string()),
         (atom.clone(), atom.clone()).prop_map(|(a, b)| format!("{a} | {b}")),
         (0..2usize).prop_map(|pr| format!("exists x. {}(x)", ["p", "q"][pr])),
-        (0..2usize, 0..2usize)
-            .prop_map(|(f, t)| format!("forall x. {}(x) -> {}(x)", ["p", "q"][f], ["p", "q"][t])),
+        (0..2usize, 0..2usize).prop_map(|(f, t)| format!(
+            "forall x. {}(x) -> {}(x)",
+            ["p", "q"][f],
+            ["p", "q"][t]
+        )),
     ]
 }
 
@@ -61,8 +63,12 @@ fn query_strategy() -> impl Strategy<Value = String> {
     let pred = |i: usize| ["p", "q"][i];
     prop_oneof![
         // Normal query: p(x) [& K q(x)] [& ~K p(x)]
-        (0..2usize, proptest::option::of(0..2usize), proptest::option::of(0..2usize)).prop_map(
-            move |(first, klit, nk)| {
+        (
+            0..2usize,
+            proptest::option::of(0..2usize),
+            proptest::option::of(0..2usize)
+        )
+            .prop_map(move |(first, klit, nk)| {
                 let mut s = format!("{}(x)", pred(first));
                 if let Some(k) = klit {
                     s.push_str(&format!(" & K {}(x)", pred(k)));
@@ -71,8 +77,7 @@ fn query_strategy() -> impl Strategy<Value = String> {
                     s.push_str(&format!(" & ~K {}(x)", pred(n)));
                 }
                 s
-            }
-        ),
+            }),
         // Ground normal query.
         (0..2usize, 0..PARAMS.len(), 0..2usize, 0..PARAMS.len()).prop_map(
             move |(p1, a1, p2, a2)| format!(

@@ -40,17 +40,26 @@ fn pe_linked_query() -> impl Strategy<Value = String> {
     let pred = |i: usize| ["p", "q"][i];
     prop_oneof![
         (0..2usize).prop_map(move |p1| format!("{}(x)", pred(p1))),
-        (0..2usize, 0..2usize)
-            .prop_map(move |(p1, p2)| format!("{}(x) & {}(x)", pred(p1), pred(p2))),
-        (0..2usize, 0..2usize)
-            .prop_map(move |(p1, p2)| format!("{}(x) | {}(x)", pred(p1), pred(p2))),
+        (0..2usize, 0..2usize).prop_map(move |(p1, p2)| format!(
+            "{}(x) & {}(x)",
+            pred(p1),
+            pred(p2)
+        )),
+        (0..2usize, 0..2usize).prop_map(move |(p1, p2)| format!(
+            "{}(x) | {}(x)",
+            pred(p1),
+            pred(p2)
+        )),
         (0..2usize, 0..2usize).prop_map(move |(p1, p2)| format!(
             "{}(x) & (exists y. {}(y))",
             pred(p1),
             pred(p2)
         )),
-        (0..2usize, 0..PARAMS.len())
-            .prop_map(move |(p1, pa)| format!("{}({})", pred(p1), PARAMS[pa])),
+        (0..2usize, 0..PARAMS.len()).prop_map(move |(p1, pa)| format!(
+            "{}({})",
+            pred(p1),
+            PARAMS[pa]
+        )),
     ]
 }
 

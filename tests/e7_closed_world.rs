@@ -104,15 +104,23 @@ fn example_73_both_paths() {
         .collect();
     assert_eq!(via_demo, vec!["b".to_string()]);
 
-    let via_closure: Vec<String> =
-        db.closed().answers(&w).iter().map(|t| t[0].name()).collect();
+    let via_closure: Vec<String> = db
+        .closed()
+        .answers(&w)
+        .iter()
+        .map(|t| t[0].name())
+        .collect();
     assert_eq!(via_demo, via_closure);
 
     // The already-epistemic variant Kq(x) ∧ ¬∃y(Kr(x,y) ∧ Kq(y)) — by
     // Theorem 7.1 it is equivalent under CWA to the plain w.
     let epi = parse("K q(x) & ~(exists y. K r(x, y) & K q(y))").unwrap();
-    let via_epi: Vec<String> =
-        db.closed().answers(&epi).iter().map(|t| t[0].name()).collect();
+    let via_epi: Vec<String> = db
+        .closed()
+        .answers(&epi)
+        .iter()
+        .map(|t| t[0].name())
+        .collect();
     assert_eq!(via_epi, via_closure);
 }
 
@@ -120,13 +128,16 @@ fn example_73_both_paths() {
 fn relational_database_as_model() {
     // §7's relational special case: a ground-atomic DB's closure has the
     // DB itself as unique model, and IC satisfaction = truth in the model.
-    let db = EpistemicDb::from_text(
-        "Emp(Mary, Sales)\nEmp(Sue, Eng)\nMgr(Sales, Ann)\nMgr(Eng, Bob)",
-    )
-    .unwrap();
+    let db =
+        EpistemicDb::from_text("Emp(Mary, Sales)\nEmp(Sue, Eng)\nMgr(Sales, Ann)\nMgr(Eng, Bob)")
+            .unwrap();
     let closed = db.closed();
     assert!(closed.satisfiable());
-    assert_eq!(closed.world().len(), 4, "the unique model is the instance itself");
+    assert_eq!(
+        closed.world().len(),
+        4,
+        "the unique model is the instance itself"
+    );
     let ic = parse("forall x, y. Emp(x, y) -> exists z. Mgr(y, z)").unwrap();
     assert_eq!(closed.ask(&ic), Answer::Yes);
     let bad_ic = parse("forall x, y. Emp(x, y) -> Mgr(y, Mary)").unwrap();

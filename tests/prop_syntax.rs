@@ -16,9 +16,8 @@ fn fopce() -> impl Strategy<Value = Formula> {
         (0..2usize, 0..2usize).prop_map(|(pr, pa)| {
             parse(&format!("{}({})", ["p", "q"][pr], PARAMS[pa])).unwrap()
         }),
-        (0..2usize, 0..2usize).prop_map(|(a, b)| {
-            parse(&format!("{} = {}", PARAMS[a], PARAMS[b])).unwrap()
-        }),
+        (0..2usize, 0..2usize)
+            .prop_map(|(a, b)| { parse(&format!("{} = {}", PARAMS[a], PARAMS[b])).unwrap() }),
     ];
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
@@ -31,17 +30,11 @@ fn fopce() -> impl Strategy<Value = Formula> {
                 // Quantify a fresh variable over a disjunct with a
                 // variable atom so quantifiers are exercised.
                 let x = Var::new("x");
-                Formula::forall(
-                    x,
-                    Formula::or(Formula::atom("p", vec![x.into()]), a),
-                )
+                Formula::forall(x, Formula::or(Formula::atom("p", vec![x.into()]), a))
             }),
             inner.clone().prop_map(|a| {
                 let x = Var::new("x");
-                Formula::exists(
-                    x,
-                    Formula::and(Formula::atom("q", vec![x.into()]), a),
-                )
+                Formula::exists(x, Formula::and(Formula::atom("q", vec![x.into()]), a))
             }),
         ]
     })
@@ -161,5 +154,25 @@ proptest! {
         prop_assert_eq!(is_safe(&w), is_safe(&reparsed));
         prop_assert_eq!(is_admissible(&w), is_admissible(&reparsed));
         prop_assert_eq!(is_subjective(&w), is_subjective(&reparsed));
+    }
+
+    /// nnf() is idempotent: a formula already in negation normal form is
+    /// a fixpoint, so the transform is a true normalizer (not merely an
+    /// equivalence-preserving rewrite).
+    #[test]
+    fn nnf_is_idempotent(w in fopce()) {
+        let once = nnf(&w);
+        let twice = nnf(&once);
+        prop_assert_eq!(&twice, &once, "nnf not idempotent on {}", w);
+    }
+
+    /// flatten_k45() is idempotent: its output has no remaining
+    /// K-over-conjunction, K-over-subjective, or double-negation redexes,
+    /// so a second pass must be the identity.
+    #[test]
+    fn flatten_k45_is_idempotent(w in kfopce()) {
+        let once = flatten_k45(&w);
+        let twice = flatten_k45(&once);
+        prop_assert_eq!(&twice, &once, "flatten_k45 not idempotent on {}", w);
     }
 }

@@ -1,0 +1,253 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by the
+//! benches in `crates/bench/benches/`.
+//!
+//! The build container has no route to a crates.io mirror, so the real
+//! crate cannot be fetched. This shim keeps the bench sources
+//! source-compatible (`Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `iter`, `iter_with_setup`, `criterion_group!`,
+//! `criterion_main!`, `BenchmarkId`, `Throughput`, `black_box`) and
+//! implements a simple but honest measurement loop: per benchmark it
+//! warms up once, then times `sample_size` executions and reports
+//! min / median / mean wall-clock time. No HTML reports, no statistics
+//! beyond that, no command-line filtering.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (printed, not otherwise used).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Identifier of a parameterized benchmark: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing harness handed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-sample durations, collected by `iter`/`iter_with_setup`.
+    measurements: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample (after one untimed warm-up call).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.measurements.push(start.elapsed());
+        }
+    }
+
+    /// Like `iter`, but re-runs `setup` untimed before every sample.
+    pub fn iter_with_setup<I, O, S, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.measurements.push(start.elapsed());
+        }
+    }
+
+    /// `iter_batched` collapses to `iter_with_setup` in this shim.
+    pub fn iter_batched<I, O, S, R>(&mut self, setup: S, routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+/// Batch sizing hint (ignored by the shim's measurement loop).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        measurements: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    let mut sorted = b.measurements.clone();
+    sorted.sort();
+    let min = sorted.first().copied().unwrap_or_default();
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+    let total: Duration = sorted.iter().sum();
+    let mean = if sorted.is_empty() {
+        Duration::ZERO
+    } else {
+        total / sorted.len() as u32
+    };
+    let tp = match throughput {
+        Some(Throughput::Elements(n)) => format!("  ({n} elems)"),
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => format!("  ({n} bytes)"),
+        None => String::new(),
+    };
+    println!("{label:<50} min {min:>12?}  median {median:>12?}  mean {mean:>12?}{tp}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Entry point; one instance per bench binary, created by `criterion_main!`.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // The real default is 100; benches here that care call
+            // `sample_size` themselves, so keep un-annotated ones quick.
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        let default_sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: default_sample_size,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.default_sample_size, None, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&id.to_string(), self.default_sample_size, None, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

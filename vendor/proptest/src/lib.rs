@@ -1,0 +1,55 @@
+//! Offline shim for the subset of the `proptest` 1.x API used by the
+//! property tests under `tests/`.
+//!
+//! The build container has no route to a crates.io mirror, so the real
+//! crate cannot be fetched. This shim keeps the test sources
+//! source-compatible for:
+//!
+//! * `Strategy` with `prop_map`, `prop_filter`, `prop_filter_map`,
+//!   `prop_recursive`, `boxed`;
+//! * range / tuple / `Just` strategies, `prop_oneof!`,
+//!   `proptest::collection::vec`, `proptest::option::of`;
+//! * the `proptest!` macro with `#![proptest_config(...)]`, multiple
+//!   `name in strategy` parameters, `prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assert_ne!`, and `prop_assume!`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the formatted assertion
+//!   message (the tests interpolate the offending input themselves).
+//! * **Deterministic seeding** per test name, so CI failures reproduce.
+//! * Generation distributions are similar in spirit (recursive
+//!   strategies are depth-bounded) but not stream-compatible.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A vector with length drawn from `len` and elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy::new(element, len)
+    }
+}
+
+/// `proptest::option` — `Option` strategies.
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// `Some` of the inner strategy three times out of four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy::new(inner)
+    }
+}
+
+/// `proptest::prelude` — the glob import the tests use.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}

@@ -1,0 +1,337 @@
+//! Value-generation strategies (no shrinking — see the crate docs).
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// A recipe for generating random values of one type.
+///
+/// Mirrors `proptest::strategy::Strategy` for the combinators this
+/// workspace uses. Generation is a single draw; there is no value tree
+/// and no simplification.
+pub trait Strategy: Clone {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Apply `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `f` (regenerating until one does).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + Clone,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Map-and-filter in one step (regenerating on `None`).
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O> + Clone,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Grow recursive structures: `self` is the leaf strategy; `recurse`
+    /// receives a strategy for subterms and returns the branch strategy.
+    /// Recursion is expanded eagerly to `depth` levels, each level
+    /// choosing a leaf 1 time in 3 so shallow values stay common.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current).boxed();
+            current = Union::weighted(vec![(1, leaf.clone()), (2, branch)]).boxed();
+        }
+        current
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            gen: Rc::new(move |rng| self.generate(rng)),
+        }
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives, with integer weights.
+pub struct Union<T> {
+    alternatives: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u32,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            alternatives: self.alternatives.clone(),
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+        Self::weighted(alternatives.into_iter().map(|s| (1, s)).collect())
+    }
+
+    pub fn weighted(alternatives: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs an alternative");
+        let total_weight = alternatives.iter().map(|(w, _)| *w).sum();
+        assert!(total_weight > 0, "prop_oneof! needs a positive weight");
+        Union {
+            alternatives,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight as u64) as u32;
+        for (weight, alt) in &self.alternatives {
+            if pick < *weight {
+                return alt.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick is below the summed weights")
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// How many regenerations a filter may burn before giving up. Filters in
+/// this workspace are vacuous or nearly so; hitting this means the
+/// strategy itself is wrong.
+const MAX_FILTER_ATTEMPTS: u32 = 10_000;
+
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Clone,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..MAX_FILTER_ATTEMPTS {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter failed to generate: {}", self.whence)
+    }
+}
+
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O> + Clone,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        for _ in 0..MAX_FILTER_ATTEMPTS {
+            if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map failed to generate: {}", self.whence)
+    }
+}
+
+/// `proptest::collection::vec` — length drawn uniformly from the range.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> VecStrategy<S> {
+    pub fn new(element: S, len: Range<usize>) -> Self {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.below(span) as usize;
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::option::of` — `Some` three times out of four.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> OptionStrategy<S> {
+    pub fn new(inner: S) -> Self {
+        OptionStrategy { inner }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! tuple_strategy {
+    ($($s:ident => $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0 => 0);
+tuple_strategy!(S0 => 0, S1 => 1);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4);
+tuple_strategy!(S0 => 0, S1 => 1, S2 => 2, S3 => 3, S4 => 4, S5 => 5);
+
+/// `prop_oneof![s1, s2, ...]` or `prop_oneof![w1 => s1, w2 => s2, ...]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}

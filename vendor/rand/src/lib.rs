@@ -1,0 +1,178 @@
+//! Offline shim for the subset of the `rand` 0.8 API used by this
+//! workspace: `StdRng::seed_from_u64`, `Rng::gen_range` over integer
+//! ranges, `Rng::gen_bool`, and `Rng::gen` for a few primitives.
+//!
+//! The container this repository builds in has no route to a crates.io
+//! mirror, so the real crate cannot be fetched; this shim keeps the
+//! public API (for the calls we make) source-compatible so the path
+//! dependency can be swapped back to the registry version untouched.
+//!
+//! The generator is SplitMix64 — statistically fine for workload
+//! generation, NOT cryptographic, and deliberately deterministic per
+//! seed so benchmark inputs are reproducible.
+
+use std::ops::Range;
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface (subset of `rand::Rng`).
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(&mut |bound| gen_index(self.next_u64(), bound))
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p must be in [0, 1]");
+        // 53 uniform mantissa bits, exactly rand's strategy.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+
+    /// Uniform sample of a primitive (subset of `rand::Rng::gen`).
+    fn gen<T: UniformPrimitive>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+}
+
+/// Map a raw draw into `[0, bound)` without modulo bias worth worrying
+/// about at our bounds (Lemire-style widening multiply).
+fn gen_index(raw: u64, bound: u64) -> u64 {
+    assert!(bound > 0, "cannot sample from an empty range");
+    ((raw as u128 * bound as u128) >> 64) as u64
+}
+
+/// Half-open ranges that can be sampled (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+/// Integers that uniform ranges can produce. The single blanket impl of
+/// [`SampleRange`] below mirrors the real crate's structure so that type
+/// inference unifies `gen_range(0..2)` with the use site (e.g. slice
+/// indexing wants `usize`); separate per-type impls would leave the
+/// literal to default to `i32`.
+pub trait UniformInt: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "empty gen_range");
+        T::from_i128(lo + draw((hi - lo) as u64) as i128)
+    }
+}
+
+/// Primitives `Rng::gen` can produce.
+pub trait UniformPrimitive {
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl UniformPrimitive for u64 {
+    fn from_u64(raw: u64) -> Self {
+        raw
+    }
+}
+impl UniformPrimitive for u32 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 32) as u32
+    }
+}
+impl UniformPrimitive for bool {
+    fn from_u64(raw: u64) -> Self {
+        raw >> 63 == 1
+    }
+}
+impl UniformPrimitive for f64 {
+    fn from_u64(raw: u64) -> Self {
+        (raw >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64. The real `StdRng` is ChaCha12; we only promise
+    /// determinism-per-seed, not stream compatibility.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(0..5usize);
+            assert!(v < 5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
