@@ -5,7 +5,7 @@
 //! Prints, for each experiment, the paper's expected output next to the
 //! measured output, and exits nonzero on any mismatch.
 
-use epilog_bench::workloads::{section1_queries, teach_db};
+use epilog_bench::workloads::{scaling_program, section1_queries, teach_db};
 use epilog_core::closure::cwa_demo;
 use epilog_core::{ask, demo_sentence, ic_satisfaction, IcDefinition, IcReport};
 use epilog_prover::Prover;
@@ -184,6 +184,43 @@ fn main() {
         "[\"b\"]",
         &format!("{got:?}"),
     );
+
+    println!("\nF6 — evaluation pipeline scaling (chain join k=3 + transitive closure)");
+    for n in [8usize, 16, 32] {
+        let k = 3;
+        let prog = scaling_program(n, k);
+        let (db, fast) = prog.eval().unwrap();
+        let (naive_db, slow) = prog.eval_naive().unwrap();
+        let t = db.relation(Pred::new("t", 2)).map_or(0, |r| r.len());
+        let join = db.relation(Pred::new("join", 2)).map_or(0, |r| r.len());
+        check(
+            &format!("n={n} |t| (= n(n+1)/2)"),
+            &(n * (n + 1) / 2).to_string(),
+            &t.to_string(),
+        );
+        check(
+            &format!("n={n} |join| (= n-k+1)"),
+            &(n - k + 1).to_string(),
+            &join.to_string(),
+        );
+        check(
+            &format!("n={n} models agree"),
+            "yes",
+            if db == naive_db { "yes" } else { "no" },
+        );
+        check(
+            &format!(
+                "n={n} firings semi-naive {} < naive {}",
+                fast.rule_firings, slow.rule_firings
+            ),
+            "fewer",
+            if fast.rule_firings < slow.rule_firings {
+                "fewer"
+            } else {
+                "NOT-fewer"
+            },
+        );
+    }
 
     let failures = FAILURES.load(Ordering::Relaxed);
     println!("\n{} mismatches", failures);

@@ -108,6 +108,41 @@ pub fn datalog_chain(n: usize) -> epilog_datalog::Program {
     epilog_datalog::Program::from_text(&src).expect("generated text parses")
 }
 
+/// The evaluation-pipeline scaling workload: a `k`-way chain join plus
+/// transitive closure over an `n`-edge chain, in one program.
+///
+/// EDB: relations `r0 … r{k-1}`, each holding the same `n`-edge chain
+/// `ri(n_j, n_{j+1})`. Rules:
+///
+/// * `join(x0, xk) ← r0(x0,x1) ∧ r1(x1,x2) ∧ … ∧ r{k-1}(x{k-1},xk)` —
+///   the chain join, deriving the `n − k + 1` length-`k` paths;
+/// * `t(x, y) ← r0(x, y)` and `t(x, z) ← r0(x, y) ∧ t(y, z)` — the
+///   transitive closure, deriving `n(n+1)/2` pairs.
+///
+/// Expected sizes (asserted by `f6_scaling` and the report binary):
+/// `|join| = n − k + 1` (for `n ≥ k ≥ 1`), `|t| = n(n+1)/2`.
+pub fn scaling_program(n: usize, k: usize) -> epilog_datalog::Program {
+    assert!(k >= 1 && n >= k, "need n >= k >= 1");
+    let mut src = String::new();
+    for r in 0..k {
+        for j in 0..n {
+            src.push_str(&format!("r{r}(n{j}, n{})\n", j + 1));
+        }
+    }
+    let vars: Vec<String> = (0..=k).map(|i| format!("x{i}")).collect();
+    let body: Vec<String> = (0..k)
+        .map(|r| format!("r{r}({}, {})", vars[r], vars[r + 1]))
+        .collect();
+    src.push_str(&format!(
+        "forall {}. {} -> join(x0, x{k})\n",
+        vars.join(", "),
+        body.join(" & "),
+    ));
+    src.push_str("forall x, y. r0(x, y) -> t(x, y)\n");
+    src.push_str("forall x, y, z. r0(x, y) & t(y, z) -> t(x, z)\n");
+    epilog_datalog::Program::from_text(&src).expect("generated text parses")
+}
+
 /// The pigeonhole CNF PHP(holes+1, holes) — unsatisfiable; the classic
 /// separator between clause-learning and plain DPLL.
 pub fn pigeonhole(holes: u32) -> Cnf {
@@ -189,5 +224,26 @@ mod tests {
         let p = datalog_chain(4);
         let (db, _) = p.eval().unwrap();
         assert_eq!(db.relation(Pred::new("t", 2)).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn scaling_program_sizes() {
+        for (n, k) in [(4, 2), (8, 3), (6, 1)] {
+            let p = scaling_program(n, k);
+            let (db, fast) = p.eval().unwrap();
+            assert_eq!(
+                db.relation(Pred::new("join", 2)).unwrap().len(),
+                n - k + 1,
+                "join size for n={n} k={k}"
+            );
+            assert_eq!(
+                db.relation(Pred::new("t", 2)).unwrap().len(),
+                n * (n + 1) / 2,
+                "closure size for n={n}"
+            );
+            let (db2, slow) = p.eval_naive().unwrap();
+            assert_eq!(db, db2);
+            assert!(fast.rule_firings < slow.rule_firings, "n={n} k={k}");
+        }
     }
 }

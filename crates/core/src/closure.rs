@@ -39,18 +39,29 @@ pub struct ClosedDb {
 }
 
 impl ClosedDb {
-    /// Compute `Closure(Σ)`'s unique model by asking the prover for every
-    /// atom of the active-domain Herbrand base.
+    /// Compute `Closure(Σ)`'s unique model.
+    ///
+    /// When the prover carries a materialized least model (a definite
+    /// theory routed through the bottom-up engine, see
+    /// [`crate::engine::prover_for`]), that model *is* the closure's
+    /// candidate world and is taken directly; otherwise every atom of the
+    /// active-domain Herbrand base is checked by entailment.
     pub fn new(prover: &Prover) -> ClosedDb {
         let theory = prover.theory();
         let domain = theory.active_domain();
-        let base = epilog_semantics::oracle::herbrand_base(&domain, &theory.preds());
-        let mut world = Database::new();
-        for atom in &base {
-            if prover.entails(&Formula::Atom(atom.clone())) {
-                world.insert(atom);
+        let world = match prover.atom_model() {
+            Some(model) => model.clone(),
+            None => {
+                let base = epilog_semantics::oracle::herbrand_base(&domain, &theory.preds());
+                let mut world = Database::new();
+                for atom in &base {
+                    if prover.entails(&Formula::Atom(atom.clone())) {
+                        world.insert(atom);
+                    }
+                }
+                world
             }
-        }
+        };
         // The closure negates *every* non-entailed atom, including those
         // mentioning unmentioned parameters; one spare parameter (with all
         // its atoms false) represents them during quantifier evaluation.
@@ -215,6 +226,25 @@ mod tests {
         let (_, c) = closed("p(a)\nforall x. p(x) -> q(x)");
         assert!(c.satisfiable());
         assert_eq!(c.world().len(), 2); // p(a), q(a)
+    }
+
+    #[test]
+    fn routed_closure_matches_entailment_closure() {
+        // A definite theory: the engine-routed prover must produce the
+        // same closed world as the per-atom entailment sweep.
+        let src = "e(a, b)
+                   e(b, c)
+                   forall x, y. e(x, y) -> t(x, y)
+                   forall x, y, z. e(x, y) & t(y, z) -> t(x, z)";
+        let plain = Prover::new(Theory::from_text(src).unwrap());
+        let routed = crate::engine::prover_for(Theory::from_text(src).unwrap());
+        assert!(routed.atom_model().is_some());
+        let slow = ClosedDb::new(&plain);
+        let fast = ClosedDb::new(&routed);
+        assert_eq!(slow.world(), fast.world());
+        assert_eq!(slow.satisfiable(), fast.satisfiable());
+        assert_eq!(fast.ask(&parse("t(a, c)").unwrap()), Answer::Yes);
+        assert_eq!(fast.ask(&parse("t(c, a)").unwrap()), Answer::No);
     }
 
     #[test]

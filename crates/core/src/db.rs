@@ -8,6 +8,7 @@ use crate::ask;
 use crate::closure::ClosedDb;
 use crate::constraints::{ic_satisfaction, IcDefinition, IcReport};
 use crate::demo;
+use crate::engine::prover_for;
 use epilog_prover::Prover;
 use epilog_semantics::Answer;
 use epilog_syntax::theory::TheoryError;
@@ -60,10 +61,12 @@ pub struct EpistemicDb {
 }
 
 impl EpistemicDb {
-    /// Open a database over a theory.
+    /// Open a database over a theory. Definite (fact + positive-rule)
+    /// theories are routed through the bottom-up engine: their least model
+    /// is materialized once and answers ground-atom questions directly.
     pub fn new(theory: Theory) -> Self {
         EpistemicDb {
-            prover: Prover::new(theory),
+            prover: prover_for(theory),
             constraints: Vec::new(),
         }
     }
@@ -141,7 +144,7 @@ impl EpistemicDb {
     pub fn assert(&mut self, w: Formula) -> Result<(), DbError> {
         let mut theory = self.prover.theory().clone();
         theory.assert(w)?;
-        let candidate = Prover::new(theory);
+        let candidate = prover_for(theory);
         for ic in &self.constraints {
             if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic) != IcReport::Satisfied {
                 return Err(DbError::ConstraintViolated(ic.clone()));
@@ -159,7 +162,7 @@ impl EpistemicDb {
         if !removed {
             return Ok(false);
         }
-        let candidate = Prover::new(theory);
+        let candidate = prover_for(theory);
         for ic in &self.constraints {
             if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic) != IcReport::Satisfied {
                 return Err(DbError::ConstraintViolated(ic.clone()));

@@ -326,6 +326,18 @@ mod tests {
     }
 
     #[test]
+    fn demo_through_routed_prover_skips_sat() {
+        // A definite database routed through the bottom-up engine: every
+        // ground question demo asks is answered from the least model.
+        let p = crate::engine::prover_for(Theory::from_text("p(a)\np(b)\nq(b)").unwrap());
+        assert!(p.atom_model().is_some());
+        let answers = all_answers(&p, &parse("K p(x) & K q(x)").unwrap()).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0][0].name(), "b");
+        assert_eq!(*p.sat_calls.borrow(), 0, "no SAT call on a definite DB");
+    }
+
+    #[test]
     fn laziness_first_answer_cheap() {
         let prover = Prover::new(Theory::from_text("p(a)\np(b)\np(c)").unwrap());
         let mut s = demo(&prover, &parse("K p(x)").unwrap()).unwrap();

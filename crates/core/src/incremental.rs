@@ -319,6 +319,20 @@ mod tests {
     }
 
     #[test]
+    fn incremental_check_through_routed_prover() {
+        // Extensional update states are definite, so the checker's
+        // entailment questions ride the engine-backed fast path.
+        let ck = checker();
+        let bad = crate::engine::prover_for(
+            Theory::from_text("emp(Mary)\nss(Mary, n1)\nemp(Sue)").unwrap(),
+        );
+        assert!(bad.atom_model().is_some());
+        assert!(ck.check_update(&bad, &ga("emp(Sue)")).is_some());
+        let good = crate::engine::prover_for(Theory::from_text("emp(Mary)\nss(Mary, n1)").unwrap());
+        assert!(ck.check_update(&good, &ga("emp(Mary)")).is_none());
+    }
+
+    #[test]
     fn rules_force_conservative_full_check() {
         let ck = checker();
         // A rule derives emp from hired: the update hired(Sue) can violate

@@ -22,6 +22,11 @@
 //! * [`optimize`] — query/constraint optimization licensed by
 //!   Corollaries 4.1/4.2: KFOPCE-equivalence checking over bounded
 //!   structures and constraint-driven conjunct elimination;
+//! * [`mod@engine`] — routing through the bottom-up Datalog engine: when
+//!   the database is a definite program, its least model (computed by the
+//!   compiled semi-naive fixpoint) answers every ground-atom entailment
+//!   question without SAT — accelerating `demo`, `ask`, `closure` and the
+//!   incremental checker alike;
 //! * [`EpistemicDb`] — the facade tying the pieces together.
 
 pub mod ask;
@@ -29,6 +34,7 @@ pub mod closure;
 pub mod constraints;
 pub mod db;
 pub mod demo;
+pub mod engine;
 pub mod incremental;
 pub mod instances;
 pub mod optimize;
@@ -38,6 +44,7 @@ pub use closure::ClosedDb;
 pub use constraints::{ic_satisfaction, IcDefinition, IcReport};
 pub use db::EpistemicDb;
 pub use demo::{all_answers, demo, demo_sentence, DemoOutcome, DemoStream};
+pub use engine::{definite_model, definite_program, prover_for};
 pub use epilog_semantics::Answer;
 pub use incremental::{CompiledConstraint, IncrementalChecker};
 pub use instances::{admissible_wrt_f_sigma, instances, theorem_62_applies};

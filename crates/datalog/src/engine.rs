@@ -1,17 +1,29 @@
 //! Bottom-up evaluation: naive and semi-naive fixpoints over stratified
-//! programs.
+//! programs, executing compiled [`RulePlan`]s.
+//!
+//! Every rule is compiled **once** before the fixpoint starts (dense
+//! variable slots, greedily reordered literals, precomputed selection
+//! shapes — see [`crate::plan`]), and the storage indexes the plans probe
+//! are built once per stratum and maintained incrementally as facts are
+//! inserted. Semi-naive rounds advance an explicit
+//! [`DeltaDatabase`] stable/delta split: round 1 of a
+//! stratum runs each rule's full plan, and every later round runs one plan
+//! variant per positive literal whose predicate actually gained facts —
+//! variants whose delta relation is empty are skipped without counting as
+//! a firing.
 
-use crate::program::{DatalogError, Program, Rule};
-use epilog_storage::Database;
-use epilog_syntax::formula::Atom;
-use epilog_syntax::{Param, Term, Var};
-use std::collections::HashMap;
+use crate::plan::RulePlan;
+use crate::program::{DatalogError, Program};
+use epilog_storage::{ConjunctionPlan, Database, DeltaDatabase};
 
-/// Counters reported by an evaluation run (for the `f2_datalog` bench and
-/// for tests asserting that semi-naive does strictly less work).
+/// Counters reported by an evaluation run (for the `f2_datalog`/
+/// `f6_scaling` benches and for tests asserting that semi-naive does
+/// strictly less work).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
-    /// Number of rule-body join attempts.
+    /// Number of executed join plans: one per rule per naive round (and
+    /// per round 1 of each semi-naive stratum), one per nonempty-delta
+    /// variant in later semi-naive rounds.
     pub rule_firings: u64,
     /// Number of head atoms derived (including duplicates).
     pub derivations: u64,
@@ -20,8 +32,9 @@ pub struct EvalStats {
 }
 
 impl Program {
-    /// Compute the perfect model by **semi-naive** evaluation: per stratum,
-    /// only join against the delta of the previous iteration.
+    /// Compute the perfect model by **semi-naive** evaluation: after the
+    /// first round of each stratum, only join against the delta of the
+    /// previous round.
     pub fn eval(&self) -> Result<(Database, EvalStats), DatalogError> {
         self.run(true)
     }
@@ -39,166 +52,140 @@ impl Program {
         let mut db = self.edb.clone();
         let mut stats = EvalStats::default();
 
+        // Compile every rule exactly once; plans are reused each round.
+        let plans: Vec<(usize, RulePlan)> = self
+            .rules
+            .iter()
+            .map(|r| (strata[&r.head.pred], RulePlan::compile(r)))
+            .collect();
+
         for level in 0..=max_stratum {
-            let rules: Vec<&Rule> = self
-                .rules
+            let level_plans: Vec<&RulePlan> = plans
                 .iter()
-                .filter(|r| strata[&r.head.pred] == level)
+                .filter(|(l, _)| *l == level)
+                .map(|(_, p)| p)
                 .collect();
-            if rules.is_empty() {
+            if level_plans.is_empty() {
                 continue;
             }
-            // Delta starts as the whole database: facts from lower strata
-            // can trigger this stratum's rules.
-            let mut delta = db.clone();
-            loop {
-                stats.iterations += 1;
-                let mut new_facts = Database::new();
-                for rule in &rules {
-                    if seminaive {
-                        // One join per positive literal designated as the
-                        // delta position.
-                        let positives: Vec<usize> = rule
-                            .body
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, l)| l.positive)
-                            .map(|(i, _)| i)
-                            .collect();
-                        if positives.is_empty() {
-                            stats.rule_firings += 1;
-                            derive(rule, &db, None, usize::MAX, &mut new_facts, &mut stats);
-                        } else {
-                            for &dpos in &positives {
-                                stats.rule_firings += 1;
-                                derive(rule, &db, Some(&delta), dpos, &mut new_facts, &mut stats);
-                            }
-                        }
-                    } else {
-                        stats.rule_firings += 1;
-                        derive(rule, &db, None, usize::MAX, &mut new_facts, &mut stats);
-                    }
-                }
-                // Keep only the genuinely new facts.
-                let mut next_delta = Database::new();
-                for atom in new_facts.atoms() {
-                    if !db.contains(&atom) {
-                        next_delta.insert(&atom);
-                    }
-                }
-                if next_delta.is_empty() {
-                    break;
-                }
-                db.union_with(&next_delta);
-                delta = next_delta;
-                if !seminaive {
-                    // Naive mode ignores the delta and recomputes fully.
-                    delta = db.clone();
-                }
+            if seminaive {
+                db = fix_seminaive(&level_plans, db, &mut stats);
+            } else {
+                fix_naive(&level_plans, &mut db, &mut stats);
             }
         }
+        // Index warm-up may have created empty relations for body
+        // predicates without facts; the result is a set of atoms.
+        db.prune_empty();
         Ok((db, stats))
     }
 }
 
-/// Join the rule body against `db`, requiring the literal at `delta_pos`
-/// (when `delta` is given) to match the delta instead; insert instantiated
-/// heads into `out`.
-fn derive(
-    rule: &Rule,
-    db: &Database,
-    delta: Option<&Database>,
-    delta_pos: usize,
-    out: &mut Database,
-    stats: &mut EvalStats,
-) {
-    let mut envs: Vec<HashMap<Var, Param>> = vec![HashMap::new()];
-    for (i, lit) in rule.body.iter().enumerate() {
-        if !lit.positive {
-            continue; // negative literals filter afterwards
-        }
-        let source = match delta {
-            Some(d) if i == delta_pos => d,
-            _ => db,
-        };
-        let mut next = Vec::new();
-        for env in &envs {
-            extend_matches(&lit.atom, source, env, &mut next);
-        }
-        envs = next;
-        if envs.is_empty() {
-            return;
+/// Semi-naive fixpoint of one stratum over a stable/delta split.
+fn fix_seminaive(plans: &[&RulePlan], db: Database, stats: &mut EvalStats) -> Database {
+    let mut ddb = DeltaDatabase::new(db);
+    // Warm the total-side indexes once; incremental maintenance keeps
+    // them fresh as `advance` inserts each round's facts.
+    {
+        let (total, _) = ddb.parts_mut();
+        for plan in plans {
+            plan.ensure_total_indexes(total);
         }
     }
-    // Negative literals: none of them may hold in the (stratum-complete)
-    // database.
-    envs.retain(|env| {
-        rule.body.iter().filter(|l| !l.positive).all(|l| {
-            let ground = ground_atom(&l.atom, env);
-            !db.contains(&ground)
-        })
-    });
-    for env in envs {
-        let head = ground_atom(&rule.head, &env);
-        stats.derivations += 1;
-        out.insert(&head);
-    }
-}
-
-fn extend_matches(
-    atom: &Atom,
-    source: &Database,
-    env: &HashMap<Var, Param>,
-    out: &mut Vec<HashMap<Var, Param>>,
-) {
-    let pattern: Vec<Option<Param>> = atom
-        .terms
-        .iter()
-        .map(|t| match t {
-            Term::Param(p) => Some(*p),
-            Term::Var(v) => env.get(v).copied(),
-        })
-        .collect();
-    for tuple in source.select(atom.pred, &pattern) {
-        let mut env2 = env.clone();
-        let mut ok = true;
-        for (t, val) in atom.terms.iter().zip(&tuple) {
-            if let Term::Var(v) = t {
-                match env2.get(v) {
-                    Some(bound) if bound != val => {
-                        ok = false;
-                        break;
-                    }
-                    _ => {
-                        env2.insert(*v, *val);
+    let mut first_round = true;
+    loop {
+        stats.iterations += 1;
+        let mut new_facts = Database::new();
+        if first_round {
+            // Round 1: the delta is conceptually "everything", so each
+            // rule runs its full plan once.
+            first_round = false;
+            for plan in plans {
+                stats.rule_firings += 1;
+                fire(plan, &plan.full, ddb.total(), None, &mut new_facts, stats);
+            }
+        } else {
+            // The delta was replaced by `advance`: rebuild the (rare)
+            // constant-probed delta-side indexes.
+            {
+                let (total, delta) = ddb.parts_mut();
+                for plan in plans {
+                    for (_, variant) in &plan.variants {
+                        variant.ensure_indexes(total, Some(delta));
                     }
                 }
             }
+            for plan in plans {
+                for (pred, variant) in &plan.variants {
+                    if ddb.delta().relation(*pred).is_none_or(|r| r.is_empty()) {
+                        continue; // nothing new for this literal
+                    }
+                    stats.rule_firings += 1;
+                    fire(
+                        plan,
+                        variant,
+                        ddb.total(),
+                        Some(ddb.delta()),
+                        &mut new_facts,
+                        stats,
+                    );
+                }
+            }
         }
-        if ok {
-            out.push(env2);
+        if ddb.advance(&new_facts) == 0 {
+            break;
+        }
+    }
+    ddb.into_total()
+}
+
+/// Naive fixpoint of one stratum: every rule's full plan, every round.
+fn fix_naive(plans: &[&RulePlan], db: &mut Database, stats: &mut EvalStats) {
+    for plan in plans {
+        plan.ensure_total_indexes(db);
+    }
+    loop {
+        stats.iterations += 1;
+        let mut new_facts = Database::new();
+        for plan in plans {
+            stats.rule_firings += 1;
+            fire(plan, &plan.full, db, None, &mut new_facts, stats);
+        }
+        if db.union_with(&new_facts) == 0 {
+            break;
         }
     }
 }
 
-fn ground_atom(atom: &Atom, env: &HashMap<Var, Param>) -> Atom {
-    let terms: Vec<Term> = atom
-        .terms
-        .iter()
-        .map(|t| match t {
-            Term::Param(p) => Term::Param(*p),
-            Term::Var(v) => Term::Param(
-                *env.get(v)
-                    .unwrap_or_else(|| panic!("unbound variable {v} in head")),
-            ),
-        })
-        .collect();
-    Atom::new(atom.pred, terms)
+/// Execute one join plan: for every complete match whose negated literals
+/// all fail against the total, ground the head into `out`.
+fn fire(
+    plan: &RulePlan,
+    join: &ConjunctionPlan,
+    total: &Database,
+    delta: Option<&Database>,
+    out: &mut Database,
+    stats: &mut EvalStats,
+) {
+    let mut env = vec![None; plan.slots.len()];
+    let mut derivations = 0u64;
+    join.for_each_match(total, delta, &mut env, &mut |env| {
+        let blocked = plan
+            .negatives
+            .iter()
+            .any(|n| total.contains_tuple(n.pred, &n.ground(env)));
+        if !blocked {
+            derivations += 1;
+            out.insert_tuple(plan.head.pred, plan.head.ground(env));
+        }
+    });
+    stats.derivations += derivations;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use epilog_syntax::formula::Atom;
     use epilog_syntax::parse;
     use epilog_syntax::Pred;
 
@@ -254,6 +241,19 @@ mod tests {
     }
 
     #[test]
+    fn seminaive_fires_fewer_plans() {
+        let p = chain(12);
+        let (_, fast) = p.eval().unwrap();
+        let (_, slow) = p.eval_naive().unwrap();
+        assert!(
+            fast.rule_firings < slow.rule_firings,
+            "empty-delta variants must be skipped: semi-naive {} vs naive {}",
+            fast.rule_firings,
+            slow.rule_firings
+        );
+    }
+
+    #[test]
     fn stratified_negation() {
         // Reachability complement: unreachable pairs of nodes.
         let p = Program::from_text(
@@ -299,6 +299,37 @@ mod tests {
         let (db, stats) = p.eval().unwrap();
         assert_eq!(db.len(), 2);
         assert_eq!(stats.derivations, 0);
+    }
+
+    #[test]
+    fn ground_head_rules_fire_once() {
+        // A rule with a body but a ground head, plus a body-less ground
+        // rule (the degenerate plans).
+        let p = Program::from_text(
+            "p(a)
+             forall x. p(x) -> q(b)",
+        )
+        .unwrap();
+        let (db, _) = p.eval().unwrap();
+        assert!(db.contains(&atom("q(b)")));
+        let (db2, _) = p.eval_naive().unwrap();
+        assert_eq!(db, db2);
+    }
+
+    #[test]
+    fn no_phantom_relations_from_index_warmup() {
+        // Body predicate `e` has no facts; index warm-up must not leave an
+        // empty `e` relation in the result (it would break Database
+        // equality and preds() for downstream oracles).
+        let p = Program::from_text("f(b)\nforall x. e(a, x) -> g(x)").unwrap();
+        let (db, _) = p.eval().unwrap();
+        assert_eq!(db.preds(), vec![Pred::new("f", 1)]);
+        assert!(db
+            .preds()
+            .into_iter()
+            .all(|pr| !db.relation(pr).unwrap().is_empty()));
+        let (db2, _) = p.eval_naive().unwrap();
+        assert_eq!(db, db2);
     }
 
     #[test]

@@ -10,18 +10,23 @@
 //!
 //! * [`Program`] — Datalog rules `h ← l₁, …, lₙ` with negated body
 //!   literals, plus an extensional database;
+//! * [`RulePlan`] — rules compiled once into slot-numbered, reordered
+//!   join plans with one variant per semi-naive delta position;
 //! * stratification ([`Program::stratify`]) and the perfect-model
 //!   fixpoint, both naive ([`Program::eval_naive`]) and **semi-naive**
-//!   ([`Program::eval`]) — the ablation pair for bench `f2_datalog`;
+//!   ([`Program::eval`]) — the ablation pair for benches `f2_datalog`
+//!   and `f6_scaling`;
 //! * [`completion()`](completion::completion) — Clark's completion as FOPCE sentences, ready to be
 //!   fed to `epilog-prover` for the Definition 3.3/3.4 comparisons.
 
 pub mod completion;
 pub mod engine;
+pub mod plan;
 pub mod program;
 pub mod sld;
 
 pub use completion::completion;
 pub use engine::EvalStats;
+pub use plan::RulePlan;
 pub use program::{DatalogError, Literal, Program, Rule};
 pub use sld::{SldEngine, SldOutcome};

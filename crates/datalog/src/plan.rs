@@ -1,0 +1,140 @@
+//! Compiled rule plans for bottom-up evaluation.
+//!
+//! A [`RulePlan`] is compiled once per rule before the fixpoint starts and
+//! reused every round:
+//!
+//! * the rule's variables are numbered into dense slots, so a binding
+//!   environment is a flat `Vec<Option<Param>>` instead of a cloned
+//!   `HashMap<Var, Param>` per candidate match;
+//! * the positive body literals are greedily reordered by bound-column
+//!   count, with selection shapes precomputed per step
+//!   ([`epilog_storage::ConjunctionPlan`]);
+//! * one plan variant exists per positive literal, designating it as the
+//!   **delta position** for semi-naive rounds, plus a full variant used by
+//!   naive evaluation and the first round of each stratum;
+//! * the head and the negated literals are compiled to
+//!   [`AtomTemplate`]s grounded directly from the slot environment.
+
+use crate::program::Rule;
+use epilog_storage::{AtomTemplate, ConjunctionPlan, Database, SlotMap};
+use epilog_syntax::formula::Atom;
+use epilog_syntax::Pred;
+
+/// A rule compiled for bottom-up evaluation.
+#[derive(Debug, Clone)]
+pub struct RulePlan {
+    /// The head, grounded from the slot environment on each derivation.
+    pub head: AtomTemplate,
+    /// The negated body literals (checked against the total database once
+    /// the positive join completes; safety guarantees they ground).
+    pub negatives: Vec<AtomTemplate>,
+    /// The variable numbering shared by every variant.
+    pub slots: SlotMap,
+    /// Join over all positive literals against the total database.
+    pub full: ConjunctionPlan,
+    /// Per positive literal: its predicate (for empty-delta skipping) and
+    /// the variant joining that literal against the delta first.
+    pub variants: Vec<(Pred, ConjunctionPlan)>,
+}
+
+impl RulePlan {
+    /// Compile a rule.
+    pub fn compile(rule: &Rule) -> RulePlan {
+        let mut slots = SlotMap::new();
+        let positives: Vec<Atom> = rule
+            .body
+            .iter()
+            .filter(|l| l.positive)
+            .map(|l| l.atom.clone())
+            .collect();
+        let full = ConjunctionPlan::compile(&positives, &mut slots, None);
+        let variants = (0..positives.len())
+            .map(|d| {
+                (
+                    positives[d].pred,
+                    ConjunctionPlan::compile(&positives, &mut slots, Some(d)),
+                )
+            })
+            .collect();
+        let negatives = rule
+            .body
+            .iter()
+            .filter(|l| !l.positive)
+            .map(|l| AtomTemplate::compile(&l.atom, &mut slots))
+            .collect();
+        let head = AtomTemplate::compile(&rule.head, &mut slots);
+        RulePlan {
+            head,
+            negatives,
+            slots,
+            full,
+            variants,
+        }
+    }
+
+    /// Warm up the total-side indexes every variant probes.
+    pub fn ensure_total_indexes(&self, total: &mut Database) {
+        self.full.ensure_indexes(total, None);
+        for (_, v) in &self.variants {
+            v.ensure_indexes(total, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use epilog_storage::PatTerm;
+    use epilog_syntax::Var;
+
+    fn plan_of(src: &str) -> RulePlan {
+        let p = Program::from_text(src).unwrap();
+        RulePlan::compile(&p.rules[0])
+    }
+
+    #[test]
+    fn slots_are_dense_and_shared() {
+        let plan = plan_of("forall x, y, z. e(x, y) & t(y, z) -> t(x, z)");
+        assert_eq!(plan.slots.len(), 3);
+        // The head reuses the body's slots.
+        let x = plan.slots.get(Var::new("x")).unwrap();
+        let z = plan.slots.get(Var::new("z")).unwrap();
+        assert_eq!(plan.head.args, vec![PatTerm::Slot(x), PatTerm::Slot(z)]);
+    }
+
+    #[test]
+    fn one_variant_per_positive_literal() {
+        let plan = plan_of("forall x, y, z. e(x, y) & t(y, z) -> t(x, z)");
+        assert_eq!(plan.variants.len(), 2);
+        assert_eq!(plan.variants[0].0, Pred::new("e", 2));
+        assert_eq!(plan.variants[1].0, Pred::new("t", 2));
+        for (_, v) in &plan.variants {
+            assert!(v.steps()[0].from_delta, "delta literal joins first");
+            assert!(v.steps()[1..].iter().all(|s| !s.from_delta));
+        }
+    }
+
+    #[test]
+    fn negatives_compiled_not_joined() {
+        let plan = plan_of("forall x, y. node(x) & node(y) & ~e(x, y) -> sep(x, y)");
+        assert_eq!(plan.full.steps().len(), 2);
+        assert_eq!(plan.negatives.len(), 1);
+        assert_eq!(plan.negatives[0].pred, Pred::new("e", 2));
+        assert_eq!(plan.variants.len(), 2);
+    }
+
+    #[test]
+    fn body_less_rule_has_no_variants() {
+        let p = Program::from_text("forall x. p(x) -> q(x)").unwrap();
+        // Grab a fact-like rule by constructing one directly.
+        let rule = Rule {
+            head: p.rules[0].head.clone(),
+            body: vec![],
+        };
+        // An unsafe rule on its own, but plan compilation is shape-only.
+        let plan = RulePlan::compile(&rule);
+        assert!(plan.variants.is_empty());
+        assert!(plan.full.steps().is_empty());
+    }
+}

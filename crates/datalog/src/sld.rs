@@ -213,7 +213,7 @@ impl<'a> SldEngine<'a> {
             .collect();
         let mut out = Vec::new();
         for tuple in self.program.edb.select(atom.pred, &pattern) {
-            if let Some(env2) = bind_tuple(atom, &tuple, env) {
+            if let Some(env2) = bind_tuple(atom, tuple, env) {
                 out.push(env2);
             }
         }

@@ -11,9 +11,8 @@
 //! predicates appear) and is a model of `Σ` — which is what powers the
 //! finiteness Lemma 6.3 and through it the completeness Theorem 6.2.
 
-use epilog_storage::Database;
+use epilog_storage::{ConjunctionPlan, Database, SlotMap};
 use epilog_syntax::formula::{Atom, Formula};
-use epilog_syntax::theory::Rule;
 use epilog_syntax::{Param, Term, Theory, Var};
 use std::collections::HashMap;
 
@@ -40,18 +39,40 @@ pub fn canonical_model(theory: &Theory) -> Option<Database> {
             model.insert(&atom);
         }
     }
-    // Sᵢ₊₁: close under rules.
+    // Sᵢ₊₁: close under rules. Each rule body is compiled once into a
+    // join plan over the model's indexed storage and re-run per round.
     let rules = theory.rules();
+    let compiled: Vec<(ConjunctionPlan, SlotMap, &Formula)> = rules
+        .iter()
+        .map(|rule| {
+            let mut slots = SlotMap::new();
+            let plan = ConjunctionPlan::compile(&rule.body, &mut slots, None);
+            (plan, slots, &rule.head)
+        })
+        .collect();
     loop {
         let mut added = false;
-        for rule in &rules {
-            for env in body_matches(rule, &model) {
-                for atom in pe_atoms(&rule.head, witness, &env) {
-                    added |= model.insert(&atom);
-                }
+        for (plan, slots, head) in &compiled {
+            plan.ensure_indexes(&mut model, None);
+            let mut env = vec![None; slots.len()];
+            let mut pending: Vec<Atom> = Vec::new();
+            plan.for_each_match(&model, None, &mut env, &mut |env| {
+                let binding: HashMap<Var, Param> = slots
+                    .vars()
+                    .iter()
+                    .zip(env)
+                    .filter_map(|(v, p)| p.map(|p| (*v, p)))
+                    .collect();
+                pending.extend(pe_atoms(head, witness, &binding));
+            });
+            for atom in pending {
+                added |= model.insert(&atom);
             }
         }
         if !added {
+            // Index warm-up creates empty relation entries for body
+            // predicates without facts; S(Σ) is a set of atoms.
+            model.prune_empty();
             return Some(model);
         }
     }
@@ -87,51 +108,6 @@ fn pe_atoms(w: &Formula, witness: Param, env: &HashMap<Var, Param>) -> Vec<Atom>
         }
         other => panic!("not positive existential: {other}"),
     }
-}
-
-/// All variable bindings under which every body atom of `rule` is present
-/// in `db` (a naive nested-loop join, deterministic order).
-fn body_matches(rule: &Rule, db: &Database) -> Vec<HashMap<Var, Param>> {
-    let mut envs = vec![HashMap::new()];
-    for atom in &rule.body {
-        let mut next = Vec::new();
-        for env in &envs {
-            // Build the selection pattern induced by the current bindings.
-            let pattern: Vec<Option<Param>> = atom
-                .terms
-                .iter()
-                .map(|t| match t {
-                    Term::Param(p) => Some(*p),
-                    Term::Var(v) => env.get(v).copied(),
-                })
-                .collect();
-            for tuple in db.select(atom.pred, &pattern) {
-                let mut env2 = env.clone();
-                let mut ok = true;
-                for (t, val) in atom.terms.iter().zip(&tuple) {
-                    if let Term::Var(v) = t {
-                        match env2.get(v) {
-                            Some(bound) if bound != val => {
-                                ok = false;
-                                break;
-                            }
-                            _ => {
-                                env2.insert(*v, *val);
-                            }
-                        }
-                    }
-                }
-                if ok {
-                    next.push(env2);
-                }
-            }
-        }
-        envs = next;
-        if envs.is_empty() {
-            break;
-        }
-    }
-    envs
 }
 
 #[cfg(test)]

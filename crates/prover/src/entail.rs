@@ -8,6 +8,7 @@
 
 use crate::ground::GroundContext;
 use epilog_sat::{tseitin, Cnf, SatResult, Solver};
+use epilog_storage::Database;
 use epilog_syntax::{is_first_order, transform, Formula, Param, Theory};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -35,6 +36,9 @@ pub struct Prover {
     theory: Theory,
     witnesses: Vec<Param>,
     memo: RefCell<HashMap<Formula, bool>>,
+    /// A materialized least model answering ground-atom goals without SAT
+    /// (see [`Prover::with_atom_model`]).
+    atom_model: Option<Database>,
     /// Count of SAT-solver invocations (exposed for benches/tests).
     pub sat_calls: RefCell<u64>,
 }
@@ -61,8 +65,29 @@ impl Prover {
             theory,
             witnesses,
             memo: RefCell::new(HashMap::new()),
+            atom_model: None,
             sat_calls: RefCell::new(0),
         }
+    }
+
+    /// Attach a materialized model that decides ground-atom goals without
+    /// invoking the SAT pipeline: `entails(a)` for a ground atom `a`
+    /// becomes a tuple lookup.
+    ///
+    /// # Soundness contract
+    /// The caller must guarantee the model holds **exactly** the ground
+    /// atoms entailed by the theory — true for the least model of a
+    /// definite (negation- and disjunction-free) program, the routing
+    /// `epilog-core` performs. All other goals still go through grounding
+    /// and SAT.
+    pub fn with_atom_model(mut self, model: Database) -> Self {
+        self.atom_model = Some(model);
+        self
+    }
+
+    /// The attached ground-atom model, if any.
+    pub fn atom_model(&self) -> Option<&Database> {
+        self.atom_model.as_ref()
     }
 
     /// The theory this prover answers questions about.
@@ -120,6 +145,11 @@ impl Prover {
     pub fn entails(&self, g: &Formula) -> bool {
         assert!(is_first_order(g), "entailment goals must be FOPCE formulas");
         assert!(g.is_sentence(), "entailment goals must be sentences");
+        if let (Some(model), Formula::Atom(a)) = (&self.atom_model, g) {
+            if a.is_ground() {
+                return model.contains(a);
+            }
+        }
         if let Some(&cached) = self.memo.borrow().get(g) {
             return cached;
         }
@@ -281,6 +311,29 @@ mod tests {
         assert!(p.entails(&q));
         assert!(p.entails(&q));
         assert_eq!(*p.sat_calls.borrow(), 1, "second call must hit the memo");
+    }
+
+    #[test]
+    fn atom_model_short_circuits_ground_atoms() {
+        let theory = Theory::from_text("emp(Mary)\nforall x. emp(x) -> person(x)").unwrap();
+        let mut model = Database::new();
+        for s in ["emp(Mary)", "person(Mary)"] {
+            let Formula::Atom(a) = parse(s).unwrap() else {
+                unreachable!()
+            };
+            model.insert(&a);
+        }
+        let p = Prover::new(theory).with_atom_model(model);
+        assert!(entails(&p, "person(Mary)"));
+        assert!(!entails(&p, "person(Sue)"));
+        assert_eq!(
+            *p.sat_calls.borrow(),
+            0,
+            "ground atoms must bypass the SAT pipeline"
+        );
+        // Non-atomic goals still go through grounding + SAT.
+        assert!(entails(&p, "exists x. person(x)"));
+        assert_eq!(*p.sat_calls.borrow(), 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! A database: a catalog of relations keyed by predicate.
 
-use crate::relation::{Relation, Selection};
+use crate::relation::{Matches, Relation, Selection};
 use crate::Tuple;
 use epilog_syntax::formula::Atom;
 use epilog_syntax::{Param, Pred, Term};
@@ -57,12 +57,14 @@ impl Database {
     /// Whether a ground atom is present.
     pub fn contains(&self, atom: &Atom) -> bool {
         match atom.param_tuple() {
-            Some(t) => self
-                .relations
-                .get(&atom.pred)
-                .is_some_and(|r| r.contains(&t)),
+            Some(t) => self.contains_tuple(atom.pred, &t),
             None => false,
         }
+    }
+
+    /// Whether a tuple is present under a predicate.
+    pub fn contains_tuple(&self, pred: Pred, t: &Tuple) -> bool {
+        self.relations.get(&pred).is_some_and(|r| r.contains(t))
     }
 
     /// The relation stored under `pred`, if any.
@@ -80,6 +82,12 @@ impl Database {
     /// The predicates with at least one stored relation (possibly empty).
     pub fn preds(&self) -> Vec<Pred> {
         self.relations.keys().copied().collect()
+    }
+
+    /// Iterate over the stored relations, keyed by predicate, in
+    /// deterministic order.
+    pub fn relations(&self) -> impl Iterator<Item = (Pred, &Relation)> + '_ {
+        self.relations.iter().map(|(p, r)| (*p, r))
     }
 
     /// Total number of stored atoms.
@@ -100,14 +108,32 @@ impl Database {
         })
     }
 
-    /// All tuples of `pred` matching a partial binding pattern (no-index
-    /// scan; the engine layers keep their own mutable handles when indexed
-    /// selection matters).
-    pub fn select(&self, pred: Pred, pattern: &Selection) -> Vec<Tuple> {
+    /// All tuples of `pred` matching a partial binding pattern, as a
+    /// borrowing iterator. Uses any index built for `pred` via
+    /// [`Database::ensure_index`]; otherwise scans.
+    pub fn select<'a>(&'a self, pred: Pred, pattern: &'a Selection) -> Matches<'a> {
         self.relations
             .get(&pred)
-            .map(|r| r.select_scan(pattern))
-            .unwrap_or_default()
+            .map(|r| r.select(pattern))
+            .unwrap_or_else(Matches::empty)
+    }
+
+    /// Build (if absent) the column-`col` index of `pred`'s relation; the
+    /// index is then maintained incrementally across mutations. Creates an
+    /// empty relation when `pred` has no tuples yet, so indexes survive the
+    /// predicate's first insert — callers handing the database onward as a
+    /// set of atoms should [`Database::prune_empty`] afterwards.
+    pub fn ensure_index(&mut self, pred: Pred, col: usize) {
+        self.relation_mut(pred).ensure_index(col);
+    }
+
+    /// Drop relations holding no tuples. Index warm-up
+    /// ([`Database::ensure_index`]) can create empty relation entries;
+    /// semantically a database is a set of atoms, and derived equality /
+    /// [`Database::preds`] compare the catalog, so producers prune before
+    /// publishing a result.
+    pub fn prune_empty(&mut self) {
+        self.relations.retain(|_, r| !r.is_empty());
     }
 
     /// Every parameter stored anywhere.
@@ -189,10 +215,12 @@ mod tests {
         db.insert(&ga("e(a, c)"));
         db.insert(&ga("e(b, c)"));
         let pred = Pred::new("e", 2);
-        let from_a = db.select(pred, &vec![Some(Param::new("a")), None]);
-        assert_eq!(from_a.len(), 2);
-        let none = db.select(Pred::new("missing", 1), &vec![None]);
-        assert!(none.is_empty());
+        let pattern = vec![Some(Param::new("a")), None];
+        assert_eq!(db.select(pred, &pattern).count(), 2);
+        db.ensure_index(pred, 0);
+        assert_eq!(db.select(pred, &pattern).count(), 2);
+        let missing = vec![None];
+        assert_eq!(db.select(Pred::new("missing", 1), &missing).count(), 0);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Delta-aware database view for semi-naive fixpoint rounds.
+//!
+//! Semi-naive evaluation needs two synchronized sets of facts per stratum:
+//! the **total** database (everything derived so far — joined against by
+//! non-delta literals and consulted by stratified negation) and the
+//! **delta** (only the facts that became true in the previous round — the
+//! literal designated as "new" must match here). [`DeltaDatabase`] owns
+//! both and keeps them consistent through [`DeltaDatabase::advance`].
+
+use crate::database::Database;
+
+/// A database split into the stable total and the last round's delta.
+///
+/// The delta starts **empty**: round 1 of a fixpoint evaluates full join
+/// plans against the total, and each subsequent round's delta is installed
+/// by [`DeltaDatabase::advance`].
+#[derive(Debug, Clone, Default)]
+pub struct DeltaDatabase {
+    total: Database,
+    delta: Database,
+}
+
+impl DeltaDatabase {
+    /// Wrap an initial fact set; the delta starts empty.
+    pub fn new(initial: Database) -> Self {
+        DeltaDatabase {
+            total: initial,
+            delta: Database::new(),
+        }
+    }
+
+    /// Everything derived so far.
+    pub fn total(&self) -> &Database {
+        &self.total
+    }
+
+    /// The facts that became true in the last [`DeltaDatabase::advance`].
+    pub fn delta(&self) -> &Database {
+        &self.delta
+    }
+
+    /// Mutable handles to both halves (for index warm-up).
+    pub fn parts_mut(&mut self) -> (&mut Database, &mut Database) {
+        (&mut self.total, &mut self.delta)
+    }
+
+    /// Finish a round: keep only the candidates not already in the total,
+    /// add them to the total, and install them as the new delta. Returns
+    /// the number of genuinely new facts (0 means the fixpoint is reached).
+    pub fn advance(&mut self, candidates: &Database) -> usize {
+        let mut next = Database::new();
+        for (pred, rel) in candidates.relations() {
+            for t in rel.iter() {
+                if !self.total.contains_tuple(pred, t) {
+                    next.insert_tuple(pred, t.clone());
+                }
+            }
+        }
+        let added = next.len();
+        self.total.union_with(&next);
+        self.delta = next;
+        added
+    }
+
+    /// Unwrap the accumulated total.
+    pub fn into_total(self) -> Database {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::formula::Atom;
+    use epilog_syntax::parse;
+
+    fn ga(src: &str) -> Atom {
+        match parse(src).unwrap() {
+            epilog_syntax::Formula::Atom(a) => a,
+            other => panic!("not an atom: {other}"),
+        }
+    }
+
+    #[test]
+    fn delta_starts_empty() {
+        let mut base = Database::new();
+        base.insert(&ga("e(a, b)"));
+        let d = DeltaDatabase::new(base);
+        assert_eq!(d.total().len(), 1);
+        assert!(d.delta().is_empty());
+    }
+
+    #[test]
+    fn advance_filters_dedups_and_installs() {
+        let mut base = Database::new();
+        base.insert(&ga("e(a, b)"));
+        let mut d = DeltaDatabase::new(base);
+
+        let mut round = Database::new();
+        round.insert(&ga("e(a, b)")); // already known
+        round.insert(&ga("t(a, b)")); // new
+        assert_eq!(d.advance(&round), 1);
+        assert_eq!(d.total().len(), 2);
+        assert_eq!(d.delta().len(), 1);
+        assert!(d.delta().contains(&ga("t(a, b)")));
+
+        // A round deriving nothing new reaches the fixpoint.
+        let mut again = Database::new();
+        again.insert(&ga("t(a, b)"));
+        assert_eq!(d.advance(&again), 0);
+        assert!(d.delta().is_empty());
+        assert_eq!(d.into_total().len(), 2);
+    }
+}

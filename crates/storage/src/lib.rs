@@ -11,14 +11,27 @@
 //!
 //! Tuples are fixed-arity vectors of [`Param`]s (the function-free FOPCE
 //! fragment has no other ground terms). Relations maintain hash indexes per
-//! column, built lazily on first use, so selection with any partial binding
-//! pattern is sub-linear after warm-up.
+//! column, built on demand ([`Relation::ensure_index`]) and from then on
+//! updated **incrementally** on every mutation, so selection with any
+//! partial binding pattern stays sub-linear across fixpoint rounds.
+//!
+//! Two further pieces serve the bottom-up evaluators:
+//!
+//! * [`DeltaDatabase`] — the stable/delta split a semi-naive fixpoint
+//!   advances round by round;
+//! * [`plan`] — compiled conjunction joins ([`ConjunctionPlan`]): dense
+//!   variable slots, greedy literal reordering, precomputed selection
+//!   shapes, borrowing execution.
 
 pub mod database;
+pub mod delta;
+pub mod plan;
 pub mod relation;
 
 pub use database::Database;
-pub use relation::{Relation, Selection};
+pub use delta::DeltaDatabase;
+pub use plan::{AtomTemplate, ConjunctionPlan, JoinStep, PatTerm, SlotMap};
+pub use relation::{Matches, Relation, Selection};
 
 use epilog_syntax::Param;
 

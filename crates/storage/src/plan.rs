@@ -1,0 +1,428 @@
+//! Compiled join plans over indexed relations.
+//!
+//! A [`ConjunctionPlan`] turns a conjunction of atoms into an executable
+//! join: variables are numbered into dense **slots** (so a binding
+//! environment is a flat `Vec<Option<Param>>` rather than a hash map),
+//! atoms are greedily reordered so the most-bound literal joins first, and
+//! each step's selection shape — which columns are constants, which are
+//! bound by earlier steps, which bind fresh slots — is computed once at
+//! compile time. Execution walks borrowed tuples; nothing is cloned until
+//! a full match reaches the caller's callback.
+//!
+//! The Datalog engine compiles one plan per rule and delta position
+//! (`epilog-datalog`'s `RulePlan`); the canonical-model grounder in
+//! `epilog-prover` compiles one per rule body.
+
+use crate::database::Database;
+use crate::relation::Selection;
+use crate::Tuple;
+use epilog_syntax::formula::Atom;
+use epilog_syntax::{Param, Pred, Term, Var};
+
+/// Dense numbering of the variables appearing in a rule: slot `i` holds
+/// the binding of `vars()[i]`.
+#[derive(Debug, Clone, Default)]
+pub struct SlotMap {
+    vars: Vec<Var>,
+}
+
+impl SlotMap {
+    /// An empty slot map.
+    pub fn new() -> Self {
+        SlotMap::default()
+    }
+
+    /// The slot of `v`, allocating the next dense slot on first sight.
+    pub fn intern(&mut self, v: Var) -> usize {
+        match self.get(v) {
+            Some(s) => s,
+            None => {
+                self.vars.push(v);
+                self.vars.len() - 1
+            }
+        }
+    }
+
+    /// The slot of `v`, if allocated.
+    pub fn get(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|w| *w == v)
+    }
+
+    /// Number of allocated slots (= the environment length to allocate).
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Whether no variable has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Slot-indexed variable names.
+    pub fn vars(&self) -> &[Var] {
+        &self.vars
+    }
+}
+
+/// One argument position of a compiled atom: a constant parameter or a
+/// variable slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatTerm {
+    /// A constant in the rule text.
+    Const(Param),
+    /// The variable numbered into this slot.
+    Slot(usize),
+}
+
+/// An atom with its variables compiled to slots.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomTemplate {
+    /// The predicate.
+    pub pred: Pred,
+    /// Per column, a constant or a slot.
+    pub args: Vec<PatTerm>,
+}
+
+impl AtomTemplate {
+    /// Compile an atom, interning its variables.
+    pub fn compile(atom: &Atom, slots: &mut SlotMap) -> AtomTemplate {
+        AtomTemplate {
+            pred: atom.pred,
+            args: atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Param(p) => PatTerm::Const(*p),
+                    Term::Var(v) => PatTerm::Slot(slots.intern(*v)),
+                })
+                .collect(),
+        }
+    }
+
+    /// The selection pattern induced by the current environment.
+    pub fn pattern(&self, env: &[Option<Param>]) -> Selection {
+        self.args
+            .iter()
+            .map(|a| match a {
+                PatTerm::Const(p) => Some(*p),
+                PatTerm::Slot(s) => env[*s],
+            })
+            .collect()
+    }
+
+    /// The ground tuple under a complete environment.
+    ///
+    /// # Panics
+    /// Panics when a slot the template mentions is unbound (ruled out for
+    /// rule heads and negated literals by Datalog safety).
+    pub fn ground(&self, env: &[Option<Param>]) -> Tuple {
+        self.args
+            .iter()
+            .map(|a| match a {
+                PatTerm::Const(p) => *p,
+                PatTerm::Slot(s) => env[*s].expect("unbound slot in ground template"),
+            })
+            .collect()
+    }
+}
+
+/// One join step of a compiled plan. The selection shape is static: which
+/// columns are constants or bound by earlier steps (and therefore filter),
+/// which columns bind fresh slots, and which repeat a slot first bound by
+/// an earlier column of the same atom.
+#[derive(Debug, Clone)]
+pub struct JoinStep {
+    /// The compiled atom.
+    pub template: AtomTemplate,
+    /// Whether this literal matches the delta instead of the total.
+    pub from_delta: bool,
+    /// The first column known bound at compile time — the column whose
+    /// index makes this step sub-linear; `None` means a full scan.
+    pub index_col: Option<usize>,
+    /// Columns that bind a fresh slot (first occurrence in this atom).
+    binders: Vec<(usize, usize)>,
+    /// Columns that repeat a slot bound earlier in this same atom.
+    checks: Vec<(usize, usize)>,
+}
+
+/// A compiled conjunction of atoms: steps in join order.
+#[derive(Debug, Clone)]
+pub struct ConjunctionPlan {
+    steps: Vec<JoinStep>,
+}
+
+impl ConjunctionPlan {
+    /// Compile a conjunction against a (shared) slot map.
+    ///
+    /// When `delta_pos` is `Some(d)`, literal `d` joins first and matches
+    /// the delta database; the remaining literals are then ordered
+    /// greedily by descending bound-column count (ties broken by written
+    /// order), all matching the total.
+    pub fn compile(atoms: &[Atom], slots: &mut SlotMap, delta_pos: Option<usize>) -> Self {
+        // Intern every variable up front so slot numbering follows written
+        // order regardless of the join order chosen below.
+        let templates: Vec<AtomTemplate> = atoms
+            .iter()
+            .map(|a| AtomTemplate::compile(a, slots))
+            .collect();
+
+        let mut bound = vec![false; slots.len()];
+        let mut steps = Vec::with_capacity(templates.len());
+        let mut remaining: Vec<usize> = (0..templates.len()).collect();
+
+        if let Some(d) = delta_pos {
+            remaining.retain(|&i| i != d);
+            steps.push(Self::make_step(&templates[d], true, &mut bound));
+        }
+        while !remaining.is_empty() {
+            // Greedy: the literal with the most bound columns joins next.
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .max_by_key(|&(pos, &i)| {
+                    let score = templates[i]
+                        .args
+                        .iter()
+                        .filter(|a| match a {
+                            PatTerm::Const(_) => true,
+                            PatTerm::Slot(s) => bound[*s],
+                        })
+                        .count();
+                    // max_by_key keeps the *last* max; invert the position
+                    // so ties resolve to the earliest written literal.
+                    (score, usize::MAX - pos)
+                })
+                .expect("remaining is nonempty");
+            let i = remaining.remove(pos);
+            steps.push(Self::make_step(&templates[i], false, &mut bound));
+        }
+        ConjunctionPlan { steps }
+    }
+
+    fn make_step(template: &AtomTemplate, from_delta: bool, bound: &mut [bool]) -> JoinStep {
+        let mut index_col = None;
+        let mut binders = Vec::new();
+        let mut checks = Vec::new();
+        let mut fresh_here = Vec::new();
+        for (c, arg) in template.args.iter().enumerate() {
+            match arg {
+                PatTerm::Const(_) => {
+                    if index_col.is_none() {
+                        index_col = Some(c);
+                    }
+                }
+                PatTerm::Slot(s) => {
+                    if bound[*s] {
+                        if index_col.is_none() {
+                            index_col = Some(c);
+                        }
+                    } else if fresh_here.contains(s) {
+                        checks.push((c, *s));
+                    } else {
+                        binders.push((c, *s));
+                        fresh_here.push(*s);
+                    }
+                }
+            }
+        }
+        for s in fresh_here {
+            bound[s] = true;
+        }
+        JoinStep {
+            template: template.clone(),
+            from_delta,
+            index_col,
+            binders,
+            checks,
+        }
+    }
+
+    /// The steps in join order.
+    pub fn steps(&self) -> &[JoinStep] {
+        &self.steps
+    }
+
+    /// Build (once) the indexes every step probes; incrementally
+    /// maintained storage keeps them warm afterwards.
+    pub fn ensure_indexes(&self, total: &mut Database, mut delta: Option<&mut Database>) {
+        for step in &self.steps {
+            let Some(c) = step.index_col else { continue };
+            if step.from_delta {
+                if let Some(d) = delta.as_deref_mut() {
+                    d.ensure_index(step.template.pred, c);
+                }
+            } else {
+                total.ensure_index(step.template.pred, c);
+            }
+        }
+    }
+
+    /// Run the join, invoking `f` with the environment of every complete
+    /// match. `env` must hold at least `slots.len()` entries with every
+    /// slot this plan binds set to `None`; it is restored on return.
+    pub fn for_each_match(
+        &self,
+        total: &Database,
+        delta: Option<&Database>,
+        env: &mut [Option<Param>],
+        f: &mut dyn FnMut(&[Option<Param>]),
+    ) {
+        self.run_step(0, total, delta, env, f);
+    }
+
+    fn run_step(
+        &self,
+        i: usize,
+        total: &Database,
+        delta: Option<&Database>,
+        env: &mut [Option<Param>],
+        f: &mut dyn FnMut(&[Option<Param>]),
+    ) {
+        let Some(step) = self.steps.get(i) else {
+            f(env);
+            return;
+        };
+        let db = if step.from_delta {
+            delta.expect("plan has a delta step but no delta database was given")
+        } else {
+            total
+        };
+        let pattern = step.template.pattern(env);
+        for tuple in db.select(step.template.pred, &pattern) {
+            for &(c, s) in &step.binders {
+                env[s] = Some(tuple[c]);
+            }
+            if step.checks.iter().all(|&(c, s)| env[s] == Some(tuple[c])) {
+                self.run_step(i + 1, total, delta, env, f);
+            }
+        }
+        for &(_, s) in &step.binders {
+            env[s] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::parse;
+
+    fn atom(src: &str) -> Atom {
+        match parse(src).unwrap() {
+            epilog_syntax::Formula::Atom(a) => a,
+            other => panic!("not an atom: {other}"),
+        }
+    }
+
+    fn db(facts: &[&str]) -> Database {
+        let mut db = Database::new();
+        for f in facts {
+            let a = atom(f);
+            db.insert(&a);
+        }
+        db
+    }
+
+    fn matches(plan: &ConjunctionPlan, slots: &SlotMap, db: &Database) -> Vec<Vec<Option<Param>>> {
+        let mut env = vec![None; slots.len()];
+        let mut out = Vec::new();
+        plan.for_each_match(db, None, &mut env, &mut |e| out.push(e.to_vec()));
+        out
+    }
+
+    #[test]
+    fn joins_bind_across_atoms() {
+        let atoms = vec![atom("e(x, y)"), atom("e(y, z)")];
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile(&atoms, &mut slots, None);
+        let db = db(&["e(a, b)", "e(b, c)", "e(b, d)"]);
+        let got = matches(&plan, &slots, &db);
+        // Paths of length 2: a-b-c and a-b-d.
+        assert_eq!(got.len(), 2);
+        for env in &got {
+            assert!(env.iter().all(Option::is_some), "all slots bound");
+        }
+    }
+
+    #[test]
+    fn greedy_reorder_puts_constant_literal_first() {
+        // Written order starts with the unbound scan; the plan flips it.
+        let atoms = vec![atom("e(x, y)"), atom("p(a, x)")];
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile(&atoms, &mut slots, None);
+        assert_eq!(plan.steps()[0].template.pred, Pred::new("p", 2));
+        assert_eq!(plan.steps()[0].index_col, Some(0));
+        // Second step: x is bound by then, so column 0 is indexable.
+        assert_eq!(plan.steps()[1].template.pred, Pred::new("e", 2));
+        assert_eq!(plan.steps()[1].index_col, Some(0));
+    }
+
+    #[test]
+    fn repeated_variable_within_atom_checked() {
+        let atoms = vec![atom("e(x, x)")];
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile(&atoms, &mut slots, None);
+        let db = db(&["e(a, a)", "e(a, b)"]);
+        let got = matches(&plan, &slots, &db);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0][0].unwrap().name(), "a");
+    }
+
+    #[test]
+    fn empty_conjunction_matches_once() {
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile(&[], &mut slots, None);
+        let got = matches(&plan, &slots, &Database::new());
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn delta_step_joins_first_and_matches_delta_only() {
+        // Rule body: e(x,y), t(y,z) — delta position on t.
+        let atoms = vec![atom("e(x, y)"), atom("t(y, z)")];
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile(&atoms, &mut slots, Some(1));
+        assert!(plan.steps()[0].from_delta);
+        assert_eq!(plan.steps()[0].template.pred, Pred::new("t", 2));
+
+        let total = db(&["e(a, b)", "t(b, c)", "t(b, d)"]);
+        let delta = db(&["t(b, d)"]);
+        let mut env = vec![None; slots.len()];
+        let mut out = Vec::new();
+        plan.for_each_match(&total, Some(&delta), &mut env, &mut |e| {
+            out.push(e.to_vec());
+        });
+        // Only the delta tuple t(b,d) seeds the join.
+        assert_eq!(out.len(), 1);
+        let z = slots.get(Var::new("z")).unwrap();
+        assert_eq!(out[0][z].unwrap().name(), "d");
+    }
+
+    #[test]
+    fn ensure_indexes_builds_probed_columns() {
+        let atoms = vec![atom("p(a, x)"), atom("e(x, y)")];
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile(&atoms, &mut slots, None);
+        let mut total = db(&["p(a, b)", "e(b, c)"]);
+        plan.ensure_indexes(&mut total, None);
+        let p = Pred::new("p", 2);
+        let e = Pred::new("e", 2);
+        assert!(total.relation(p).unwrap().has_index(0));
+        assert!(total.relation(e).unwrap().has_index(0));
+        // Results agree with the unindexed run.
+        let got = matches(&plan, &slots, &total);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn ground_template_instantiates_head() {
+        let mut slots = SlotMap::new();
+        let body = ConjunctionPlan::compile(&[atom("e(x, y)")], &mut slots, None);
+        let head = AtomTemplate::compile(&atom("t(y, x)"), &mut slots);
+        let db = db(&["e(a, b)"]);
+        let mut env = vec![None; slots.len()];
+        let mut tuples = Vec::new();
+        body.for_each_match(&db, None, &mut env, &mut |e| tuples.push(head.ground(e)));
+        assert_eq!(tuples, vec![vec![Param::new("b"), Param::new("a")]]);
+    }
+}

@@ -1,8 +1,9 @@
-//! Relations: ordered sets of fixed-arity tuples with lazy hash indexes.
+//! Relations: ordered sets of fixed-arity tuples with incrementally
+//! maintained per-column hash indexes.
 
 use crate::Tuple;
 use epilog_syntax::Param;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{btree_set, BTreeSet, HashMap};
 
 /// A selection pattern: per column, either a required parameter or a
 /// wildcard.
@@ -11,16 +12,59 @@ pub type Selection = Vec<Option<Param>>;
 /// A relation instance: a set of tuples of a fixed arity.
 ///
 /// Tuples are kept in a `BTreeSet` for deterministic iteration (important
-/// for the reproducibility of every experiment), with per-column hash
-/// indexes built lazily the first time a column is used for selection and
-/// invalidated on mutation.
+/// for the reproducibility of every experiment). Per-column hash indexes
+/// are built on demand via [`Relation::ensure_index`] and from then on
+/// maintained **incrementally** by `insert`/`remove`/`union_with` — a
+/// mutation never tears an index down, which is what lets the semi-naive
+/// fixpoint keep its indexes warm across iterations.
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     arity: usize,
     tuples: BTreeSet<Tuple>,
     /// `indexes[c]` maps a parameter to the tuples whose column `c` holds
-    /// it. Rebuilt lazily; `None` when stale or never built.
-    indexes: Vec<Option<HashMap<Param, Vec<Tuple>>>>,
+    /// it; each bucket iterates in set order, and mutation is logarithmic
+    /// even for heavily skewed keys. `None` when never built.
+    indexes: Vec<Option<HashMap<Param, BTreeSet<Tuple>>>>,
+}
+
+/// Borrowing iterator over the tuples matching a selection pattern, in
+/// deterministic (lexicographic within the probed bucket) order.
+pub struct Matches<'a> {
+    inner: MatchesInner<'a>,
+    pattern: &'a [Option<Param>],
+}
+
+enum MatchesInner<'a> {
+    Empty,
+    Scan(btree_set::Iter<'a, Tuple>),
+    Bucket(btree_set::Iter<'a, Tuple>),
+}
+
+impl<'a> Matches<'a> {
+    /// An iterator yielding nothing (for absent relations).
+    pub fn empty() -> Matches<'a> {
+        Matches {
+            inner: MatchesInner::Empty,
+            pattern: &[],
+        }
+    }
+}
+
+impl<'a> Iterator for Matches<'a> {
+    type Item = &'a Tuple;
+
+    fn next(&mut self) -> Option<&'a Tuple> {
+        loop {
+            let t = match &mut self.inner {
+                MatchesInner::Empty => return None,
+                MatchesInner::Scan(it) => it.next()?,
+                MatchesInner::Bucket(it) => it.next()?,
+            };
+            if Relation::matches(t, self.pattern) {
+                return Some(t);
+            }
+        }
+    }
 }
 
 impl Relation {
@@ -48,24 +92,37 @@ impl Relation {
         self.tuples.is_empty()
     }
 
-    /// Insert a tuple; returns `true` if it was new.
+    /// Insert a tuple; returns `true` if it was new. Built indexes are
+    /// updated in place.
     ///
     /// # Panics
     /// Panics if the tuple's length differs from the relation's arity.
     pub fn insert(&mut self, t: Tuple) -> bool {
         assert_eq!(t.len(), self.arity, "tuple arity mismatch");
-        let fresh = self.tuples.insert(t);
-        if fresh {
-            self.invalidate();
+        if self.tuples.contains(&t) {
+            return false;
         }
-        fresh
+        for (c, idx) in self.indexes.iter_mut().enumerate() {
+            if let Some(idx) = idx {
+                idx.entry(t[c]).or_default().insert(t.clone());
+            }
+        }
+        self.tuples.insert(t);
+        true
     }
 
-    /// Remove a tuple; returns `true` if it was present.
+    /// Remove a tuple; returns `true` if it was present. Built indexes are
+    /// updated in place.
     pub fn remove(&mut self, t: &Tuple) -> bool {
         let removed = self.tuples.remove(t);
         if removed {
-            self.invalidate();
+            for (c, idx) in self.indexes.iter_mut().enumerate() {
+                if let Some(idx) = idx {
+                    if let Some(bucket) = idx.get_mut(&t[c]) {
+                        bucket.remove(t);
+                    }
+                }
+            }
         }
         removed
     }
@@ -80,75 +137,62 @@ impl Relation {
         self.tuples.iter()
     }
 
-    /// All tuples matching a partial binding pattern, in deterministic
-    /// order.
+    /// Build the index for column `c` if it is not built yet; once built it
+    /// is maintained incrementally by every mutation.
+    pub fn ensure_index(&mut self, c: usize) {
+        if self.indexes[c].is_some() {
+            return;
+        }
+        let mut idx: HashMap<Param, BTreeSet<Tuple>> = HashMap::new();
+        for t in &self.tuples {
+            idx.entry(t[c]).or_default().insert(t.clone());
+        }
+        self.indexes[c] = Some(idx);
+    }
+
+    /// Whether the index for column `c` has been built.
+    pub fn has_index(&self, c: usize) -> bool {
+        self.indexes[c].is_some()
+    }
+
+    /// All tuples matching a partial binding pattern, as a **borrowing**
+    /// iterator — no tuple is cloned.
     ///
-    /// Uses the index of the first bound column when one exists (building
-    /// it if needed), then filters residually; with no bound column this is
-    /// a full scan.
-    pub fn select(&mut self, pattern: &Selection) -> Vec<Tuple> {
+    /// Probes the first bound column whose index is built (see
+    /// [`Relation::ensure_index`]) and filters residually; with no usable
+    /// index this is a full scan.
+    pub fn select<'a>(&'a self, pattern: &'a Selection) -> Matches<'a> {
         assert_eq!(pattern.len(), self.arity, "selection arity mismatch");
-        let first_bound = pattern.iter().position(Option::is_some);
-        match first_bound {
-            None => self.tuples.iter().cloned().collect(),
-            Some(c) => {
-                self.build_index(c);
-                let key = pattern[c].expect("position() found a bound column");
-                let index = self.indexes[c].as_ref().expect("just built");
-                let candidates = index.get(&key).map(Vec::as_slice).unwrap_or(&[]);
-                candidates
-                    .iter()
-                    .filter(|t| Self::matches(t, pattern))
-                    .cloned()
-                    .collect()
-            }
+        for (c, p) in pattern.iter().enumerate() {
+            let Some(key) = p else { continue };
+            let Some(idx) = &self.indexes[c] else {
+                continue;
+            };
+            let inner = match idx.get(key) {
+                Some(bucket) => MatchesInner::Bucket(bucket.iter()),
+                None => MatchesInner::Empty,
+            };
+            return Matches { inner, pattern };
+        }
+        Matches {
+            inner: MatchesInner::Scan(self.tuples.iter()),
+            pattern,
         }
     }
 
-    /// Read-only variant of [`Relation::select`]: no index is built, the
-    /// scan is residual. Useful when the relation is shared immutably.
-    pub fn select_scan(&self, pattern: &Selection) -> Vec<Tuple> {
-        assert_eq!(pattern.len(), self.arity, "selection arity mismatch");
-        self.tuples
-            .iter()
-            .filter(|t| Self::matches(t, pattern))
-            .cloned()
-            .collect()
-    }
-
-    fn matches(t: &Tuple, pattern: &Selection) -> bool {
+    fn matches(t: &Tuple, pattern: &[Option<Param>]) -> bool {
         t.iter()
             .zip(pattern)
             .all(|(v, p)| p.is_none_or(|q| q == *v))
     }
 
-    fn build_index(&mut self, c: usize) {
-        if self.indexes[c].is_some() {
-            return;
-        }
-        let mut idx: HashMap<Param, Vec<Tuple>> = HashMap::new();
-        for t in &self.tuples {
-            idx.entry(t[c]).or_default().push(t.clone());
-        }
-        self.indexes[c] = Some(idx);
-    }
-
-    fn invalidate(&mut self) {
-        for i in &mut self.indexes {
-            *i = None;
-        }
-    }
-
     /// Set-union with another relation of the same arity; returns the
-    /// number of new tuples.
+    /// number of new tuples. Built indexes are maintained.
     pub fn union_with(&mut self, other: &Relation) -> usize {
         assert_eq!(self.arity, other.arity, "relation arity mismatch");
         let before = self.len();
         for t in other.iter() {
-            self.tuples.insert(t.clone());
-        }
-        if self.len() != before {
-            self.invalidate();
+            self.insert(t.clone());
         }
         self.len() - before
     }
@@ -197,6 +241,10 @@ mod tests {
         r
     }
 
+    fn sel(r: &Relation, pattern: &Selection) -> Vec<Tuple> {
+        r.select(pattern).cloned().collect()
+    }
+
     #[test]
     fn insert_and_contains() {
         let mut r = rel();
@@ -219,48 +267,79 @@ mod tests {
     }
 
     #[test]
-    fn select_with_index() {
-        let mut r = rel();
-        let got = r.select(&vec![Some(p("a")), None]);
-        assert_eq!(got.len(), 2);
-        let got = r.select(&vec![None, Some(p("b"))]);
-        assert_eq!(got.len(), 2);
-        let got = r.select(&vec![Some(p("a")), Some(p("c"))]);
-        assert_eq!(got, vec![vec![p("a"), p("c")]]);
-        let got = r.select(&vec![None, None]);
-        assert_eq!(got.len(), 3);
+    fn select_scans_without_index() {
+        let r = rel();
+        assert_eq!(sel(&r, &vec![Some(p("a")), None]).len(), 2);
+        assert_eq!(sel(&r, &vec![None, Some(p("b"))]).len(), 2);
+        assert_eq!(
+            sel(&r, &vec![Some(p("a")), Some(p("c"))]),
+            vec![vec![p("a"), p("c")]]
+        );
+        assert_eq!(sel(&r, &vec![None, None]).len(), 3);
     }
 
     #[test]
-    fn select_scan_matches_select() {
-        let mut r = rel();
+    fn indexed_select_matches_scan() {
+        let scan = rel();
+        let mut indexed = rel();
+        indexed.ensure_index(0);
+        indexed.ensure_index(1);
         for pattern in [
             vec![Some(p("a")), None],
             vec![None, Some(p("b"))],
             vec![None, None],
             vec![Some(p("zz")), None],
+            vec![Some(p("a")), Some(p("c"))],
         ] {
-            assert_eq!(r.select(&pattern), r.select_scan(&pattern));
+            assert_eq!(sel(&indexed, &pattern), sel(&scan, &pattern));
         }
     }
 
     #[test]
-    fn index_invalidated_on_mutation() {
+    fn index_maintained_incrementally() {
         let mut r = rel();
-        let _ = r.select(&vec![Some(p("a")), None]); // build index
+        r.ensure_index(0);
+        assert_eq!(sel(&r, &vec![Some(p("a")), None]).len(), 2);
         r.insert(vec![p("a"), p("z")]);
-        let got = r.select(&vec![Some(p("a")), None]);
-        assert_eq!(got.len(), 3, "index must see the new tuple");
+        assert!(r.has_index(0), "mutation must not drop the index");
+        assert_eq!(
+            sel(&r, &vec![Some(p("a")), None]).len(),
+            3,
+            "index must see the new tuple"
+        );
+        r.remove(&vec![p("a"), p("b")]);
+        assert_eq!(
+            sel(&r, &vec![Some(p("a")), None]).len(),
+            2,
+            "index must forget the removed tuple"
+        );
     }
 
     #[test]
-    fn union_counts_new() {
+    fn index_buckets_stay_sorted() {
+        let mut r = Relation::new(2);
+        r.ensure_index(0);
+        r.insert(vec![p("a"), p("z")]);
+        r.insert(vec![p("a"), p("b")]);
+        r.insert(vec![p("a"), p("m")]);
+        let got = sel(&r, &vec![Some(p("a")), None]);
+        let scan: Vec<Tuple> = r.iter().cloned().collect();
+        assert_eq!(
+            got, scan,
+            "bucket iteration follows the relation's set order"
+        );
+    }
+
+    #[test]
+    fn union_counts_new_and_maintains_index() {
         let mut r = rel();
+        r.ensure_index(1);
         let mut other = Relation::new(2);
         other.insert(vec![p("a"), p("b")]); // dup
-        other.insert(vec![p("x"), p("y")]); // new
+        other.insert(vec![p("x"), p("b")]); // new
         assert_eq!(r.union_with(&other), 1);
         assert_eq!(r.len(), 4);
+        assert_eq!(sel(&r, &vec![None, Some(p("b"))]).len(), 3);
     }
 
     #[test]
@@ -284,5 +363,10 @@ mod tests {
         let r: Relation = vec![vec![p("a")], vec![p("b")]].into_iter().collect();
         assert_eq!(r.arity(), 1);
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn empty_matches_iterator() {
+        assert_eq!(Matches::empty().count(), 0);
     }
 }

@@ -26,18 +26,26 @@ enum Space {
 #[derive(Default)]
 struct Interner {
     names: Vec<String>,
-    ids: HashMap<(Space, String), u32>,
+    /// One id map per [`Space`], keyed by owned name but **queried by
+    /// `&str`** (via `Borrow<str>`), so the hot lookup-hit path allocates
+    /// nothing.
+    ids: [HashMap<String, u32>; 3],
 }
 
 impl Interner {
     fn intern(&mut self, space: Space, name: &str) -> u32 {
-        if let Some(&id) = self.ids.get(&(space, name.to_owned())) {
+        let map = &mut self.ids[space as usize];
+        if let Some(&id) = map.get(name) {
             return id;
         }
         let id = u32::try_from(self.names.len()).expect("symbol table overflow");
         self.names.push(name.to_owned());
-        self.ids.insert((space, name.to_owned()), id);
+        map.insert(name.to_owned(), id);
         id
+    }
+
+    fn contains(&self, space: Space, name: &str) -> bool {
+        self.ids[space as usize].contains_key(name)
     }
 
     fn name(&self, id: u32) -> &str {
@@ -137,7 +145,7 @@ impl Param {
             // A user could in principle have interned this exact name; skip
             // collisions so freshness is real, not probabilistic.
             let guard = table().read().expect("symbol table poisoned");
-            let exists = guard.ids.contains_key(&(Space::Param, name.clone()));
+            let exists = guard.contains(Space::Param, &name);
             drop(guard);
             if !exists {
                 return Param::new(&name);
@@ -187,7 +195,7 @@ impl Var {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
             let name = format!("{hint}'{n}");
             let guard = table().read().expect("symbol table poisoned");
-            let exists = guard.ids.contains_key(&(Space::Var, name.clone()));
+            let exists = guard.contains(Space::Var, &name);
             drop(guard);
             if !exists {
                 return Var::new(&name);
