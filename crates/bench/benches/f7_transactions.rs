@@ -1,0 +1,80 @@
+//! F7 — transactional update latency: batched `Transaction::commit`
+//! (resumed fixpoint + compiled incremental constraint checks) against
+//! the rebuild-from-scratch update path, at growing registrar sizes.
+//!
+//! Shape expectation: the rebuild path recomputes the least model and
+//! re-verifies every constraint on each commit, so its latency grows with
+//! the theory; the incremental commit touches only the delta and its
+//! consequences, so its latency stays near-flat as `n` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epilog_bench::workloads::{enrollment_batch, registrar_db};
+use epilog_core::{ic_satisfaction, prover_for, IcDefinition, IcReport, ModelUpdate};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate: the incremental commit runs no full plans and its
+    // spliced model matches a from-scratch rebuild.
+    {
+        let mut db = registrar_db(32);
+        let mut txn = db.transaction();
+        for w in enrollment_batch(32, 2) {
+            txn = txn.assert(w);
+        }
+        let report = txn.commit().unwrap();
+        let ModelUpdate::Incremental { stats, .. } = report.model else {
+            panic!("expected an incremental commit, got {:?}", report.model);
+        };
+        assert_eq!(stats.full_firings, 0);
+        let scratch = prover_for(db.theory().clone());
+        assert_eq!(db.prover().atom_model(), scratch.atom_model());
+    }
+
+    let mut g = c.benchmark_group("f7_transactions");
+    g.sample_size(10);
+    // The rebuild baseline's full constraint check expands the FD's three
+    // quantifiers over the active domain (cubic in `n`), which is the
+    // point of the comparison — but it caps the feasible sizes, as in
+    // `e3_constraints`.
+    for n in [8usize, 16, 32] {
+        // A fresh size-`n` registrar per sample (setup is untimed), so
+        // every measured commit runs against exactly the size the label
+        // claims.
+        g.bench_with_input(BenchmarkId::new("commit_incremental", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || registrar_db(n),
+                |mut db| {
+                    let mut txn = db.transaction();
+                    for w in enrollment_batch(n, 2) {
+                        txn = txn.assert(w);
+                    }
+                    black_box(txn.commit().unwrap());
+                    db
+                },
+            )
+        });
+        // The pre-transaction update path: clone the theory, rebuild the
+        // prover (least model included), full-check every constraint.
+        g.bench_with_input(BenchmarkId::new("commit_rebuild", n), &n, |b, &n| {
+            let db = registrar_db(n);
+            b.iter(|| {
+                let mut theory = db.theory().clone();
+                for w in enrollment_batch(n, 2) {
+                    theory.assert(w).unwrap();
+                }
+                let candidate = prover_for(theory);
+                for ic in db.constraints() {
+                    assert_eq!(
+                        ic_satisfaction(&candidate, ic, IcDefinition::Epistemic),
+                        IcReport::Satisfied
+                    );
+                }
+                black_box(candidate)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -5,9 +5,13 @@
 //! Prints, for each experiment, the paper's expected output next to the
 //! measured output, and exits nonzero on any mismatch.
 
-use epilog_bench::workloads::{scaling_program, section1_queries, teach_db};
+use epilog_bench::workloads::{
+    enrollment_batch, registrar_db, scaling_program, section1_queries, teach_db,
+};
 use epilog_core::closure::cwa_demo;
-use epilog_core::{ask, demo_sentence, ic_satisfaction, IcDefinition, IcReport};
+use epilog_core::{
+    ask, demo_sentence, ic_satisfaction, prover_for, IcDefinition, IcReport, ModelUpdate,
+};
 use epilog_prover::Prover;
 use epilog_semantics::{minimal_worlds, ModelSet};
 use epilog_syntax::{is_admissible, parse, Param, Pred, Theory};
@@ -218,6 +222,74 @@ fn main() {
                 "fewer"
             } else {
                 "NOT-fewer"
+            },
+        );
+    }
+
+    println!("\nF7 — transactional updates (registrar + batch of 2 employees)");
+    for n in [8usize, 16, 32] {
+        let mut db = registrar_db(n);
+        let before = db.theory().len();
+        // A violating batch: an employee with no number on file.
+        let verdict = db
+            .transaction()
+            .assert(parse("emp(nobody)").unwrap())
+            .commit();
+        check(
+            &format!("n={n} violating commit rejected, state untouched"),
+            "yes",
+            if verdict.is_err() && db.theory().len() == before {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        // The accepted batch: two new employees with numbers.
+        let mut txn = db.transaction();
+        for w in enrollment_batch(n, 2) {
+            txn = txn.assert(w);
+        }
+        let report = txn.commit().unwrap();
+        let (tuples_added, full_firings) = match &report.model {
+            ModelUpdate::Incremental {
+                tuples_added,
+                stats,
+            } => (*tuples_added, stats.full_firings),
+            other => {
+                check(
+                    &format!("n={n} commit path"),
+                    "incremental",
+                    &format!("{other:?}"),
+                );
+                continue;
+            }
+        };
+        check(
+            &format!("n={n} model tuples added (= 3 per employee)"),
+            "6",
+            &tuples_added.to_string(),
+        );
+        check(
+            &format!("n={n} full plans in the resumed fixpoint"),
+            "0",
+            &full_firings.to_string(),
+        );
+        check(
+            &format!("n={n} constraint routes specialized/skipped/full"),
+            "2/0/0",
+            &format!(
+                "{}/{}/{}",
+                report.checks.specialized, report.checks.skipped, report.checks.full
+            ),
+        );
+        let scratch = prover_for(db.theory().clone());
+        check(
+            &format!("n={n} spliced model equals rebuild"),
+            "yes",
+            if db.prover().atom_model() == scratch.atom_model() {
+                "yes"
+            } else {
+                "no"
             },
         );
     }

@@ -60,6 +60,36 @@ pub fn employees_db(n: usize) -> Theory {
     Theory::from_text(&src).expect("generated text parses")
 }
 
+/// The `f7_transactions` workload: a registrar of `n` employees — `emp` +
+/// `ss` facts and the `emp ⊃ person` rule (so the theory is definite and
+/// commits have derived consequences) — under the §3 epistemic
+/// constraints (known number per employee, unique numbers).
+pub fn registrar_db(n: usize) -> epilog_core::EpistemicDb {
+    let mut src = String::from("forall x. emp(x) -> person(x)\n");
+    for i in 0..n {
+        src.push_str(&format!("emp(e{i})\nss(e{i}, n{i})\n"));
+    }
+    let mut db = epilog_core::EpistemicDb::from_text(&src).expect("generated text parses");
+    db.add_constraint(epilog_syntax::parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+        .expect("registrar satisfies the emp constraint");
+    db.add_constraint(
+        epilog_syntax::parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+    )
+    .expect("registrar satisfies the FD constraint");
+    db
+}
+
+/// The sentences enrolling employees `start .. start + k` into a
+/// registrar: one `emp` and one `ss` fact each.
+pub fn enrollment_batch(start: usize, k: usize) -> Vec<epilog_syntax::Formula> {
+    let mut out = Vec::with_capacity(2 * k);
+    for i in start..start + k {
+        out.push(epilog_syntax::parse(&format!("ss(e{i}, n{i})")).unwrap());
+        out.push(epilog_syntax::parse(&format!("emp(e{i})")).unwrap());
+    }
+    out
+}
+
 /// A definite chain database `p(a0), a_i → a_{i+1}`-style facts for the
 /// all-answers figure: `n` facts, all certain answers.
 pub fn facts_db(n: usize) -> Theory {
@@ -211,6 +241,20 @@ mod tests {
         let p = Prover::new(t);
         let ic = epilog_syntax::parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap();
         assert!(epilog_core::ask::certain(&p, &ic));
+    }
+
+    #[test]
+    fn registrar_commits_incrementally() {
+        use epilog_core::ModelUpdate;
+        let mut db = registrar_db(4);
+        let mut txn = db.transaction();
+        for w in enrollment_batch(4, 2) {
+            txn = txn.assert(w);
+        }
+        let report = txn.commit().unwrap();
+        assert_eq!(report.asserted, 4);
+        assert!(matches!(report.model, ModelUpdate::Incremental { .. }));
+        assert!(db.satisfies_constraints());
     }
 
     #[test]

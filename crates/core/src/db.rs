@@ -9,6 +9,8 @@ use crate::closure::ClosedDb;
 use crate::constraints::{ic_satisfaction, IcDefinition, IcReport};
 use crate::demo;
 use crate::engine::prover_for;
+use crate::incremental::IncrementalChecker;
+use crate::transaction::Transaction;
 use epilog_prover::Prover;
 use epilog_semantics::Answer;
 use epilog_syntax::theory::TheoryError;
@@ -55,9 +57,20 @@ impl From<TheoryError> for DbError {
 
 /// A deductive database with epistemic queries and epistemic integrity
 /// constraints.
+///
+/// Updates go through [`EpistemicDb::transaction`]: a batch of
+/// `assert`/`retract` operations validated against the compiled
+/// constraints and applied atomically, with the attached least model
+/// maintained incrementally where possible. The one-shot
+/// [`EpistemicDb::assert`]/[`EpistemicDb::retract`] wrap single-operation
+/// transactions.
 pub struct EpistemicDb {
-    prover: Prover,
-    constraints: Vec<Formula>,
+    pub(crate) prover: Prover,
+    pub(crate) constraints: Vec<Formula>,
+    /// The constraints compiled for incremental checking; `None` when at
+    /// least one registered constraint is outside the compilable
+    /// `¬∃x̄ (K-conjunction)` fragment (commits then re-check in full).
+    pub(crate) checker: Option<IncrementalChecker>,
 }
 
 impl EpistemicDb {
@@ -68,6 +81,7 @@ impl EpistemicDb {
         EpistemicDb {
             prover: prover_for(theory),
             constraints: Vec::new(),
+            checker: Some(IncrementalChecker::default()),
         }
     }
 
@@ -118,7 +132,10 @@ impl EpistemicDb {
     // ----- integrity ------------------------------------------------------
 
     /// Register a constraint (a KFOPCE sentence). The current state must
-    /// satisfy it, otherwise the registration is rejected.
+    /// satisfy it, otherwise the registration is rejected. Accepted
+    /// constraints are recompiled for incremental checking; if any
+    /// registered constraint falls outside the compilable fragment,
+    /// commits verify every constraint in full instead.
     pub fn add_constraint(&mut self, ic: Formula) -> Result<(), DbError> {
         if !ic.is_sentence() {
             return Err(DbError::OpenConstraint(ic));
@@ -127,6 +144,7 @@ impl EpistemicDb {
             return Err(DbError::ConstraintViolated(ic));
         }
         self.constraints.push(ic);
+        self.checker = IncrementalChecker::new(&self.constraints).ok();
         Ok(())
     }
 
@@ -138,38 +156,30 @@ impl EpistemicDb {
         })
     }
 
-    /// Transactionally assert a sentence: if the enlarged database would
-    /// violate a constraint, the update is rejected and the state is
-    /// unchanged.
-    pub fn assert(&mut self, w: Formula) -> Result<(), DbError> {
-        let mut theory = self.prover.theory().clone();
-        theory.assert(w)?;
-        let candidate = prover_for(theory);
-        for ic in &self.constraints {
-            if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic) != IcReport::Satisfied {
-                return Err(DbError::ConstraintViolated(ic.clone()));
-            }
-        }
-        self.prover = candidate;
-        Ok(())
+    // ----- updates --------------------------------------------------------
+
+    /// Open a transaction: a batch of `assert`/`retract` operations
+    /// validated against the compiled constraints and applied atomically
+    /// on [`Transaction::commit`]. See [`crate::transaction`] for the
+    /// incremental-maintenance machinery behind it.
+    pub fn transaction(&mut self) -> Transaction<'_> {
+        Transaction::new(self)
     }
 
-    /// Transactionally retract a sentence (no-op when absent); constraint
-    /// checked like [`EpistemicDb::assert`].
+    /// Transactionally assert a sentence: if the enlarged database would
+    /// violate a constraint, the update is rejected and the state is
+    /// unchanged. Equivalent to a single-operation
+    /// [`EpistemicDb::transaction`].
+    pub fn assert(&mut self, w: Formula) -> Result<(), DbError> {
+        self.transaction().assert(w).commit().map(|_| ())
+    }
+
+    /// Transactionally retract a sentence (no-op when absent, without
+    /// cloning or re-checking anything); constraint checked like
+    /// [`EpistemicDb::assert`]. Returns whether the sentence was present.
     pub fn retract(&mut self, w: &Formula) -> Result<bool, DbError> {
-        let mut theory = self.prover.theory().clone();
-        let removed = theory.retract(w);
-        if !removed {
-            return Ok(false);
-        }
-        let candidate = prover_for(theory);
-        for ic in &self.constraints {
-            if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic) != IcReport::Satisfied {
-                return Err(DbError::ConstraintViolated(ic.clone()));
-            }
-        }
-        self.prover = candidate;
-        Ok(true)
+        let report = self.transaction().retract(w.clone()).commit()?;
+        Ok(report.retracted > 0)
     }
 
     // ----- closed world ----------------------------------------------------

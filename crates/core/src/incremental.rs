@@ -17,17 +17,21 @@
 //!
 //! **Soundness boundary** (documented, checked in tests): the
 //! specialization is exact when the database's rules cannot derive atoms
-//! of a constraint's predicates from the update — in particular for
-//! extensional (fact-only) databases, the common case for updates. When
-//! rules may propagate, use [`IncrementalChecker::affected`] to detect the
-//! situation and fall back to a full check (the conservative default of
-//! [`IncrementalChecker::check_update`]).
+//! of a constraint's trigger predicates from the update — in particular
+//! for extensional (fact-only) databases, the common case for updates.
+//! [`IncrementalChecker::check_update`] decides this **per constraint**
+//! by consulting the theory's rule dependency graph: only constraints
+//! whose triggers are rule-reachable from the update's predicate fall
+//! back to a full recheck; the rest stay on the specialized (or skipped)
+//! route, with the routing reported through
+//! [`CheckStats`].
 
 use crate::ask::certain;
+use epilog_datalog::Program;
 use epilog_prover::Prover;
 use epilog_syntax::formula::{Atom, Formula};
-use epilog_syntax::{admissible_constraint, Param, Pred, Term, Var};
-use std::collections::HashMap;
+use epilog_syntax::{admissible_constraint, Param, Pred, Term, Theory, Var};
+use std::collections::{BTreeSet, HashMap};
 
 /// A constraint compiled for incremental checking.
 #[derive(Debug, Clone)]
@@ -81,9 +85,12 @@ impl CompiledConstraint {
         })
     }
 
-    /// The predicates whose updates can newly violate this constraint.
+    /// The predicates whose updates can newly violate this constraint,
+    /// deduplicated (a predicate occurring in several positive patterns —
+    /// the functional dependency's `ss` — is reported once).
     pub fn trigger_preds(&self) -> Vec<Pred> {
-        self.positive_patterns.iter().map(|a| a.pred).collect()
+        let set: BTreeSet<Pred> = self.positive_patterns.iter().map(|a| a.pred).collect();
+        set.into_iter().collect()
     }
 
     /// The violation-check instances induced by a new ground fact: for
@@ -115,6 +122,21 @@ impl CompiledConstraint {
     }
 }
 
+/// How the constraints of one update were verified — the per-phase
+/// accounting surfaced by `CommitReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Constraints skipped outright: the update's predicate neither
+    /// triggers them nor reaches a trigger through the rule graph.
+    pub skipped: u64,
+    /// Constraints checked through the Nicolas-style specialization
+    /// (violation instances of the new fact only).
+    pub specialized: u64,
+    /// Constraints re-checked in full (a rule chain from the update's
+    /// predicate can derive a trigger predicate, or the caller fell back).
+    pub full: u64,
+}
+
 /// Incremental checker over a set of compiled constraints.
 #[derive(Debug, Default)]
 pub struct IncrementalChecker {
@@ -133,34 +155,68 @@ impl IncrementalChecker {
         })
     }
 
-    /// The constraints that an update of this predicate can affect.
-    pub fn affected(&self, pred: Pred) -> Vec<&CompiledConstraint> {
-        self.constraints
-            .iter()
-            .filter(|c| c.trigger_preds().contains(&pred))
-            .collect()
+    /// Check an update: `prover` must already include the new fact.
+    /// Returns the first violated constraint, if any. Single-fact case of
+    /// [`IncrementalChecker::check_batch_with_stats`], which documents
+    /// the routing and its soundness precondition.
+    pub fn check_update(&self, prover: &Prover, fact: &Atom) -> Option<&CompiledConstraint> {
+        self.check_batch_with_stats(prover, &[fact], &mut CheckStats::default())
     }
 
-    /// Check an update: `prover` must already include the new fact.
-    /// Returns the first violated constraint, if any.
+    /// Check a batch of asserted ground facts (`prover` must already
+    /// include them all), routing each constraint **once** for the whole
+    /// batch. Returns the first violated constraint, if any.
     ///
-    /// The specialization is exact when `prover`'s theory has no rules
-    /// deriving a trigger predicate; otherwise this method conservatively
-    /// re-checks the affected constraints in full.
-    pub fn check_update(&self, prover: &Prover, fact: &Atom) -> Option<&CompiledConstraint> {
-        let rules_derive_triggers = !prover.theory().rules().is_empty();
-        for c in self.affected(fact.pred) {
-            if rules_derive_triggers {
-                // Conservative fallback: full check of this constraint.
+    /// Per constraint, the route is chosen by the **rule dependency
+    /// graph** of the prover's theory (not by the blunt "any rules
+    /// present" test): if no rule chain leads from any updated predicate
+    /// to one of the constraint's trigger predicates, the asserted facts
+    /// are the only new trigger-relevant atoms and the Nicolas-style
+    /// specialization is exact — the constraint is checked on the
+    /// violation instances of the facts whose predicate triggers it. If
+    /// such a chain exists, the update may derive trigger atoms beyond
+    /// the facts themselves and the constraint is re-checked in full
+    /// (once, not per fact). Constraints the batch cannot reach at all
+    /// are skipped.
+    ///
+    /// **Soundness precondition**: every *non-rule* sentence of the
+    /// theory is a ground atom (the definite shape). A disjunction like
+    /// `¬p(a) ∨ emp(b)` can make an `emp` atom certain when `p(a)` is
+    /// asserted without any rule edge from `p` to `emp` — the dependency
+    /// graph cannot see that, so such theories must use
+    /// [`IncrementalChecker::check_full`] instead.
+    pub fn check_batch_with_stats(
+        &self,
+        prover: &Prover,
+        facts: &[&Atom],
+        stats: &mut CheckStats,
+    ) -> Option<&CompiledConstraint> {
+        let updated: BTreeSet<Pred> = facts.iter().map(|f| f.pred).collect();
+        let edges = dependency_edges(prover.theory());
+        let derivable = derivable_from(&edges, &updated);
+        for c in &self.constraints {
+            let triggers = c.trigger_preds();
+            if triggers.iter().any(|t| derivable.contains(t)) {
+                // A rule chain from the batch can derive a trigger atom
+                // the specialization would not see: one full recheck.
+                stats.full += 1;
                 if !certain(prover, &c.rewritten) {
                     return Some(c);
                 }
-            } else {
-                for violation in c.violation_instances(fact) {
-                    if certain(prover, &violation) {
-                        return Some(c);
+            } else if triggers.iter().any(|t| updated.contains(t)) {
+                stats.specialized += 1;
+                for fact in facts {
+                    if !triggers.contains(&fact.pred) {
+                        continue;
+                    }
+                    for violation in c.violation_instances(fact) {
+                        if certain(prover, &violation) {
+                            return Some(c);
+                        }
                     }
                 }
+            } else {
+                stats.skipped += 1;
             }
         }
         None
@@ -172,6 +228,73 @@ impl IncrementalChecker {
             .iter()
             .find(|c| !certain(prover, &c.rewritten))
     }
+
+    /// Number of compiled constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether no constraints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+/// The body→head predicate dependency edges of every rule-shaped
+/// sentence, extracted with **both** rule views: the syntactic one
+/// (`Theory::rules`, which handles positive-existential heads but
+/// range-restricts — it rejects a rule whose quantified variables don't
+/// all occur in the body) and the Datalog one (`Program::from_sentences`,
+/// which accepts rules with unused quantified variables). The definite
+/// engine evaluates the Datalog view, so the routing graph must cover at
+/// least that — an edge seen by either view is an edge.
+fn dependency_edges(theory: &Theory) -> Vec<(BTreeSet<Pred>, BTreeSet<Pred>)> {
+    let mut edges: Vec<(BTreeSet<Pred>, BTreeSet<Pred>)> = Vec::new();
+    for rule in theory.rules() {
+        edges.push((
+            rule.body.iter().map(|a| a.pred).collect(),
+            rule.head.preds().into_iter().collect(),
+        ));
+    }
+    for s in theory.sentences() {
+        if matches!(s, Formula::Atom(a) if a.is_ground()) {
+            continue;
+        }
+        if let Ok(prog) = Program::from_sentences(std::slice::from_ref(s)) {
+            for r in &prog.rules {
+                edges.push((
+                    r.body.iter().map(|l| l.atom.pred).collect(),
+                    std::iter::once(r.head.pred).collect(),
+                ));
+            }
+        }
+    }
+    edges
+}
+
+/// The predicates a rule chain can derive starting from atoms of the
+/// `seeds`: transitive closure over the dependency edges. A seed itself
+/// appears only when some chain re-derives it (e.g. a symmetry rule
+/// `e(x,y) ⊃ e(y,x)` can produce *new* `e` atoms from an `e` assertion) —
+/// the asserted facts alone are handled by the specialization directly.
+fn derivable_from(
+    edges: &[(BTreeSet<Pred>, BTreeSet<Pred>)],
+    seeds: &BTreeSet<Pred>,
+) -> BTreeSet<Pred> {
+    let mut reached = BTreeSet::new();
+    let mut frontier: Vec<Pred> = seeds.iter().copied().collect();
+    while let Some(p) = frontier.pop() {
+        for (body, heads) in edges {
+            if body.contains(&p) {
+                for &h in heads {
+                    if reached.insert(h) {
+                        frontier.push(h);
+                    }
+                }
+            }
+        }
+    }
+    reached
 }
 
 fn collect_positive_k_atoms(w: &Formula, out: &mut Vec<Atom>) {
@@ -253,21 +376,21 @@ mod tests {
             &parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
         )
         .unwrap();
-        assert_eq!(
-            c2.trigger_preds(),
-            vec![Pred::new("ss", 2), Pred::new("ss", 2)]
-        );
+        // Two positive `ss` patterns, one trigger predicate.
+        assert_eq!(c2.trigger_preds(), vec![Pred::new("ss", 2)]);
     }
 
     #[test]
     fn irrelevant_updates_skip_all_constraints() {
         let ck = checker();
-        assert!(ck.affected(Pred::new("hobby", 2)).is_empty());
         let prover =
             Prover::new(Theory::from_text("emp(Mary)\nss(Mary, n1)\nhobby(Mary, chess)").unwrap());
+        let mut stats = CheckStats::default();
         assert!(ck
-            .check_update(&prover, &ga("hobby(Mary, chess)"))
+            .check_batch_with_stats(&prover, &[&ga("hobby(Mary, chess)")], &mut stats)
             .is_none());
+        assert_eq!(stats.skipped, 2, "no constraint triggers on hobby");
+        assert_eq!(stats.specialized + stats.full, 0);
     }
 
     #[test]
@@ -333,23 +456,93 @@ mod tests {
     }
 
     #[test]
-    fn rules_force_conservative_full_check() {
+    fn rule_chains_to_triggers_force_full_check() {
         let ck = checker();
         // A rule derives emp from hired: the update hired(Sue) can violate
-        // the emp constraint even though its predicate is not a trigger…
+        // the emp constraint even though its predicate is not a trigger.
         let prover = Prover::new(
             Theory::from_text("ss(Mary, n1)\nemp(Mary)\nhired(Sue)\nforall x. hired(x) -> emp(x)")
                 .unwrap(),
         );
-        // …which is why `affected` is keyed on the update's predicate and
-        // hired is not a trigger: the caller must consult `affected` per
-        // derived predicate or rely on check_update's rule detection for
-        // trigger predicates. The full check sees the violation:
         assert!(ck.check_full(&prover).is_some());
-        // And the conservative path (any rules present → full recheck of
-        // affected constraints) also sees it once the update is keyed on a
-        // trigger predicate:
-        assert!(ck.check_update(&prover, &ga("emp(Sue)")).is_some());
+        // The dependency graph routes the hired update to a full recheck
+        // of the emp constraint (hired → emp is a trigger chain):
+        let mut stats = CheckStats::default();
+        assert!(ck
+            .check_batch_with_stats(&prover, &[&ga("hired(Sue)")], &mut stats)
+            .is_some());
+        assert!(stats.full >= 1, "rule chain must force a full check");
+        // Keyed on the trigger predicate itself, the specialization still
+        // applies (nothing derives emp *from* emp):
+        let mut stats = CheckStats::default();
+        assert!(ck
+            .check_batch_with_stats(&prover, &[&ga("emp(Sue)")], &mut stats)
+            .is_some());
+        assert_eq!(stats.full, 0, "emp is not rule-derivable from emp");
+        assert!(stats.specialized >= 1);
+    }
+
+    #[test]
+    fn irrelevant_rules_keep_the_specialization() {
+        // Rules whose heads never reach a trigger predicate must not
+        // degrade the update check to a full recheck.
+        let ck = checker();
+        let prover = Prover::new(
+            Theory::from_text(
+                "ss(Mary, n1)\nemp(Mary)\nforall x. emp(x) -> person(x)\nemp(Sue)\nss(Sue, n2)",
+            )
+            .unwrap(),
+        );
+        let mut stats = CheckStats::default();
+        assert!(ck
+            .check_batch_with_stats(&prover, &[&ga("emp(Sue)")], &mut stats)
+            .is_none());
+        assert_eq!(
+            stats.full, 0,
+            "emp -> person never reaches a trigger predicate"
+        );
+        assert_eq!(stats.specialized, 1, "only the emp constraint is checked");
+        assert_eq!(stats.skipped, 1, "the ss constraint is skipped");
+    }
+
+    #[test]
+    fn self_recursive_trigger_pred_forces_full_check() {
+        // A symmetry rule re-derives the trigger predicate itself: the
+        // asserted fact is no longer the only new trigger atom.
+        let ck =
+            IncrementalChecker::new(&[
+                parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap()
+            ])
+            .unwrap();
+        let prover = Prover::new(
+            Theory::from_text("ss(Mary, n1)\nforall x, y. ss(x, y) -> ss(y, x)").unwrap(),
+        );
+        let mut stats = CheckStats::default();
+        ck.check_batch_with_stats(&prover, &[&ga("ss(Mary, n1)")], &mut stats);
+        assert_eq!(stats.full, 1, "ss reaches ss through the symmetry rule");
+    }
+
+    #[test]
+    fn engine_only_rules_are_visible_to_routing() {
+        // `forall x, z. p(x) -> q(x)` fails the syntactic range
+        // restriction (z never occurs in the body) so Theory::rules()
+        // omits it — but the Datalog engine evaluates it. The dependency
+        // graph must still see the p → q edge.
+        let ck = IncrementalChecker::new(&[parse("forall x. ~K q(x)").unwrap()]).unwrap();
+        let theory = Theory::from_text("p(a)\nforall x, z. p(x) -> q(x)").unwrap();
+        assert!(
+            theory.rules().is_empty(),
+            "premise: syntactic view is blind"
+        );
+        let prover = crate::engine::prover_for(theory);
+        assert!(
+            prover.atom_model().is_some(),
+            "premise: engine evaluates it"
+        );
+        let mut stats = CheckStats::default();
+        let hit = ck.check_batch_with_stats(&prover, &[&ga("p(a)")], &mut stats);
+        assert!(hit.is_some(), "q(a) is derived, violating the prohibition");
+        assert_eq!(stats.full, 1, "p reaches q through the engine-only rule");
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   compiled semi-naive fixpoint) answers every ground-atom entailment
 //!   question without SAT — accelerating `demo`, `ask`, `closure` and the
 //!   incremental checker alike;
+//! * [`mod@transaction`] — the update surface: batched [`Transaction`]s
+//!   validated against compiled constraints and applied atomically, with
+//!   the attached least model maintained incrementally (the §8
+//!   incremental-integrity discussion made executable);
 //! * [`EpistemicDb`] — the facade tying the pieces together.
 
 pub mod ask;
@@ -38,6 +42,7 @@ pub mod engine;
 pub mod incremental;
 pub mod instances;
 pub mod optimize;
+pub mod transaction;
 
 pub use ask::ask;
 pub use closure::ClosedDb;
@@ -46,6 +51,7 @@ pub use db::EpistemicDb;
 pub use demo::{all_answers, demo, demo_sentence, DemoOutcome, DemoStream};
 pub use engine::{definite_model, definite_program, prover_for};
 pub use epilog_semantics::Answer;
-pub use incremental::{CompiledConstraint, IncrementalChecker};
+pub use incremental::{CheckStats, CompiledConstraint, IncrementalChecker};
 pub use instances::{admissible_wrt_f_sigma, instances, theorem_62_applies};
 pub use optimize::{eliminate_redundant_conjuncts, valid_kfopce};
+pub use transaction::{CommitReport, ModelUpdate, Transaction};

@@ -1,0 +1,591 @@
+//! Transactional updates: batched `assert`/`retract` with incremental
+//! model maintenance and compiled constraint checking.
+//!
+//! This is the paper's §8 discussion item (4) turned into the database's
+//! *update surface*: "when a (normally) small change is made to [a KB],
+//! it should not be necessary to verify all its constraints all over
+//! again" — nor, for that matter, to recompute its least model. A
+//! [`Transaction`] batches updates and applies them atomically on
+//! [`Transaction::commit`]:
+//!
+//! * **Validation** happens against the current state before anything is
+//!   cloned: operations that would not change the theory (duplicate
+//!   assertions, retractions of absent sentences) are dropped, and a
+//!   transaction with no effective operations commits without touching
+//!   the prover at all.
+//! * **Model maintenance**: when the theory is definite and the commit
+//!   only adds ground atoms, the attached least model is *not* rebuilt —
+//!   the transaction's facts seed the semi-naive delta
+//!   (`DeltaDatabase::resume`) and the fixpoint continues with
+//!   delta-variant plans only (`Program::eval_incremental`), then the
+//!   result is spliced into the prover through [`Prover::updated`].
+//! * **Constraint checking** routes through the compiled
+//!   [`IncrementalChecker`](crate::incremental::IncrementalChecker):
+//!   constraints untouched by the commit are skipped, touched ones are
+//!   checked on their violation instances only, and a full recheck runs
+//!   just where the rule dependency graph demands it.
+//! * **Atomicity**: a rejected commit returns
+//!   [`DbError::ConstraintViolated`] and leaves the database observably
+//!   unchanged; dropping a transaction (or [`Transaction::rollback`])
+//!   discards it.
+//!
+//! The one-shot [`EpistemicDb::assert`] and [`EpistemicDb::retract`] are
+//! thin wrappers over single-operation transactions.
+
+use crate::constraints::{ic_satisfaction, IcDefinition, IcReport};
+use crate::db::{DbError, EpistemicDb};
+use crate::engine::{definite_program, prover_for};
+use crate::incremental::CheckStats;
+use epilog_datalog::EvalStats;
+use epilog_prover::Prover;
+use epilog_storage::Database;
+use epilog_syntax::theory::TheoryError;
+use epilog_syntax::{is_first_order, Formula};
+use std::fmt;
+
+/// One batched update operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Assert(Formula),
+    Retract(Formula),
+}
+
+/// A batch of updates applied atomically on [`Transaction::commit`].
+///
+/// Obtained from [`EpistemicDb::transaction`]. Operations are recorded in
+/// order and validated against the evolving candidate state, so
+/// `retract(w)` after `assert(w)` cancels out. Dropping the transaction
+/// discards every queued operation.
+///
+/// ```
+/// use epilog_core::EpistemicDb;
+/// use epilog_syntax::parse;
+///
+/// let mut db = EpistemicDb::from_text("ss(Mary, n1)").unwrap();
+/// let report = db
+///     .transaction()
+///     .assert(parse("emp(Mary)").unwrap())
+///     .assert(parse("ss(Sue, n2)").unwrap())
+///     .commit()
+///     .unwrap();
+/// assert_eq!(report.asserted, 2);
+/// ```
+#[must_use = "a transaction does nothing until commit() — dropping it discards the batch"]
+pub struct Transaction<'db> {
+    db: &'db mut EpistemicDb,
+    ops: Vec<Op>,
+}
+
+/// How a commit maintained the prover's attached least model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelUpdate {
+    /// The commit added only ground atoms to a definite theory: the
+    /// existing least model was reused and the semi-naive fixpoint
+    /// resumed from the transaction's delta — no full plan ran.
+    Incremental {
+        /// Model tuples added by the resumed fixpoint (asserted facts
+        /// plus their derived consequences).
+        tuples_added: usize,
+        /// Counters of the resumed fixpoint; `full_firings` is 0 by
+        /// construction.
+        stats: EvalStats,
+    },
+    /// The least model was recomputed from scratch (the commit retracted
+    /// sentences or asserted non-atomic formulas).
+    Rebuilt,
+    /// The updated theory is not a definite program — there is no
+    /// attached model and entailment rides the grounding + SAT path.
+    NotDefinite,
+    /// No effective operation: the database was left untouched.
+    Unchanged,
+}
+
+/// The structured receipt of a successful [`Transaction::commit`]: which
+/// phase did how much work, so callers (and the `f7_transactions` bench)
+/// can observe incrementality instead of trusting it.
+#[derive(Debug, Clone)]
+pub struct CommitReport {
+    /// Sentences the commit added (duplicates of existing sentences are
+    /// not counted — they change nothing).
+    pub asserted: usize,
+    /// Sentences the commit removed (retractions of absent sentences are
+    /// not counted).
+    pub retracted: usize,
+    /// How the attached least model was maintained.
+    pub model: ModelUpdate,
+    /// How each registered constraint was verified: skipped, checked on
+    /// the update's violation instances only, or re-checked in full.
+    pub checks: CheckStats,
+}
+
+impl CommitReport {
+    fn unchanged() -> Self {
+        CommitReport {
+            asserted: 0,
+            retracted: 0,
+            model: ModelUpdate::Unchanged,
+            checks: CheckStats::default(),
+        }
+    }
+}
+
+impl fmt::Display for CommitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{} -{} sentences; ", self.asserted, self.retracted)?;
+        match &self.model {
+            ModelUpdate::Incremental {
+                tuples_added,
+                stats,
+            } => write!(
+                f,
+                "model +{tuples_added} tuples (resumed: {} delta firings, {} rounds)",
+                stats.rule_firings, stats.iterations
+            )?,
+            ModelUpdate::Rebuilt => write!(f, "model rebuilt")?,
+            ModelUpdate::NotDefinite => write!(f, "no model (SAT path)")?,
+            ModelUpdate::Unchanged => write!(f, "unchanged")?,
+        }
+        write!(
+            f,
+            "; constraints: {} skipped, {} specialized, {} full",
+            self.checks.skipped, self.checks.specialized, self.checks.full
+        )
+    }
+}
+
+impl<'db> Transaction<'db> {
+    pub(crate) fn new(db: &'db mut EpistemicDb) -> Self {
+        Transaction {
+            db,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Queue a sentence for assertion.
+    pub fn assert(mut self, w: Formula) -> Self {
+        self.ops.push(Op::Assert(w));
+        self
+    }
+
+    /// Queue a sentence for retraction.
+    pub fn retract(mut self, w: Formula) -> Self {
+        self.ops.push(Op::Retract(w));
+        self
+    }
+
+    /// Number of queued (not yet validated) operations.
+    pub fn pending(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Discard the batch. Equivalent to dropping the transaction; spelled
+    /// out for call sites that want the intent visible.
+    pub fn rollback(self) {}
+
+    /// Validate the batch and apply it atomically.
+    ///
+    /// Every queued formula must be a first-order sentence
+    /// ([`DbError::Theory`] otherwise) and the updated state must satisfy
+    /// every registered constraint ([`DbError::ConstraintViolated`]
+    /// otherwise — naming the first violated constraint). On any error
+    /// the database is left exactly as it was.
+    pub fn commit(self) -> Result<CommitReport, DbError> {
+        let Transaction { db, ops } = self;
+
+        // Phase 1 — validate and reduce to the *effective* delta. Ops are
+        // replayed in order against a lightweight view of the current
+        // sentence set, so duplicate asserts, absent retracts, and
+        // assert/retract pairs that cancel out never cost a theory clone.
+        // Only assertions need validating: an ill-formed sentence can
+        // never be *stored*, so retracting one is simply a no-op (the
+        // documented contract of the one-shot `retract`).
+        for op in &ops {
+            let Op::Assert(w) = op else { continue };
+            if !is_first_order(w) {
+                return Err(TheoryError::NotFirstOrder(w.to_string()).into());
+            }
+            if !w.is_sentence() {
+                return Err(TheoryError::NotSentence(w.to_string()).into());
+            }
+        }
+        let current = db.prover.theory();
+        let mut added: Vec<Formula> = Vec::new();
+        let mut removed: Vec<Formula> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Assert(w) => {
+                    let present = if added.contains(&w) {
+                        true
+                    } else if removed.contains(&w) {
+                        false
+                    } else {
+                        current.sentences().contains(&w)
+                    };
+                    if !present {
+                        if let Some(i) = removed.iter().position(|x| *x == w) {
+                            removed.swap_remove(i); // it was ours: un-retract
+                        } else {
+                            added.push(w);
+                        }
+                    }
+                }
+                Op::Retract(w) => {
+                    if let Some(i) = added.iter().position(|x| *x == w) {
+                        added.swap_remove(i); // never committed: cancel
+                    } else if !removed.contains(&w) && current.sentences().contains(&w) {
+                        removed.push(w);
+                    }
+                }
+            }
+        }
+        if added.is_empty() && removed.is_empty() {
+            return Ok(CommitReport::unchanged());
+        }
+
+        // Phase 2 — build the candidate theory.
+        let mut theory = current.clone();
+        for w in &removed {
+            theory.retract(w);
+        }
+        for w in &added {
+            theory.assert(w.clone())?;
+        }
+
+        // Phase 3 — maintain the least model. Pure ground-atom growth of
+        // a definite theory resumes the semi-naive fixpoint from the
+        // transaction's delta; everything else rebuilds.
+        let atoms_only = removed.is_empty()
+            && added
+                .iter()
+                .all(|w| matches!(w, Formula::Atom(a) if a.is_ground()));
+        let (candidate, model_update): (Prover, ModelUpdate) = 'prover: {
+            if atoms_only {
+                if let (Some(old_model), Some(prog)) =
+                    (db.prover.atom_model(), definite_program(&theory))
+                {
+                    let mut new_facts = Database::new();
+                    for w in &added {
+                        if let Formula::Atom(a) = w {
+                            new_facts.insert(a);
+                        }
+                    }
+                    if let Ok((model, stats)) = prog.eval_incremental(old_model.clone(), &new_facts)
+                    {
+                        let update = ModelUpdate::Incremental {
+                            tuples_added: model.len() - old_model.len(),
+                            stats,
+                        };
+                        break 'prover (db.prover.updated(theory, Some(model)), update);
+                    }
+                }
+            }
+            let rebuilt = prover_for(theory);
+            let update = if rebuilt.atom_model().is_some() {
+                ModelUpdate::Rebuilt
+            } else {
+                ModelUpdate::NotDefinite
+            };
+            (rebuilt, update)
+        };
+
+        // Phase 4 — verify the constraints. Ground-atom-only commits on a
+        // *definite* theory ride the compiled incremental checker (its
+        // dependency-graph routing is exact only when every non-rule
+        // sentence is a ground atom — a disjunction like `¬p(a) ∨ emp(b)`
+        // can make a trigger atom certain with no rule edge the graph
+        // could see); `candidate.atom_model()` is attached exactly for
+        // definite theories, so it doubles as that gate. All other
+        // commits re-check every constraint in full.
+        let mut checks = CheckStats::default();
+        match &db.checker {
+            Some(checker) if atoms_only && candidate.atom_model().is_some() => {
+                let facts: Vec<&epilog_syntax::formula::Atom> = added
+                    .iter()
+                    .map(|w| match w {
+                        Formula::Atom(a) => a,
+                        _ => unreachable!("atoms_only guarantees ground atoms"),
+                    })
+                    .collect();
+                if let Some(c) = checker.check_batch_with_stats(&candidate, &facts, &mut checks) {
+                    return Err(DbError::ConstraintViolated(c.original.clone()));
+                }
+            }
+            _ => {
+                for ic in &db.constraints {
+                    checks.full += 1;
+                    if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic)
+                        != IcReport::Satisfied
+                    {
+                        return Err(DbError::ConstraintViolated(ic.clone()));
+                    }
+                }
+            }
+        }
+
+        // Phase 5 — publish.
+        db.prover = candidate;
+        Ok(CommitReport {
+            asserted: added.len(),
+            retracted: removed.len(),
+            model: model_update,
+            checks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_semantics::Answer;
+    use epilog_syntax::parse;
+
+    fn db(src: &str) -> EpistemicDb {
+        EpistemicDb::from_text(src).unwrap()
+    }
+
+    fn f(src: &str) -> Formula {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn batched_commit_applies_atomically() {
+        let mut d = db("ss(Mary, n1)");
+        let report = d
+            .transaction()
+            .assert(f("emp(Mary)"))
+            .assert(f("ss(Sue, n2)"))
+            .assert(f("emp(Sue)"))
+            .commit()
+            .unwrap();
+        assert_eq!(report.asserted, 3);
+        assert_eq!(report.retracted, 0);
+        assert_eq!(d.ask(&f("K emp(Sue)")), Answer::Yes);
+    }
+
+    #[test]
+    fn duplicate_and_cancelling_ops_reduce_to_noop() {
+        let mut d = db("p(a)");
+        let report = d
+            .transaction()
+            .assert(f("p(a)")) // already present
+            .assert(f("q(b)"))
+            .retract(f("q(b)")) // cancels the assert
+            .retract(f("r(c)")) // absent
+            .commit()
+            .unwrap();
+        assert_eq!(report.asserted, 0);
+        assert_eq!(report.retracted, 0);
+        assert_eq!(report.model, ModelUpdate::Unchanged);
+        assert_eq!(d.theory().len(), 1);
+    }
+
+    #[test]
+    fn retract_then_assert_same_sentence_round_trips() {
+        let mut d = db("p(a)");
+        let report = d
+            .transaction()
+            .retract(f("p(a)"))
+            .assert(f("p(a)"))
+            .commit()
+            .unwrap();
+        // The pair cancels: retract queued first, assert un-retracts it.
+        assert_eq!((report.asserted, report.retracted), (0, 0));
+        assert!(d.theory().sentences().contains(&f("p(a)")));
+    }
+
+    #[test]
+    fn ground_atom_commit_on_definite_theory_is_incremental() {
+        let mut d = db("e(n0, n1)\nforall x, y. e(x, y) -> t(x, y)\nforall x, y, z. e(x, y) & t(y, z) -> t(x, z)");
+        assert!(d.prover().atom_model().is_some());
+        let report = d
+            .transaction()
+            .assert(f("e(n1, n2)"))
+            .assert(f("e(n2, n3)"))
+            .commit()
+            .unwrap();
+        let ModelUpdate::Incremental {
+            tuples_added,
+            stats,
+        } = report.model
+        else {
+            panic!("expected the incremental path, got {:?}", report.model);
+        };
+        // 2 edges + t(n1,n2), t(n2,n3), t(n0,n2), t(n1,n3), t(n0,n3).
+        assert_eq!(tuples_added, 7);
+        assert_eq!(stats.full_firings, 0, "only delta variants may run");
+        assert!(stats.rule_firings > 0);
+        // The resumed model answers like a from-scratch one.
+        assert_eq!(d.ask(&f("K t(n0, n3)")), Answer::Yes);
+        let scratch = crate::engine::prover_for(d.theory().clone());
+        assert_eq!(d.prover().atom_model(), scratch.atom_model());
+    }
+
+    #[test]
+    fn retraction_rebuilds_the_model() {
+        let mut d = db("e(a, b)\ne(b, c)\nforall x, y. e(x, y) -> t(x, y)");
+        let report = d.transaction().retract(f("e(b, c)")).commit().unwrap();
+        assert_eq!(report.model, ModelUpdate::Rebuilt);
+        assert_eq!(d.ask(&f("K t(b, c)")), Answer::No);
+    }
+
+    #[test]
+    fn non_atomic_assertion_rebuilds_or_drops_the_model() {
+        let mut d = db("p(a)");
+        let report = d.transaction().assert(f("q(b) | q(c)")).commit().unwrap();
+        assert_eq!(report.model, ModelUpdate::NotDefinite);
+        assert!(d.prover().atom_model().is_none());
+        assert_eq!(d.ask(&f("K (q(b) | q(c))")), Answer::Yes);
+    }
+
+    #[test]
+    fn violating_commit_is_rejected_wholesale() {
+        let mut d = db("emp(Mary)\nss(Mary, n1)");
+        d.add_constraint(f("forall x. K emp(x) -> exists y. K ss(x, y)"))
+            .unwrap();
+        let before = d.theory().clone();
+        let err = d
+            .transaction()
+            .assert(f("ss(Sue, n2)"))
+            .assert(f("emp(Sue)"))
+            .assert(f("emp(Joe)")) // no number for Joe: rejected
+            .commit()
+            .unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolated(_)));
+        // Nothing from the batch landed — not even the valid prefix.
+        assert_eq!(d.theory(), &before);
+        assert_eq!(d.ask(&f("K emp(Sue)")), Answer::No);
+        assert!(d.satisfies_constraints());
+    }
+
+    #[test]
+    fn batch_satisfying_constraint_jointly_is_accepted() {
+        // Individually ordered asserts would need "number first"; a batch
+        // is checked only at commit, so order inside the batch is free.
+        let mut d = db("emp(Mary)\nss(Mary, n1)");
+        d.add_constraint(f("forall x. K emp(x) -> exists y. K ss(x, y)"))
+            .unwrap();
+        let report = d
+            .transaction()
+            .assert(f("emp(Sue)")) // before its ss fact — fine in a batch
+            .assert(f("ss(Sue, n2)"))
+            .commit()
+            .unwrap();
+        assert_eq!(report.asserted, 2);
+        assert!(report.checks.specialized > 0 || report.checks.full > 0);
+        assert!(d.satisfies_constraints());
+    }
+
+    #[test]
+    fn constraint_routing_is_reported() {
+        let mut d = db("emp(Mary)\nss(Mary, n1)\nhobby(Mary, chess)");
+        d.add_constraint(f("forall x. K emp(x) -> exists y. K ss(x, y)"))
+            .unwrap();
+        d.add_constraint(f("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z"))
+            .unwrap();
+        // An update touching neither constraint: both skipped.
+        let report = d
+            .transaction()
+            .assert(f("hobby(Mary, go)"))
+            .commit()
+            .unwrap();
+        assert_eq!(report.checks.skipped, 2);
+        assert_eq!(report.checks.specialized, 0);
+        assert_eq!(report.checks.full, 0);
+        // An ss+emp batch: each constraint is routed once — both have a
+        // triggered predicate in the batch, so both specialize.
+        let report = d
+            .transaction()
+            .assert(f("ss(Sue, n2)"))
+            .assert(f("emp(Sue)"))
+            .commit()
+            .unwrap();
+        assert_eq!(report.checks.specialized, 2, "one route per constraint");
+        assert_eq!(report.checks.skipped, 0);
+        assert_eq!(report.checks.full, 0);
+    }
+
+    #[test]
+    fn non_rule_sentences_force_full_constraint_checks() {
+        // `¬p(a) ∨ emp(b)` can make emp(b) certain when p(a) arrives —
+        // with no rule edge from p to emp. The dependency-graph routing
+        // must not be trusted here: the theory is not definite, so the
+        // commit re-checks every constraint in full and rejects.
+        let mut d = db("~p(a) | emp(b)");
+        d.add_constraint(f("forall x. K emp(x) -> exists y. K ss(x, y)"))
+            .unwrap();
+        let err = d.transaction().assert(f("p(a)")).commit().unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolated(_)));
+        assert!(d.satisfies_constraints());
+        assert_eq!(d.theory().len(), 1, "rejected commit left no trace");
+    }
+
+    #[test]
+    fn engine_only_rules_route_constraints_to_full_checks() {
+        // A rule with an unused quantified variable is invisible to the
+        // syntactic rule view but evaluated by the engine: the commit must
+        // still notice that p derives q and reject the violation.
+        let mut d = db("forall x, z. p(x) -> q(x)");
+        d.add_constraint(f("forall x. ~K q(x)")).unwrap();
+        let err = d.transaction().assert(f("p(a)")).commit().unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolated(_)));
+        assert!(d.satisfies_constraints());
+        assert_eq!(
+            d.ask(&f("K p(a)")),
+            Answer::No,
+            "rejected commit left no trace"
+        );
+    }
+
+    #[test]
+    fn retracting_an_ill_formed_sentence_is_a_noop() {
+        // Modal or open formulas can never be stored, so retracting one
+        // reports "absent" instead of erroring (the seed contract).
+        let mut d = db("p(a)");
+        assert!(!d.retract(&f("K p(a)")).unwrap());
+        assert!(!d.retract(&f("q(x)")).unwrap());
+        assert_eq!(d.theory().len(), 1);
+    }
+
+    #[test]
+    fn rollback_and_drop_discard() {
+        let mut d = db("p(a)");
+        d.transaction().assert(f("q(b)")).rollback();
+        assert_eq!(d.theory().len(), 1);
+        {
+            let txn = d.transaction().assert(f("q(c)"));
+            assert_eq!(txn.pending(), 1);
+            // dropped here
+        }
+        assert_eq!(d.theory().len(), 1);
+    }
+
+    #[test]
+    fn invalid_sentence_rejects_the_whole_batch() {
+        let mut d = db("p(a)");
+        let err = d
+            .transaction()
+            .assert(f("q(b)"))
+            .assert(f("K q(b)")) // modal: not a database sentence
+            .commit()
+            .unwrap_err();
+        assert!(matches!(err, DbError::Theory(_)));
+        assert_eq!(d.theory().len(), 1);
+
+        let err = d
+            .transaction()
+            .assert(f("q(x)")) // free variable
+            .commit()
+            .unwrap_err();
+        assert!(matches!(err, DbError::Theory(_)));
+    }
+
+    #[test]
+    fn incremental_commit_updates_answers_not_just_the_model() {
+        let mut d = db("emp(Mary)\nforall x. emp(x) -> person(x)");
+        d.transaction().assert(f("emp(Sue)")).commit().unwrap();
+        // Derived consequence of the new fact via the rule:
+        assert_eq!(d.ask(&f("K person(Sue)")), Answer::Yes);
+        // And non-atomic queries (memo was not carried over stale):
+        assert_eq!(d.ask(&f("exists x. K person(x)")), Answer::Yes);
+    }
+}

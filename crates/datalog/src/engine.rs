@@ -25,6 +25,12 @@ pub struct EvalStats {
     /// per round 1 of each semi-naive stratum), one per nonempty-delta
     /// variant in later semi-naive rounds.
     pub rule_firings: u64,
+    /// The subset of [`EvalStats::rule_firings`] that executed a **full**
+    /// (non-delta) plan: every naive firing, and round 1 of each
+    /// semi-naive stratum. A resumed fixpoint
+    /// ([`Program::eval_incremental`]) reports 0 here — it only ever runs
+    /// delta variants.
+    pub full_firings: u64,
     /// Number of head atoms derived (including duplicates).
     pub derivations: u64,
     /// Number of fixpoint iterations across all strata.
@@ -44,6 +50,54 @@ impl Program {
     /// baseline.
     pub fn eval_naive(&self) -> Result<(Database, EvalStats), DatalogError> {
         self.run(false)
+    }
+
+    /// Resume the least-model fixpoint of a **definite** (negation-free)
+    /// program from a model already computed for a smaller fact set.
+    ///
+    /// `model` must be the least model of this program minus `new_facts`
+    /// (i.e. the state before the update), and `new_facts` the ground
+    /// atoms an update adds. The genuinely new facts are installed as the
+    /// semi-naive delta ([`DeltaDatabase::resume`]) and the fixpoint
+    /// continues with **delta-variant plans only** — no full round
+    /// re-derives the existing model, so the cost scales with the
+    /// consequences of the delta rather than the size of the theory. The
+    /// returned [`EvalStats`] covers only the resumed work
+    /// (`full_firings` is always 0 on this path).
+    ///
+    /// Programs with negated body literals cannot be resumed
+    /// monotonically — an addition may *retract* conclusions of a higher
+    /// stratum — so they fall back to a full [`Program::eval`].
+    pub fn eval_incremental(
+        &self,
+        model: Database,
+        new_facts: &Database,
+    ) -> Result<(Database, EvalStats), DatalogError> {
+        if self
+            .rules
+            .iter()
+            .any(|r| r.body.iter().any(|l| !l.positive))
+        {
+            // Non-monotone: recompute from the enlarged EDB.
+            drop(model);
+            let mut prog = self.clone();
+            prog.edb.union_with(new_facts);
+            return prog.eval();
+        }
+        let mut stats = EvalStats::default();
+        let plans: Vec<RulePlan> = self.rules.iter().map(RulePlan::compile).collect();
+        let plan_refs: Vec<&RulePlan> = plans.iter().collect();
+        let mut ddb = DeltaDatabase::resume(model, new_facts);
+        {
+            let (total, _) = ddb.parts_mut();
+            for plan in &plan_refs {
+                plan.ensure_total_indexes(total);
+            }
+        }
+        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats);
+        let mut db = ddb.into_total();
+        db.prune_empty();
+        Ok((db, stats))
     }
 
     fn run(&self, seminaive: bool) -> Result<(Database, EvalStats), DatalogError> {
@@ -92,7 +146,22 @@ fn fix_seminaive(plans: &[&RulePlan], db: Database, stats: &mut EvalStats) -> Da
             plan.ensure_total_indexes(total);
         }
     }
-    let mut first_round = true;
+    seminaive_rounds(plans, &mut ddb, true, stats);
+    ddb.into_total()
+}
+
+/// Run semi-naive rounds to fixpoint. With `full_first_round` set, the
+/// first iteration executes every rule's full plan (the delta is
+/// conceptually "everything" — a stratum starting from scratch); without
+/// it, the caller pre-seeded the delta ([`DeltaDatabase::resume`]) and
+/// only delta variants ever run.
+fn seminaive_rounds(
+    plans: &[&RulePlan],
+    ddb: &mut DeltaDatabase,
+    full_first_round: bool,
+    stats: &mut EvalStats,
+) {
+    let mut first_round = full_first_round;
     loop {
         stats.iterations += 1;
         let mut new_facts = Database::new();
@@ -102,11 +171,13 @@ fn fix_seminaive(plans: &[&RulePlan], db: Database, stats: &mut EvalStats) -> Da
             first_round = false;
             for plan in plans {
                 stats.rule_firings += 1;
+                stats.full_firings += 1;
                 fire(plan, &plan.full, ddb.total(), None, &mut new_facts, stats);
             }
         } else {
-            // The delta was replaced by `advance`: rebuild the (rare)
-            // constant-probed delta-side indexes.
+            // The delta was replaced by `advance` (or pre-seeded by the
+            // caller): rebuild the (rare) constant-probed delta-side
+            // indexes.
             {
                 let (total, delta) = ddb.parts_mut();
                 for plan in plans {
@@ -136,7 +207,6 @@ fn fix_seminaive(plans: &[&RulePlan], db: Database, stats: &mut EvalStats) -> Da
             break;
         }
     }
-    ddb.into_total()
 }
 
 /// Naive fixpoint of one stratum: every rule's full plan, every round.
@@ -149,6 +219,7 @@ fn fix_naive(plans: &[&RulePlan], db: &mut Database, stats: &mut EvalStats) {
         let mut new_facts = Database::new();
         for plan in plans {
             stats.rule_firings += 1;
+            stats.full_firings += 1;
             fire(plan, &plan.full, db, None, &mut new_facts, stats);
         }
         if db.union_with(&new_facts) == 0 {
@@ -251,6 +322,63 @@ mod tests {
             fast.rule_firings,
             slow.rule_firings
         );
+    }
+
+    #[test]
+    fn incremental_matches_from_scratch_on_chains() {
+        for (old, added) in [(5usize, 1usize), (4, 3), (1, 6)] {
+            let before = chain(old);
+            let (model, _) = before.eval().unwrap();
+            // The program over the enlarged fact set…
+            let after = chain(old + added);
+            // …and the new facts alone.
+            let mut new_facts = epilog_storage::Database::new();
+            for i in old..old + added {
+                new_facts.insert(&atom(&format!("e(n{i}, n{})", i + 1)));
+            }
+            let (inc, stats) = after.eval_incremental(model, &new_facts).unwrap();
+            let (scratch, _) = after.eval().unwrap();
+            assert_eq!(inc, scratch, "resume diverged for chain({old})+{added}");
+            assert_eq!(
+                stats.full_firings, 0,
+                "a resumed fixpoint must only run delta variants"
+            );
+            assert!(stats.rule_firings > 0);
+        }
+    }
+
+    #[test]
+    fn incremental_with_duplicate_facts_is_a_fixpoint_noop() {
+        let p = chain(4);
+        let (model, _) = p.eval().unwrap();
+        let mut dup = epilog_storage::Database::new();
+        dup.insert(&atom("e(n0, n1)"));
+        let (inc, stats) = p.eval_incremental(model.clone(), &dup).unwrap();
+        assert_eq!(inc, model);
+        assert_eq!(stats.rule_firings, 0, "empty delta fires nothing");
+        assert_eq!(stats.full_firings, 0);
+    }
+
+    #[test]
+    fn incremental_falls_back_on_negation() {
+        let p = Program::from_text(
+            "node(a)
+             node(b)
+             e(a, b)
+             forall x, y. e(x, y) -> reach(x, y)
+             forall x, y. node(x) & node(y) & ~reach(x, y) -> sep(x, y)",
+        )
+        .unwrap();
+        let (model, _) = p.eval().unwrap();
+        assert!(model.contains(&atom("sep(b, a)")));
+        // Adding e(b, a) must *remove* sep(b, a): only the full fallback
+        // can do that.
+        let mut new_facts = epilog_storage::Database::new();
+        new_facts.insert(&atom("e(b, a)"));
+        let (inc, stats) = p.eval_incremental(model, &new_facts).unwrap();
+        assert!(!inc.contains(&atom("sep(b, a)")));
+        assert!(inc.contains(&atom("reach(b, a)")));
+        assert!(stats.full_firings > 0, "fallback runs full plans");
     }
 
     #[test]

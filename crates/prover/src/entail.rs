@@ -90,6 +90,26 @@ impl Prover {
         self.atom_model.as_ref()
     }
 
+    /// Build a prover for an updated theory, reusing this prover's witness
+    /// budget — the model-maintenance hook for transactional updates.
+    ///
+    /// The memo starts empty (entailments may have changed) and `model`,
+    /// when given, becomes the attached ground-atom model (same soundness
+    /// contract as [`Prover::with_atom_model`]). Carrying the witness
+    /// budget over is sound when the update adds or removes only **ground
+    /// atoms**: they contribute no existential nodes, so the recomputed
+    /// budget would be identical. Updates that change quantified
+    /// sentences should build a fresh [`Prover::new`] instead.
+    pub fn updated(&self, theory: Theory, model: Option<Database>) -> Prover {
+        Prover {
+            theory,
+            witnesses: self.witnesses.clone(),
+            memo: RefCell::new(HashMap::new()),
+            atom_model: model,
+            sat_calls: RefCell::new(0),
+        }
+    }
+
     /// The theory this prover answers questions about.
     pub fn theory(&self) -> &Theory {
         &self.theory
@@ -334,6 +354,28 @@ mod tests {
         // Non-atomic goals still go through grounding + SAT.
         assert!(entails(&p, "exists x. person(x)"));
         assert_eq!(*p.sat_calls.borrow(), 1);
+    }
+
+    #[test]
+    fn updated_prover_answers_for_the_new_theory() {
+        let old = Prover::new(Theory::from_text("emp(Mary)").unwrap());
+        assert!(entails(&old, "emp(Mary)"));
+        assert!(!entails(&old, "emp(Sue)"));
+        let mut theory = old.theory().clone();
+        theory.assert(parse("emp(Sue)").unwrap()).unwrap();
+        let mut model = Database::new();
+        for s in ["emp(Mary)", "emp(Sue)"] {
+            let Formula::Atom(a) = parse(s).unwrap() else {
+                unreachable!()
+            };
+            model.insert(&a);
+        }
+        let new = old.updated(theory, Some(model));
+        assert!(entails(&new, "emp(Sue)"));
+        assert_eq!(*new.sat_calls.borrow(), 0, "model answers ground atoms");
+        // The memo did not leak across the update.
+        assert_eq!(new.memo_len(), 0);
+        assert!(entails(&new, "exists x. emp(x)"));
     }
 
     #[test]

@@ -29,6 +29,18 @@ impl DeltaDatabase {
         }
     }
 
+    /// Resume from an existing fixpoint: `model` is a database already
+    /// closed under whatever rules produced it, and `new_facts` are the
+    /// facts an update wants to add. The genuinely new ones (those absent
+    /// from `model`) are absorbed into the total **and** installed as the
+    /// initial delta, so a semi-naive loop can continue with delta-variant
+    /// plans only — no full round 1 re-deriving the old model.
+    pub fn resume(model: Database, new_facts: &Database) -> Self {
+        let mut ddb = DeltaDatabase::new(model);
+        ddb.advance(new_facts);
+        ddb
+    }
+
     /// Everything derived so far.
     pub fn total(&self) -> &Database {
         &self.total
@@ -88,6 +100,20 @@ mod tests {
         let d = DeltaDatabase::new(base);
         assert_eq!(d.total().len(), 1);
         assert!(d.delta().is_empty());
+    }
+
+    #[test]
+    fn resume_seeds_only_genuinely_new_facts() {
+        let mut model = Database::new();
+        model.insert(&ga("e(a, b)"));
+        model.insert(&ga("t(a, b)"));
+        let mut new_facts = Database::new();
+        new_facts.insert(&ga("e(a, b)")); // already in the model
+        new_facts.insert(&ga("e(b, c)")); // genuinely new
+        let d = DeltaDatabase::resume(model, &new_facts);
+        assert_eq!(d.total().len(), 3);
+        assert_eq!(d.delta().len(), 1);
+        assert!(d.delta().contains(&ga("e(b, c)")));
     }
 
     #[test]

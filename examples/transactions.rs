@@ -1,0 +1,128 @@
+//! The employee registrar, updated through batched transactions (§8).
+//!
+//! Reiter's §8 asks for incremental integrity checking: "when a
+//! (normally) small change is made to [a KB], it should not be necessary
+//! to verify all its constraints all over again." This example drives the
+//! `Transaction` API through the paper's employee/ss-number scenario and
+//! prints each commit's receipt — which constraints were skipped,
+//! specialized, or re-checked in full, and whether the least model was
+//! resumed from the transaction's delta or rebuilt.
+//!
+//! Run with: `cargo run --example transactions`
+
+use epilog::prelude::*;
+
+fn main() {
+    // A definite theory: ground facts plus one positive rule, so the
+    // engine attaches a least model and commits can maintain it
+    // incrementally.
+    let mut db = EpistemicDb::from_text(
+        "emp(Mary)
+         ss(Mary, n1)
+         forall x. emp(x) -> person(x)",
+    )
+    .unwrap();
+
+    // The §3 constraints: every known employee has a known number, and
+    // numbers are unique (the epistemic functional dependency).
+    db.add_constraint(parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+        .unwrap();
+    db.add_constraint(parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap())
+        .unwrap();
+
+    // ----- A batched commit ---------------------------------------------
+    // One-shot asserts would have to order "number before employee"; a
+    // transaction is validated only at commit, so the batch can list the
+    // facts in any order and is accepted or rejected as a whole.
+    println!("== Hiring Sue and Joe in one transaction ==\n");
+    let report = db
+        .transaction()
+        .assert(parse("emp(Sue)").unwrap())
+        .assert(parse("ss(Sue, n2)").unwrap())
+        .assert(parse("emp(Joe)").unwrap())
+        .assert(parse("ss(Joe, n3)").unwrap())
+        .commit()
+        .unwrap();
+    println!("  committed: {report}\n");
+    match report.model {
+        ModelUpdate::Incremental {
+            tuples_added,
+            stats,
+        } => {
+            println!(
+                "  model resumed from the delta: +{tuples_added} tuples, \
+                 {} delta firings, {} full plans (always 0 here)\n",
+                stats.rule_firings, stats.full_firings
+            );
+        }
+        other => println!("  unexpected model path: {other:?}\n"),
+    }
+    assert_eq!(db.ask(&parse("K person(Joe)").unwrap()), Answer::Yes);
+
+    // ----- A rejected commit --------------------------------------------
+    // The batch hires Tim without a number: the emp constraint's
+    // violation instance for Tim is certain, so the whole batch — Pat's
+    // perfectly fine facts included — is rejected and nothing changes.
+    println!("== A constraint-violating batch is rejected wholesale ==\n");
+    let sentences_before = db.theory().len();
+    let err = db
+        .transaction()
+        .assert(parse("emp(Pat)").unwrap())
+        .assert(parse("ss(Pat, n4)").unwrap())
+        .assert(parse("emp(Tim)").unwrap()) // no number on file
+        .commit()
+        .unwrap_err();
+    println!("  rejected: {err}");
+    assert_eq!(db.theory().len(), sentences_before);
+    assert_eq!(db.ask(&parse("K emp(Pat)").unwrap()), Answer::No);
+    println!("  database unchanged ({sentences_before} sentences)\n");
+
+    // ----- Constraint routing -------------------------------------------
+    // An update far from every constraint skips them all; an ss update
+    // specializes the functional dependency to the one new fact.
+    println!("== What does each commit actually check? ==\n");
+    let report = db
+        .transaction()
+        .assert(parse("hobby(Mary, chess)").unwrap())
+        .commit()
+        .unwrap();
+    println!("  hobby(Mary, chess):  {report}");
+    let err = db
+        .transaction()
+        .assert(parse("ss(Mary, n9)").unwrap()) // second number for Mary
+        .commit()
+        .unwrap_err();
+    println!("  ss(Mary, n9):        rejected ({err})\n");
+
+    // ----- Retraction ----------------------------------------------------
+    // Retracting Mary's number while she is an employee violates the emp
+    // constraint; retracting both in one batch is fine. Retracting an
+    // absent sentence is a no-op that never clones the theory.
+    println!("== Retraction under constraints ==\n");
+    let err = db
+        .transaction()
+        .retract(parse("ss(Mary, n1)").unwrap())
+        .commit()
+        .unwrap_err();
+    println!("  - ss(Mary, n1) alone: rejected ({err})");
+    let report = db
+        .transaction()
+        .retract(parse("emp(Mary)").unwrap())
+        .retract(parse("ss(Mary, n1)").unwrap())
+        .commit()
+        .unwrap();
+    println!("  - emp(Mary), ss(Mary, n1) together: {report}");
+    let report = db
+        .transaction()
+        .retract(parse("emp(Mary)").unwrap()) // already gone
+        .commit()
+        .unwrap();
+    println!("  - emp(Mary) again: {report}");
+    assert!(db.satisfies_constraints());
+
+    println!("\nfinal state:\n{}", indent(&db.theory().to_string()));
+}
+
+fn indent(s: &str) -> String {
+    s.lines().map(|l| format!("    {l}\n")).collect()
+}

@@ -50,8 +50,8 @@ pub use epilog_syntax as syntax;
 /// The items most programs need.
 pub mod prelude {
     pub use epilog_core::{
-        all_answers, ask, demo, demo_sentence, ic_satisfaction, Answer, ClosedDb, DemoOutcome,
-        EpistemicDb, IcDefinition, IcReport,
+        all_answers, ask, demo, demo_sentence, ic_satisfaction, Answer, ClosedDb, CommitReport,
+        DemoOutcome, EpistemicDb, IcDefinition, IcReport, ModelUpdate, Transaction,
     };
     pub use epilog_prover::Prover;
     pub use epilog_syntax::{

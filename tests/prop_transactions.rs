@@ -1,0 +1,182 @@
+//! Differential property suite for the transactional update API:
+//! `Transaction::commit` (incremental model maintenance + incremental
+//! constraint checking) must agree, verdict for verdict and state for
+//! state, with the rebuild-from-scratch oracle (`prover_for` on the
+//! candidate theory + a full check of every constraint).
+//!
+//! Theories are definite by construction (ground facts + positive rules,
+//! with occasional existential facts that push the database off the
+//! model-backed path), so every sample exercises the engine-backed
+//! fast path, and the rejected-commit samples additionally pin atomicity:
+//! a refused batch leaves the database observably untouched.
+
+use epilog::core::{ic_satisfaction, prover_for, IcDefinition, IcReport};
+use epilog::prelude::*;
+use proptest::prelude::*;
+
+const PARAMS: usize = 3;
+
+/// The rule pool: positive, safe, stratified by construction. `hired`
+/// feeds the constrained `emp` predicate, so some updates must route to a
+/// full constraint recheck through the dependency graph.
+const RULES: [&str; 3] = [
+    "forall x. hired(x) -> emp(x)",
+    "forall x. emp(x) -> person(x)",
+    "forall x, y. ss(x, y) -> holder(x)",
+];
+
+/// The constraints every sample database lives under.
+fn constraints() -> Vec<Formula> {
+    vec![
+        parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap(),
+        parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+        parse("forall x. ~K bad(x)").unwrap(),
+    ]
+}
+
+/// One update operation, as plain data the strategy can generate.
+/// kind: 0/1 = assert/retract a ground fact; 2 = assert an existential.
+type RawOp = (u8, u8, u8, u8);
+
+fn op_formula((kind, pred, p1, p2): RawOp) -> (bool, Formula) {
+    let a = p1 as usize % PARAMS;
+    let n = p2 as usize % PARAMS;
+    let src = if kind % 3 == 2 {
+        format!("exists y. ss(a{a}, y)")
+    } else {
+        match pred % 5 {
+            0 => format!("emp(a{a})"),
+            1 => format!("ss(a{a}, n{n})"),
+            2 => format!("hobby(a{a}, n{n})"),
+            3 => format!("hired(a{a})"),
+            _ => format!("bad(a{a})"),
+        }
+    };
+    (kind % 3 != 1, parse(&src).unwrap())
+}
+
+/// Apply one batch through the rebuild-from-scratch oracle: clone the
+/// theory, replay the ops in order, rebuild the prover, full-check every
+/// constraint. Returns the accepted candidate theory, or `None` when the
+/// batch must be rejected.
+fn oracle_commit(theory: &Theory, batch: &[(bool, Formula)]) -> Option<Theory> {
+    let mut candidate = theory.clone();
+    for (is_assert, w) in batch {
+        if *is_assert {
+            candidate.assert(w.clone()).unwrap();
+        } else {
+            candidate.retract(w);
+        }
+    }
+    let prover = prover_for(candidate.clone());
+    for ic in constraints() {
+        if ic_satisfaction(&prover, &ic, IcDefinition::Epistemic) != IcReport::Satisfied {
+            return None;
+        }
+    }
+    Some(candidate)
+}
+
+fn batches() -> impl Strategy<Value = (u8, Vec<Vec<RawOp>>)> {
+    (
+        0u8..8, // rule-subset mask
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..6, 0u8..8, 0u8..8, 0u8..8), 1..4),
+            0..6,
+        ),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Transactional commits agree with the rebuild oracle on every
+    /// verdict, on the resulting theory, and on the attached model.
+    #[test]
+    fn commit_matches_rebuild_from_scratch((mask, raw) in batches()) {
+        // Seed theory: a rule subset (facts arrive through commits).
+        let mut src = String::new();
+        for (i, rule) in RULES.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                src.push_str(rule);
+                src.push('\n');
+            }
+        }
+        let mut db = EpistemicDb::from_text(&src).unwrap();
+        for ic in constraints() {
+            db.add_constraint(ic).unwrap();
+        }
+        let mut shadow = db.theory().clone();
+
+        for raw_batch in &raw {
+            let batch: Vec<(bool, Formula)> =
+                raw_batch.iter().map(|op| op_formula(*op)).collect();
+            let mut txn = db.transaction();
+            for (is_assert, w) in &batch {
+                txn = if *is_assert {
+                    txn.assert(w.clone())
+                } else {
+                    txn.retract(w.clone())
+                };
+            }
+            let verdict = txn.commit();
+            match oracle_commit(&shadow, &batch) {
+                Some(accepted) => {
+                    prop_assert!(
+                        verdict.is_ok(),
+                        "commit rejected a batch the oracle accepts: {batch:?}\n{}",
+                        verdict.unwrap_err()
+                    );
+                    shadow = accepted;
+                }
+                None => {
+                    prop_assert!(
+                        verdict.is_err(),
+                        "commit accepted a batch the oracle rejects: {batch:?}"
+                    );
+                }
+            }
+            // Accepted or rejected, the database must now mirror the
+            // shadow state exactly…
+            prop_assert_eq!(db.theory(), &shadow);
+            // …including the attached least model (the incremental splice
+            // must be indistinguishable from a from-scratch rebuild).
+            let scratch = prover_for(shadow.clone());
+            prop_assert_eq!(db.prover().atom_model(), scratch.atom_model());
+        }
+        prop_assert!(db.satisfies_constraints());
+    }
+
+    /// The one-shot wrappers stay faithful to their transactional core:
+    /// `retract` of an absent sentence reports `false` and changes
+    /// nothing; `assert` of a present sentence changes nothing.
+    #[test]
+    fn oneshot_wrappers_are_single_op_transactions(ops in proptest::collection::vec((0u8..6, 0u8..8, 0u8..8, 0u8..8), 1..8)) {
+        let mut db = EpistemicDb::from_text("").unwrap();
+        for ic in constraints() {
+            db.add_constraint(ic).unwrap();
+        }
+        let mut shadow = db.theory().clone();
+        for op in ops {
+            let (is_assert, w) = op_formula(op);
+            if is_assert {
+                let oracle = oracle_commit(&shadow, &[(true, w.clone())]);
+                match db.assert(w.clone()) {
+                    Ok(()) => shadow = oracle.expect("oracle must accept"),
+                    Err(_) => prop_assert!(oracle.is_none()),
+                }
+            } else {
+                let was_present = shadow.sentences().contains(&w);
+                let oracle = oracle_commit(&shadow, &[(false, w.clone())]);
+                match db.retract(&w) {
+                    Ok(removed) => {
+                        prop_assert_eq!(removed, was_present);
+                        shadow = oracle.expect("oracle must accept");
+                    }
+                    Err(_) => prop_assert!(oracle.is_none()),
+                }
+            }
+            prop_assert_eq!(db.theory(), &shadow);
+        }
+    }
+}
