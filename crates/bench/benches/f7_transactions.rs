@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
                     for w in enrollment_batch(n, 2) {
                         txn = txn.assert(w);
                     }
-                    black_box(txn.commit().unwrap());
+                    let _ = black_box(txn.commit().unwrap());
                     db
                 },
             )

@@ -6,7 +6,7 @@
 //! measured output, and exits nonzero on any mismatch.
 
 use epilog_bench::workloads::{
-    enrollment_batch, registrar_db, scaling_program, section1_queries, teach_db,
+    durable_registrar, enrollment_batch, registrar_db, scaling_program, section1_queries, teach_db,
 };
 use epilog_core::closure::cwa_demo;
 use epilog_core::{
@@ -292,6 +292,96 @@ fn main() {
                 "no"
             },
         );
+    }
+
+    println!("\nF8 — durability & recovery (durable registrar, fsync=Never)");
+    for n in [8usize, 16, 32] {
+        let dir = std::env::temp_dir().join(format!("epilog-report-f8-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Build durably: 2 constraint records + n enrollment commits.
+        let db = durable_registrar(&dir, n, epilog_persist::FsyncPolicy::Never);
+        let live = db.theory().clone();
+        check(
+            &format!("n={n} wal records (= 2 constraints + n commits)"),
+            &(n + 2).to_string(),
+            &db.wal_records().to_string(),
+        );
+        drop(db); // crash: no shutdown ceremony
+        let (rec, report) =
+            epilog_persist::DurableDb::recover(&dir, epilog_persist::FsyncPolicy::Never).unwrap();
+        check(
+            &format!("n={n} recovery replays the full log"),
+            &(n + 2).to_string(),
+            &report.records_replayed.to_string(),
+        );
+        check(
+            &format!("n={n} recovered equals live (theory + model)"),
+            "yes",
+            if rec.theory() == &live
+                && rec.prover().atom_model() == prover_for(live.clone()).atom_model()
+                && rec.satisfies_constraints()
+            {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        drop(rec);
+        // Torn tail: chop bytes off the log; the last commit must be
+        // rolled back, everything before it preserved.
+        let wal_path = dir.join("wal.log");
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+        let (rec, report) =
+            epilog_persist::DurableDb::recover(&dir, epilog_persist::FsyncPolicy::Never).unwrap();
+        check(
+            &format!("n={n} torn tail detected, last commit rolled back"),
+            "yes",
+            if report.torn_tail.is_some()
+                && report.records_replayed == (n + 1) as u64
+                && rec.theory().len() == live.len() - 2
+                && rec.satisfies_constraints()
+            {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        // Re-commit the lost enrollment, checkpoint, recover: zero replay.
+        let mut rec = rec;
+        let mut txn = rec.transaction();
+        for w in enrollment_batch(n - 1, 1) {
+            txn = txn.assert(w);
+        }
+        let _ = txn.commit().unwrap();
+        let _ = rec.snapshot().unwrap();
+        drop(rec);
+        let (rec, report) =
+            epilog_persist::DurableDb::recover(&dir, epilog_persist::FsyncPolicy::Never).unwrap();
+        check(
+            &format!("n={n} snapshot recovery: records replayed / model restored"),
+            "0/yes",
+            &format!(
+                "{}/{}",
+                report.records_replayed,
+                if report.model_restored { "yes" } else { "no" }
+            ),
+        );
+        check(
+            &format!("n={n} snapshot recovery equals live"),
+            "yes",
+            if rec.theory() == &live { "yes" } else { "no" },
+        );
+        // Compaction: the snapshot covers the whole log.
+        let mut rec = rec;
+        let _ = rec.compact().unwrap();
+        check(
+            &format!("n={n} compaction drops the covered log"),
+            "0 left",
+            &format!("{} left", rec.wal_records()),
+        );
+        drop(rec);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     let failures = FAILURES.load(Ordering::Relaxed);

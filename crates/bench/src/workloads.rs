@@ -90,6 +90,36 @@ pub fn enrollment_batch(start: usize, k: usize) -> Vec<epilog_syntax::Formula> {
     out
 }
 
+/// The `f8_recovery` workload: the registrar built *durably* at `dir` —
+/// `DurableDb::create` with the `emp ⊃ person` rule, the two §3
+/// constraints (2 log records), then `n` single-employee enrollment
+/// commits (`n` log records of 2 sentences each). Deterministic: the log
+/// always holds `n + 2` records and the state equals `registrar_db(n)`.
+pub fn durable_registrar(
+    dir: &std::path::Path,
+    n: usize,
+    policy: epilog_persist::FsyncPolicy,
+) -> epilog_persist::DurableDb {
+    let theory =
+        epilog_syntax::Theory::from_text("forall x. emp(x) -> person(x)").expect("static text");
+    let mut db = epilog_persist::DurableDb::create(dir, theory, policy)
+        .expect("fresh directory initializes");
+    db.add_constraint(epilog_syntax::parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+        .expect("fact-free registrar satisfies the emp constraint");
+    db.add_constraint(
+        epilog_syntax::parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+    )
+    .expect("fact-free registrar satisfies the FD constraint");
+    for i in 0..n {
+        let mut txn = db.transaction();
+        for w in enrollment_batch(i, 1) {
+            txn = txn.assert(w);
+        }
+        let _ = txn.commit().expect("enrollment satisfies the constraints");
+    }
+    db
+}
+
 /// A definite chain database `p(a0), a_i → a_{i+1}`-style facts for the
 /// all-answers figure: `n` facts, all certain answers.
 pub fn facts_db(n: usize) -> Theory {

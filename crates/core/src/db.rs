@@ -9,7 +9,7 @@ use crate::closure::ClosedDb;
 use crate::constraints::{ic_satisfaction, IcDefinition, IcReport};
 use crate::demo;
 use crate::engine::prover_for;
-use crate::incremental::IncrementalChecker;
+use crate::incremental::{IncrementalChecker, RuleGraph};
 use crate::transaction::Transaction;
 use epilog_prover::Prover;
 use epilog_semantics::Answer;
@@ -71,6 +71,11 @@ pub struct EpistemicDb {
     /// least one registered constraint is outside the compilable
     /// `¬∃x̄ (K-conjunction)` fragment (commits then re-check in full).
     pub(crate) checker: Option<IncrementalChecker>,
+    /// The rule dependency graph used to route constraint checks, cached
+    /// across commits: it depends only on the rule-shaped sentences, so
+    /// ground-atom commits reuse it and only rule-changing commits (a
+    /// retraction, or an asserted non-atom) rebuild it.
+    pub(crate) rule_graph: RuleGraph,
 }
 
 impl EpistemicDb {
@@ -78,10 +83,32 @@ impl EpistemicDb {
     /// theories are routed through the bottom-up engine: their least model
     /// is materialized once and answers ground-atom questions directly.
     pub fn new(theory: Theory) -> Self {
+        let rule_graph = RuleGraph::new(&theory);
         EpistemicDb {
             prover: prover_for(theory),
             constraints: Vec::new(),
             checker: Some(IncrementalChecker::default()),
+            rule_graph,
+        }
+    }
+
+    /// Open a database over a theory whose least model the caller has
+    /// already materialized — e.g. restored from a snapshot — skipping the
+    /// fixpoint recomputation [`EpistemicDb::new`] would run. The caller
+    /// asserts that `model` **is** the least model of `theory` and that
+    /// `theory` is a definite program; debug builds verify both.
+    pub fn with_attached_model(theory: Theory, model: epilog_storage::Database) -> Self {
+        debug_assert_eq!(
+            crate::engine::definite_model(&theory).as_ref(),
+            Some(&model),
+            "attached model must be the theory's least model"
+        );
+        let rule_graph = RuleGraph::new(&theory);
+        EpistemicDb {
+            prover: Prover::new(theory).with_atom_model(model),
+            constraints: Vec::new(),
+            checker: Some(IncrementalChecker::default()),
+            rule_graph,
         }
     }
 
@@ -143,6 +170,26 @@ impl EpistemicDb {
         if ic_satisfaction(&self.prover, &ic, IcDefinition::Epistemic) != IcReport::Satisfied {
             return Err(DbError::ConstraintViolated(ic));
         }
+        self.constraints.push(ic);
+        self.checker = IncrementalChecker::new(&self.constraints).ok();
+        Ok(())
+    }
+
+    /// Register a constraint **without** verifying that the current state
+    /// satisfies it — for trusted callers restoring a previously
+    /// validated state, e.g. the persistence layer loading a checksummed
+    /// snapshot whose constraints held when it was written (re-running
+    /// the full satisfaction check there would make snapshot recovery
+    /// slower than log replay, defeating its purpose). Debug builds still
+    /// verify. Everything else matches [`EpistemicDb::add_constraint`].
+    pub fn adopt_constraint(&mut self, ic: Formula) -> Result<(), DbError> {
+        if !ic.is_sentence() {
+            return Err(DbError::OpenConstraint(ic));
+        }
+        debug_assert!(
+            ic_satisfaction(&self.prover, &ic, IcDefinition::Epistemic) == IcReport::Satisfied,
+            "adopted constraint `{ic}` is violated by the current state"
+        );
         self.constraints.push(ic);
         self.checker = IncrementalChecker::new(&self.constraints).ok();
         Ok(())

@@ -137,6 +137,44 @@ pub struct CheckStats {
     pub full: u64,
 }
 
+/// The body→head predicate dependency graph of a theory's rules,
+/// precomputed so constraint routing does not re-derive it per commit.
+///
+/// Built once per rule set (see [`RuleGraph::new`]) and cached on
+/// `EpistemicDb` across commits: ground-atom commits cannot change the
+/// rules, so the cache is invalidated only by rule-changing commits.
+#[derive(Debug, Clone, Default)]
+pub struct RuleGraph {
+    edges: Vec<(BTreeSet<Pred>, BTreeSet<Pred>)>,
+}
+
+impl RuleGraph {
+    /// Extract the dependency edges of every rule-shaped sentence, with
+    /// both rule views (syntactic and Datalog — see `dependency_edges`).
+    pub fn new(theory: &Theory) -> Self {
+        RuleGraph {
+            edges: dependency_edges(theory),
+        }
+    }
+
+    /// The predicates a rule chain can derive starting from atoms of the
+    /// `seeds` (transitive closure; a seed appears only when some chain
+    /// re-derives it).
+    pub fn derivable_from(&self, seeds: &BTreeSet<Pred>) -> BTreeSet<Pred> {
+        derivable_from(&self.edges, seeds)
+    }
+
+    /// Number of dependency edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the theory has no rule-shaped sentences.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
 /// Incremental checker over a set of compiled constraints.
 #[derive(Debug, Default)]
 pub struct IncrementalChecker {
@@ -191,9 +229,24 @@ impl IncrementalChecker {
         facts: &[&Atom],
         stats: &mut CheckStats,
     ) -> Option<&CompiledConstraint> {
+        self.check_batch_routed(prover, facts, &RuleGraph::new(prover.theory()), stats)
+    }
+
+    /// [`IncrementalChecker::check_batch_with_stats`] with the rule
+    /// dependency graph supplied by the caller, so a graph cached across
+    /// commits (rules change rarely; facts change constantly) is not
+    /// re-derived per commit. `graph` must be the dependency graph of the
+    /// prover's theory's rule set — `EpistemicDb` maintains exactly that
+    /// invariant by rebuilding its cache on rule-changing commits.
+    pub fn check_batch_routed(
+        &self,
+        prover: &Prover,
+        facts: &[&Atom],
+        graph: &RuleGraph,
+        stats: &mut CheckStats,
+    ) -> Option<&CompiledConstraint> {
         let updated: BTreeSet<Pred> = facts.iter().map(|f| f.pred).collect();
-        let edges = dependency_edges(prover.theory());
-        let derivable = derivable_from(&edges, &updated);
+        let derivable = graph.derivable_from(&updated);
         for c in &self.constraints {
             let triggers = c.trigger_preds();
             if triggers.iter().any(|t| derivable.contains(t)) {

@@ -51,7 +51,7 @@ pub use db::EpistemicDb;
 pub use demo::{all_answers, demo, demo_sentence, DemoOutcome, DemoStream};
 pub use engine::{definite_model, definite_program, prover_for};
 pub use epilog_semantics::Answer;
-pub use incremental::{CheckStats, CompiledConstraint, IncrementalChecker};
+pub use incremental::{CheckStats, CompiledConstraint, IncrementalChecker, RuleGraph};
 pub use instances::{admissible_wrt_f_sigma, instances, theorem_62_applies};
 pub use optimize::{eliminate_redundant_conjuncts, valid_kfopce};
-pub use transaction::{CommitReport, ModelUpdate, Transaction};
+pub use transaction::{CommitReport, ModelUpdate, PreparedCommit, Transaction};

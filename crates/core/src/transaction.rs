@@ -35,7 +35,7 @@
 use crate::constraints::{ic_satisfaction, IcDefinition, IcReport};
 use crate::db::{DbError, EpistemicDb};
 use crate::engine::{definite_program, prover_for};
-use crate::incremental::CheckStats;
+use crate::incremental::{CheckStats, RuleGraph};
 use epilog_datalog::EvalStats;
 use epilog_prover::Prover;
 use epilog_storage::Database;
@@ -104,6 +104,7 @@ pub enum ModelUpdate {
 /// phase did how much work, so callers (and the `f7_transactions` bench)
 /// can observe incrementality instead of trusting it.
 #[derive(Debug, Clone)]
+#[must_use = "the receipt says how the commit was maintained — inspect or explicitly drop it"]
 pub struct CommitReport {
     /// Sentences the commit added (duplicates of existing sentences are
     /// not counted — they change nothing).
@@ -162,12 +163,14 @@ impl<'db> Transaction<'db> {
     }
 
     /// Queue a sentence for assertion.
+    #[must_use = "assert only queues — the batch must still be committed"]
     pub fn assert(mut self, w: Formula) -> Self {
         self.ops.push(Op::Assert(w));
         self
     }
 
     /// Queue a sentence for retraction.
+    #[must_use = "retract only queues — the batch must still be committed"]
     pub fn retract(mut self, w: Formula) -> Self {
         self.ops.push(Op::Retract(w));
         self
@@ -190,6 +193,21 @@ impl<'db> Transaction<'db> {
     /// otherwise — naming the first violated constraint). On any error
     /// the database is left exactly as it was.
     pub fn commit(self) -> Result<CommitReport, DbError> {
+        self.prepare().map(PreparedCommit::commit)
+    }
+
+    /// Validate the batch and build the candidate state **without
+    /// publishing it**. This is the durability hook: a write-ahead log can
+    /// sit between validation and application (`prepare` → append the
+    /// effective delta to the log → [`PreparedCommit::commit`]), so a
+    /// record reaches stable storage only for transactions that will
+    /// commit, and state changes only after the record is durable.
+    ///
+    /// All the work happens here — validation, delta reduction, model
+    /// maintenance, constraint checking; [`PreparedCommit::commit`] merely
+    /// publishes the precomputed state. Dropping the `PreparedCommit`
+    /// discards the batch with the database untouched.
+    pub fn prepare(self) -> Result<PreparedCommit<'db>, DbError> {
         let Transaction { db, ops } = self;
 
         // Phase 1 — validate and reduce to the *effective* delta. Ops are
@@ -239,7 +257,14 @@ impl<'db> Transaction<'db> {
             }
         }
         if added.is_empty() && removed.is_empty() {
-            return Ok(CommitReport::unchanged());
+            return Ok(PreparedCommit {
+                db,
+                candidate: None,
+                rules_changed: false,
+                report: CommitReport::unchanged(),
+                added,
+                removed,
+            });
         }
 
         // Phase 2 — build the candidate theory.
@@ -306,7 +331,12 @@ impl<'db> Transaction<'db> {
                         _ => unreachable!("atoms_only guarantees ground atoms"),
                     })
                     .collect();
-                if let Some(c) = checker.check_batch_with_stats(&candidate, &facts, &mut checks) {
+                // An atoms-only commit cannot have changed the rule set,
+                // so the dependency graph cached on the db is exactly the
+                // candidate theory's graph — no per-commit re-derivation.
+                if let Some(c) =
+                    checker.check_batch_routed(&candidate, &facts, &db.rule_graph, &mut checks)
+                {
                     return Err(DbError::ConstraintViolated(c.original.clone()));
                 }
             }
@@ -322,14 +352,80 @@ impl<'db> Transaction<'db> {
             }
         }
 
-        // Phase 5 — publish.
-        db.prover = candidate;
-        Ok(CommitReport {
-            asserted: added.len(),
-            retracted: removed.len(),
-            model: model_update,
-            checks,
+        // Phase 5 — the commit is decided; publication is deferred to
+        // `PreparedCommit::commit` so a WAL append can sit in between.
+        // The cached rule graph stays valid unless some added or removed
+        // sentence is rule-shaped (a non-ground-atom).
+        let is_ground_atom = |w: &Formula| matches!(w, Formula::Atom(a) if a.is_ground());
+        let rules_changed =
+            !added.iter().all(is_ground_atom) || !removed.iter().all(is_ground_atom);
+        Ok(PreparedCommit {
+            db,
+            candidate: Some(candidate),
+            rules_changed,
+            report: CommitReport {
+                asserted: added.len(),
+                retracted: removed.len(),
+                model: model_update,
+                checks,
+            },
+            added,
+            removed,
         })
+    }
+}
+
+/// A validated, fully decided transaction awaiting publication — the
+/// output of [`Transaction::prepare`]. Holds the candidate prover (model
+/// already maintained, constraints already verified); [`PreparedCommit::commit`]
+/// installs it. Dropping a `PreparedCommit` discards the batch and leaves
+/// the database untouched, exactly like dropping a [`Transaction`].
+#[must_use = "a prepared commit changes nothing until commit() — dropping it discards the batch"]
+pub struct PreparedCommit<'db> {
+    db: &'db mut EpistemicDb,
+    /// `None` when the batch reduced to a no-op: nothing to publish.
+    candidate: Option<Prover>,
+    rules_changed: bool,
+    report: CommitReport,
+    added: Vec<Formula>,
+    removed: Vec<Formula>,
+}
+
+impl PreparedCommit<'_> {
+    /// The sentences this commit will add, post delta-reduction (duplicate
+    /// asserts and cancelled pairs removed) — the exact payload a
+    /// write-ahead log should record.
+    pub fn added(&self) -> &[Formula] {
+        &self.added
+    }
+
+    /// The sentences this commit will remove, post delta-reduction.
+    pub fn removed(&self) -> &[Formula] {
+        &self.removed
+    }
+
+    /// Whether the batch reduced to a no-op (nothing will change; a WAL
+    /// need not record it).
+    pub fn is_noop(&self) -> bool {
+        self.candidate.is_none()
+    }
+
+    /// The receipt this commit will return, for inspection before
+    /// publication.
+    pub fn report(&self) -> &CommitReport {
+        &self.report
+    }
+
+    /// Publish the prepared state. Infallible: every way the commit can
+    /// fail was decided in [`Transaction::prepare`].
+    pub fn commit(self) -> CommitReport {
+        if let Some(candidate) = self.candidate {
+            self.db.prover = candidate;
+            if self.rules_changed {
+                self.db.rule_graph = RuleGraph::new(self.db.prover.theory());
+            }
+        }
+        self.report
     }
 }
 
@@ -580,9 +676,71 @@ mod tests {
     }
 
     #[test]
+    fn prepare_defers_publication() {
+        let mut d = db("p(a)");
+        let prepared = d.transaction().assert(f("q(b)")).prepare().unwrap();
+        assert!(!prepared.is_noop());
+        assert_eq!(prepared.added(), &[f("q(b)")]);
+        assert!(prepared.removed().is_empty());
+        assert_eq!(prepared.report().asserted, 1);
+        // Dropping the prepared commit discards the batch…
+        drop(prepared);
+        assert_eq!(d.theory().len(), 1);
+        // …while commit() publishes exactly the prepared state.
+        let prepared = d.transaction().assert(f("q(b)")).prepare().unwrap();
+        let report = prepared.commit();
+        assert_eq!(report.asserted, 1);
+        assert!(d.theory().sentences().contains(&f("q(b)")));
+    }
+
+    #[test]
+    fn prepare_reports_noop_batches() {
+        let mut d = db("p(a)");
+        let prepared = d.transaction().assert(f("p(a)")).prepare().unwrap();
+        assert!(prepared.is_noop());
+        assert!(prepared.added().is_empty());
+        assert_eq!(prepared.commit().model, ModelUpdate::Unchanged);
+    }
+
+    #[test]
+    fn rule_graph_cache_tracks_rule_changing_commits() {
+        // Start rule-free: an `emp` assert routes to the specialization.
+        let mut d = db("ss(Mary, n1)\nemp(Mary)");
+        d.add_constraint(f("forall x. K emp(x) -> exists y. K ss(x, y)"))
+            .unwrap();
+        // Commit a *rule* that derives the trigger predicate: the cached
+        // graph must be rebuilt, or the next hired-commit would wrongly
+        // stay on the specialized route and miss the violation.
+        let report = d
+            .transaction()
+            .assert(f("forall x. hired(x) -> emp(x)"))
+            .commit()
+            .unwrap();
+        assert_eq!(report.model, ModelUpdate::Rebuilt);
+        let err = d
+            .transaction()
+            .assert(f("hired(Sue)"))
+            .commit()
+            .unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolated(_)));
+        // And retracting the rule must also refresh the cache: afterwards
+        // hired no longer reaches emp, so the same batch is accepted and
+        // the constraint is skipped outright.
+        let report = d
+            .transaction()
+            .retract(f("forall x. hired(x) -> emp(x)"))
+            .commit()
+            .unwrap();
+        assert_eq!(report.retracted, 1);
+        let report = d.transaction().assert(f("hired(Sue)")).commit().unwrap();
+        assert_eq!(report.checks.skipped, 1);
+        assert_eq!(report.checks.full, 0);
+    }
+
+    #[test]
     fn incremental_commit_updates_answers_not_just_the_model() {
         let mut d = db("emp(Mary)\nforall x. emp(x) -> person(x)");
-        d.transaction().assert(f("emp(Sue)")).commit().unwrap();
+        let _ = d.transaction().assert(f("emp(Sue)")).commit().unwrap();
         // Derived consequence of the new fact via the rule:
         assert_eq!(d.ask(&f("K person(Sue)")), Answer::Yes);
         // And non-atomic queries (memo was not carried over stale):

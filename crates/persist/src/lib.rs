@@ -1,0 +1,85 @@
+//! # epilog-persist — durability for the epistemic database
+//!
+//! Reiter's treatment views a database as an evolving epistemic theory
+//! whose updates must preserve integrity; the iterated-revision
+//! literature frames the knowledge base as the *history* of those
+//! revisions. This crate makes that history durable:
+//!
+//! * [`Wal`] — a write-ahead log of committed transactions as textual
+//!   records (sentences via the `epilog-syntax` pretty-printer, read back
+//!   with `parse`), each framed by an LSN / length / checksum header;
+//! * [`Snapshot`] — the full theory, constraints, and (for definite
+//!   theories) the materialized least model at a log position, so
+//!   recovery is snapshot-load + tail-replay instead of
+//!   replay-from-genesis, with [`DurableDb::compact`] truncating the
+//!   covered log prefix;
+//! * [`DurableDb`] — the wrapper that threads every commit through the
+//!   log (log-before-apply, [`FsyncPolicy`] configurable) and whose
+//!   [`DurableDb::recover`] replays through the real `Transaction::commit`
+//!   path — recovered state re-verifies constraints and rebuilds or
+//!   resumes the incremental model exactly as the live path does —
+//!   tolerating a torn log tail (truncate at the first corrupt record,
+//!   reported in the [`RecoveryReport`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use epilog_core::Answer;
+//! use epilog_persist::{DurableDb, FsyncPolicy};
+//! use epilog_syntax::{parse, Theory};
+//!
+//! let dir = std::env::temp_dir().join(format!("epilog-quickstart-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! // Create a durable database and commit through the log.
+//! let theory = Theory::from_text("forall x. emp(x) -> person(x)").unwrap();
+//! let mut db = DurableDb::create(&dir, theory, FsyncPolicy::Always).unwrap();
+//! db.add_constraint(parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap()).unwrap();
+//! let report = db
+//!     .transaction()
+//!     .assert(parse("ss(Mary, n1)").unwrap())
+//!     .assert(parse("emp(Mary)").unwrap())
+//!     .commit()
+//!     .unwrap();
+//! assert_eq!(report.asserted, 2);
+//!
+//! // "Crash": drop the handle without any shutdown ceremony.
+//! drop(db);
+//!
+//! // Recover: snapshot + log replay through the real commit path.
+//! let (db, recovery) = DurableDb::recover(&dir, FsyncPolicy::Always).unwrap();
+//! assert_eq!(recovery.records_replayed, 2); // the constraint + the batch
+//! assert_eq!(db.ask(&parse("K person(Mary)").unwrap()), Answer::Yes);
+//! assert!(db.satisfies_constraints());
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+pub mod durable;
+pub mod snapshot;
+pub mod wal;
+
+/// 64-bit FNV-1a — the checksum both on-disk formats (log records and
+/// snapshots) frame their payloads with. Tiny, dependency-free, and
+/// plenty for torn-write detection; not a cryptographic seal.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// `fsync` the directory itself, so the directory entries of freshly
+/// created/renamed files (the log, a snapshot) survive power loss —
+/// without this, `FsyncPolicy::Always`'s durability claim would cover
+/// file *contents* but not their *names*.
+pub(crate) fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+pub use durable::{
+    CompactStats, DurableDb, DurableTransaction, PersistError, RecoveryOptions, RecoveryReport,
+};
+pub use snapshot::{Snapshot, SnapshotError};
+pub use wal::{FsyncPolicy, TornTail, Wal, WalOp, WalRecord, WalScan};

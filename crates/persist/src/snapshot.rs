@@ -1,0 +1,364 @@
+//! Snapshots: the full database state at a log position, so recovery is
+//! snapshot-load + tail-replay instead of replay-from-genesis.
+//!
+//! # File format
+//!
+//! `snapshot-<lsn, zero-padded>.snap`, atomically written (tmp + rename):
+//!
+//! ```text
+//! #epilog-snapshot v1 <lsn> <payload-len> <fnv1a64-hex>\n
+//! [theory]\n
+//! <sentence per line>
+//! [constraints]\n
+//! <sentence per line>
+//! [model]\n            (only for definite theories, when requested)
+//! <ground atom per line>
+//! ```
+//!
+//! Sentences are serialized with the `epilog-syntax` pretty-printer and
+//! read back with [`parse()`](fn@epilog_syntax::parse) — the same round-trip contract as the WAL.
+//! The optional `[model]` section is the materialized least model of a
+//! definite theory; restoring it skips the fixpoint recomputation at
+//! recovery (debug builds re-derive and verify it).
+
+use crate::fnv1a64;
+use epilog_core::EpistemicDb;
+use epilog_storage::Database;
+use epilog_syntax::formula::Atom;
+use epilog_syntax::{parse, Formula, Theory};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Why a snapshot failed to load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// The file exists but its header, checksum, or contents are invalid.
+    Corrupt(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// A materialized database state bound to a log position: every record
+/// with `lsn <= self.lsn` is reflected in it.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The log position this snapshot covers.
+    pub lsn: u64,
+    /// The theory's sentences, in storage order.
+    pub sentences: Vec<Formula>,
+    /// The registered integrity constraints, in registration order.
+    pub constraints: Vec<Formula>,
+    /// The materialized least model (definite theories only), sorted.
+    pub model: Option<Vec<Atom>>,
+}
+
+impl Snapshot {
+    /// Capture the state of `db` as of log position `lsn`.
+    pub fn of(db: &EpistemicDb, lsn: u64, include_model: bool) -> Snapshot {
+        let model = if include_model {
+            db.prover().atom_model().map(|m: &Database| {
+                let mut atoms: Vec<Atom> = m.atoms().collect();
+                atoms.sort_by_cached_key(|a| a.to_string());
+                atoms
+            })
+        } else {
+            None
+        };
+        Snapshot {
+            lsn,
+            sentences: db.theory().sentences().to_vec(),
+            constraints: db.constraints().to_vec(),
+            model,
+        }
+    }
+
+    /// The file name a snapshot at `lsn` is stored under (zero-padded so
+    /// lexicographic order is LSN order).
+    pub fn file_name(lsn: u64) -> String {
+        format!("snapshot-{lsn:020}.snap")
+    }
+
+    /// Write atomically into `dir`, returning the file path.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        let mut payload = String::from("[theory]\n");
+        for w in &self.sentences {
+            payload.push_str(&w.to_string());
+            payload.push('\n');
+        }
+        payload.push_str("[constraints]\n");
+        for ic in &self.constraints {
+            payload.push_str(&ic.to_string());
+            payload.push('\n');
+        }
+        if let Some(model) = &self.model {
+            payload.push_str("[model]\n");
+            for a in model {
+                payload.push_str(&a.to_string());
+                payload.push('\n');
+            }
+        }
+        let header = format!(
+            "#epilog-snapshot v1 {} {} {:016x}\n",
+            self.lsn,
+            payload.len(),
+            fnv1a64(payload.as_bytes())
+        );
+        let path = dir.join(Snapshot::file_name(self.lsn));
+        let tmp = path.with_extension("snap.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(payload.as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        crate::sync_dir(dir)?;
+        Ok(path)
+    }
+
+    /// Load and validate a snapshot file.
+    pub fn load(path: &Path) -> Result<Snapshot, SnapshotError> {
+        let bytes = std::fs::read(path)?;
+        let text =
+            std::str::from_utf8(&bytes).map_err(|_| SnapshotError::Corrupt("not UTF-8".into()))?;
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| SnapshotError::Corrupt("missing header line".into()))?;
+        let fields: Vec<&str> = header.split(' ').collect();
+        let [magic, version, lsn, len, sum] = fields.as_slice() else {
+            return Err(SnapshotError::Corrupt("malformed header".into()));
+        };
+        if *magic != "#epilog-snapshot" || *version != "v1" {
+            return Err(SnapshotError::Corrupt(format!(
+                "bad magic/version {header:?}"
+            )));
+        }
+        let lsn: u64 = lsn
+            .parse()
+            .map_err(|_| SnapshotError::Corrupt("bad lsn".into()))?;
+        let len: usize = len
+            .parse()
+            .map_err(|_| SnapshotError::Corrupt("bad length".into()))?;
+        let sum = u64::from_str_radix(sum, 16)
+            .map_err(|_| SnapshotError::Corrupt("bad checksum".into()))?;
+        if payload.len() != len {
+            return Err(SnapshotError::Corrupt(format!(
+                "payload length {} != declared {len}",
+                payload.len()
+            )));
+        }
+        if fnv1a64(payload.as_bytes()) != sum {
+            return Err(SnapshotError::Corrupt("checksum mismatch".into()));
+        }
+        let mut sentences = Vec::new();
+        let mut constraints = Vec::new();
+        let mut model: Option<Vec<Atom>> = None;
+        enum Section {
+            None,
+            Theory,
+            Constraints,
+            Model,
+        }
+        let mut section = Section::None;
+        for line in payload.lines() {
+            match line {
+                "[theory]" => section = Section::Theory,
+                "[constraints]" => section = Section::Constraints,
+                "[model]" => {
+                    section = Section::Model;
+                    model = Some(Vec::new());
+                }
+                _ => {
+                    let w = parse(line).map_err(|e| {
+                        SnapshotError::Corrupt(format!("unparseable line {line:?}: {e}"))
+                    })?;
+                    match section {
+                        Section::None => {
+                            return Err(SnapshotError::Corrupt(format!(
+                                "content before any section marker: {line:?}"
+                            )))
+                        }
+                        Section::Theory => sentences.push(w),
+                        Section::Constraints => constraints.push(w),
+                        Section::Model => match w {
+                            Formula::Atom(a) if a.is_ground() => {
+                                model.as_mut().expect("section set").push(a)
+                            }
+                            other => {
+                                return Err(SnapshotError::Corrupt(format!(
+                                    "non-ground-atom in model section: {other}"
+                                )))
+                            }
+                        },
+                    }
+                }
+            }
+        }
+        Ok(Snapshot {
+            lsn,
+            sentences,
+            constraints,
+            model,
+        })
+    }
+
+    /// Every snapshot in `dir`, as `(lsn, path)` sorted ascending by LSN.
+    /// Files are identified by name only; validation happens at load.
+    pub fn list(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(lsn) = name
+                .strip_prefix("snapshot-")
+                .and_then(|s| s.strip_suffix(".snap"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                out.push((lsn, entry.path()));
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Rebuild the database this snapshot captured. Returns the database
+    /// and whether the stored model was attached (skipping the fixpoint).
+    ///
+    /// Constraints are re-registered through
+    /// `EpistemicDb::adopt_constraint`: they held when the (checksummed)
+    /// snapshot was written, so the full satisfaction check is not re-run
+    /// here — re-verifying the whole state would make snapshot recovery
+    /// slower than the log replay it exists to avoid. Debug builds still
+    /// verify; the log records replayed *after* the snapshot go through
+    /// the fully checked commit path.
+    pub fn restore(&self) -> Result<(EpistemicDb, bool), SnapshotError> {
+        let theory = Theory::new(self.sentences.clone())
+            .map_err(|e| SnapshotError::Corrupt(format!("invalid sentence: {e}")))?;
+        let (mut db, model_restored) = match &self.model {
+            Some(atoms) => {
+                let mut m = Database::new();
+                for a in atoms {
+                    m.insert(a);
+                }
+                (EpistemicDb::with_attached_model(theory, m), true)
+            }
+            None => (EpistemicDb::new(theory), false),
+        };
+        for ic in &self.constraints {
+            db.adopt_constraint(ic.clone())
+                .map_err(|e| SnapshotError::Corrupt(format!("invalid constraint: {e}")))?;
+        }
+        Ok((db, model_restored))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> PathBuf {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static N: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "epilog-snap-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_db() -> EpistemicDb {
+        let mut db =
+            EpistemicDb::from_text("emp(Mary)\nss(Mary, n1)\nforall x. emp(x) -> person(x)")
+                .unwrap();
+        db.add_constraint(parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn write_load_restore_roundtrip() {
+        let d = dir();
+        let db = sample_db();
+        let snap = Snapshot::of(&db, 7, true);
+        assert!(snap.model.is_some(), "definite theory has a model");
+        let path = snap.write(&d).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        assert_eq!(loaded.lsn, 7);
+        assert_eq!(loaded.sentences, snap.sentences);
+        assert_eq!(loaded.constraints, snap.constraints);
+        assert_eq!(loaded.model, snap.model);
+        let (restored, model_restored) = loaded.restore().unwrap();
+        assert!(model_restored);
+        assert_eq!(restored.theory(), db.theory());
+        assert_eq!(restored.constraints(), db.constraints());
+        assert_eq!(restored.prover().atom_model(), db.prover().atom_model());
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn non_definite_theories_snapshot_without_model() {
+        let d = dir();
+        let db = EpistemicDb::from_text("p(a) | q(a)").unwrap();
+        let snap = Snapshot::of(&db, 1, true);
+        assert!(snap.model.is_none());
+        let path = snap.write(&d).unwrap();
+        let (restored, model_restored) = Snapshot::load(&path).unwrap().restore().unwrap();
+        assert!(!model_restored);
+        assert_eq!(restored.theory(), db.theory());
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let d = dir();
+        let db = sample_db();
+        let path = Snapshot::of(&db, 3, true).write(&d).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 5] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Snapshot::load(&path),
+            Err(SnapshotError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn listing_sorts_by_lsn() {
+        let d = dir();
+        let db = sample_db();
+        for lsn in [12u64, 3, 7] {
+            let _ = Snapshot::of(&db, lsn, false).write(&d).unwrap();
+        }
+        let lsns: Vec<u64> = Snapshot::list(&d)
+            .unwrap()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
+        assert_eq!(lsns, vec![3, 7, 12]);
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}

@@ -1,0 +1,608 @@
+//! The write-ahead log: an append-only stream of checksummed, LSN-stamped
+//! textual records.
+//!
+//! # Record format
+//!
+//! One record per committed transaction (or registered constraint):
+//!
+//! ```text
+//! @<lsn> <payload-len> <fnv1a64-hex>\n
+//! <payload>\n
+//! ```
+//!
+//! The payload is UTF-8 text, one operation per line — `assert <sentence>`,
+//! `retract <sentence>`, or `constraint <sentence>` — with sentences
+//! serialized by the `epilog-syntax` pretty-printer and read back with
+//! [`parse()`](fn@epilog_syntax::parse). The `parse(display(w)) == w` round-trip for every sentence a
+//! database can hold (pinned by `tests/prop_syntax.rs`) is the correctness
+//! floor of this format. LSNs increase by exactly 1 from record to record;
+//! the checksum covers the payload bytes.
+//!
+//! # Torn tails
+//!
+//! A crash mid-append leaves a partial final record. [`Wal::open`] scans
+//! the log, stops at the first record that fails any framing check
+//! (header shape, LSN continuity, payload length, terminator, checksum,
+//! sentence syntax), truncates the file there, and reports the cut as a
+//! [`TornTail`]. Everything before the cut is intact by checksum;
+//! everything after it is unrecoverable by construction (records are not
+//! self-synchronizing), which is exactly the log-ahead contract: the tail
+//! being torn means the transaction never reported success.
+
+use crate::fnv1a64;
+use epilog_syntax::{parse, Formula};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the log inside a durable database directory.
+pub const WAL_FILE: &str = "wal.log";
+
+/// When appended records are forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every append: a reported commit is durable. Slowest.
+    Always,
+    /// `fsync` every `n` appends: bounds the loss window to the last `n`
+    /// transactions while amortizing the sync cost.
+    Batch(u32),
+    /// Never `fsync` explicitly; the OS flushes when it pleases. Fastest,
+    /// and still crash-*consistent* (the torn-tail scan handles any
+    /// prefix the OS persisted) — just not crash-*durable*.
+    Never,
+}
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// A sentence the transaction added.
+    Assert(Formula),
+    /// A sentence the transaction removed.
+    Retract(Formula),
+    /// An integrity constraint registered on the database.
+    Constraint(Formula),
+}
+
+impl WalOp {
+    fn encode(&self) -> String {
+        match self {
+            WalOp::Assert(w) => format!("assert {w}"),
+            WalOp::Retract(w) => format!("retract {w}"),
+            WalOp::Constraint(w) => format!("constraint {w}"),
+        }
+    }
+
+    fn decode(line: &str) -> Result<WalOp, String> {
+        let (verb, rest) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("op line without a verb: {line:?}"))?;
+        let w = parse(rest).map_err(|e| format!("unparseable sentence in {line:?}: {e}"))?;
+        match verb {
+            "assert" => Ok(WalOp::Assert(w)),
+            "retract" => Ok(WalOp::Retract(w)),
+            "constraint" => Ok(WalOp::Constraint(w)),
+            _ => Err(format!("unknown op verb {verb:?}")),
+        }
+    }
+}
+
+/// A decoded record, with the byte offset just past it (a valid crash/cut
+/// point — `tests/prop_persist.rs` truncates at and between these).
+#[derive(Debug, Clone)]
+pub struct WalRecord {
+    /// The record's log sequence number.
+    pub lsn: u64,
+    /// The operations of the record, in application order.
+    pub ops: Vec<WalOp>,
+    /// Byte offset of the first byte after this record.
+    pub end_offset: u64,
+}
+
+/// Where and why a log scan stopped before the end of the file.
+#[derive(Debug, Clone)]
+pub struct TornTail {
+    /// Byte offset of the first unrecoverable byte.
+    pub offset: u64,
+    /// What failed: framing, checksum, LSN continuity, or syntax.
+    pub reason: String,
+}
+
+impl fmt::Display for TornTail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "torn tail at byte {}: {}", self.offset, self.reason)
+    }
+}
+
+/// The result of scanning a log file.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Every intact record, in LSN order.
+    pub records: Vec<WalRecord>,
+    /// The cut point, when the scan stopped before end-of-file.
+    pub torn: Option<TornTail>,
+    /// Bytes after the cut point (0 when the log is intact).
+    pub truncated_bytes: u64,
+}
+
+impl WalScan {
+    /// LSN of the last intact record (0 when the log is empty).
+    pub fn last_lsn(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.lsn)
+    }
+}
+
+fn encode_record(lsn: u64, ops: &[WalOp]) -> Vec<u8> {
+    let payload = ops.iter().map(WalOp::encode).collect::<Vec<_>>().join("\n");
+    let mut out = format!(
+        "@{lsn} {} {:016x}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    )
+    .into_bytes();
+    out.extend_from_slice(payload.as_bytes());
+    out.push(b'\n');
+    out
+}
+
+/// Scan raw log bytes into records, stopping at the first defect.
+fn scan_bytes(bytes: &[u8]) -> WalScan {
+    let mut scan = WalScan::default();
+    let mut pos: usize = 0;
+    let torn = |offset: usize, reason: String| TornTail {
+        offset: offset as u64,
+        reason,
+    };
+    while pos < bytes.len() {
+        let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            scan.torn = Some(torn(pos, "unterminated header".into()));
+            break;
+        };
+        let header = &bytes[pos..pos + nl];
+        let parsed = std::str::from_utf8(header)
+            .ok()
+            .and_then(|h| h.strip_prefix('@'))
+            .and_then(|h| {
+                let mut it = h.split(' ');
+                let lsn = it.next()?.parse::<u64>().ok()?;
+                let len = it.next()?.parse::<usize>().ok()?;
+                let sum = u64::from_str_radix(it.next()?, 16).ok()?;
+                it.next().is_none().then_some((lsn, len, sum))
+            });
+        let Some((lsn, len, sum)) = parsed else {
+            scan.torn = Some(torn(pos, "malformed header".into()));
+            break;
+        };
+        let expected = scan.last_lsn() + 1;
+        if !scan.records.is_empty() && lsn != expected {
+            scan.torn = Some(torn(
+                pos,
+                format!("LSN {lsn} breaks continuity (expected {expected})"),
+            ));
+            break;
+        }
+        let body = pos + nl + 1;
+        // `len` comes from a possibly corrupt header: compare against the
+        // bytes actually available (checked, so a huge declared length is
+        // a torn tail rather than an overflow panic).
+        let available = bytes.len().saturating_sub(body);
+        if len >= available {
+            scan.torn = Some(torn(
+                pos,
+                format!(
+                    "payload truncated ({available} of {} bytes)",
+                    len.saturating_add(1)
+                ),
+            ));
+            break;
+        }
+        let payload = &bytes[body..body + len];
+        if bytes[body + len] != b'\n' {
+            scan.torn = Some(torn(pos, "missing record terminator".into()));
+            break;
+        }
+        if fnv1a64(payload) != sum {
+            scan.torn = Some(torn(pos, "checksum mismatch".into()));
+            break;
+        }
+        let text = match std::str::from_utf8(payload) {
+            Ok(t) => t,
+            Err(_) => {
+                scan.torn = Some(torn(pos, "payload is not UTF-8".into()));
+                break;
+            }
+        };
+        let mut ops = Vec::new();
+        let mut defect = None;
+        for line in text.lines() {
+            match WalOp::decode(line) {
+                Ok(op) => ops.push(op),
+                Err(e) => {
+                    defect = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = defect {
+            scan.torn = Some(torn(pos, e));
+            break;
+        }
+        pos = body + len + 1;
+        scan.records.push(WalRecord {
+            lsn,
+            ops,
+            end_offset: pos as u64,
+        });
+    }
+    if let Some(t) = &scan.torn {
+        scan.truncated_bytes = bytes.len() as u64 - t.offset;
+    }
+    scan
+}
+
+/// An open write-ahead log, positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    next_lsn: u64,
+    len_bytes: u64,
+    records: u64,
+    unsynced: u32,
+}
+
+impl Wal {
+    /// Create a fresh log at `path`. Fails if the file already exists
+    /// (an existing log must go through [`Wal::open`] so its tail is
+    /// validated, never blindly appended to).
+    pub fn create(path: impl Into<PathBuf>, policy: FsyncPolicy) -> io::Result<Wal> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)?;
+        if let Some(dir) = path.parent() {
+            crate::sync_dir(dir)?;
+        }
+        Ok(Wal {
+            file,
+            path,
+            policy,
+            next_lsn: 1,
+            len_bytes: 0,
+            records: 0,
+            unsynced: 0,
+        })
+    }
+
+    /// Open an existing log (creating an empty one if absent): scan it,
+    /// truncate any torn tail, and position for appending after the last
+    /// intact record. The scan — including what was cut and why — is
+    /// returned for the caller's recovery report.
+    pub fn open(path: impl Into<PathBuf>, policy: FsyncPolicy) -> io::Result<(Wal, WalScan)> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let scan = scan_bytes(&bytes);
+        let good_len = scan.records.last().map_or(0, |r| r.end_offset);
+        if (good_len as usize) < bytes.len() {
+            file.set_len(good_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good_len))?;
+        let wal = Wal {
+            file,
+            path,
+            policy,
+            next_lsn: scan.last_lsn() + 1,
+            len_bytes: good_len,
+            records: scan.records.len() as u64,
+            unsynced: 0,
+        };
+        Ok((wal, scan))
+    }
+
+    /// Scan a log file read-only: no truncation, no repositioning. Used by
+    /// tests and crash simulations to enumerate record boundaries.
+    pub fn scan_file(path: impl AsRef<Path>) -> io::Result<WalScan> {
+        let bytes = std::fs::read(path)?;
+        Ok(scan_bytes(&bytes))
+    }
+
+    /// Append one record and apply the fsync policy. Returns the record's
+    /// LSN. The record is written with a single `write_all`, so a crash
+    /// leaves either nothing or a (possibly partial, detectable) tail.
+    pub fn append(&mut self, ops: &[WalOp]) -> io::Result<u64> {
+        assert!(!ops.is_empty(), "a WAL record must carry at least one op");
+        let lsn = self.next_lsn;
+        let bytes = encode_record(lsn, ops);
+        self.file.write_all(&bytes)?;
+        self.next_lsn += 1;
+        self.len_bytes += bytes.len() as u64;
+        self.records += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(lsn)
+    }
+
+    /// Force everything appended so far to stable storage.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Drop every record with `lsn <= through` (they are covered by a
+    /// snapshot), rewriting the file atomically (tmp + rename). Returns
+    /// `(records_dropped, bytes_reclaimed)`.
+    pub fn compact_through(&mut self, through: u64) -> io::Result<(u64, u64)> {
+        self.sync()?;
+        let bytes = std::fs::read(&self.path)?;
+        let scan = scan_bytes(&bytes);
+        let keep_from = scan
+            .records
+            .iter()
+            .take_while(|r| r.lsn <= through)
+            .last()
+            .map_or(0, |r| r.end_offset) as usize;
+        if keep_from == 0 {
+            return Ok((0, 0));
+        }
+        let dropped = scan.records.iter().filter(|r| r.lsn <= through).count() as u64;
+        let tmp = self.path.with_extension("log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes[keep_from..])?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            crate::sync_dir(dir)?;
+        }
+        // The old handle points at the unlinked inode; reopen for append.
+        self.file = OpenOptions::new().append(true).open(&self.path)?;
+        self.file.sync_data()?;
+        self.len_bytes -= keep_from as u64;
+        self.records -= dropped;
+        Ok((dropped, keep_from as u64))
+    }
+
+    /// Advance the next LSN (used after recovery from a snapshot newer
+    /// than the last log record, so LSNs never regress).
+    pub fn bump_next_lsn(&mut self, at_least: u64) {
+        self.next_lsn = self.next_lsn.max(at_least);
+    }
+
+    /// LSN of the last appended record (0 when none).
+    pub fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Number of records currently in the file.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Current file length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Path of the log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Truncate the file back to `len` and restore `next_lsn` — the
+    /// compensation for a logged operation whose application was then
+    /// refused (used by `DurableDb::add_constraint`).
+    pub(crate) fn rewind(&mut self, len: u64, next_lsn: u64) -> io::Result<()> {
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::Start(len))?;
+        self.file.sync_data()?;
+        self.records -= self.next_lsn - next_lsn;
+        self.len_bytes = len;
+        self.next_lsn = next_lsn;
+        Ok(())
+    }
+
+    pub(crate) fn mark(&self) -> (u64, u64) {
+        (self.len_bytes, self.next_lsn)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir() -> PathBuf {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static N: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "epilog-wal-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn f(src: &str) -> Formula {
+        parse(src).unwrap()
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let d = dir();
+        let mut wal = Wal::create(d.join(WAL_FILE), FsyncPolicy::Never).unwrap();
+        assert_eq!(wal.append(&[WalOp::Assert(f("p(a)"))]).unwrap(), 1);
+        assert_eq!(
+            wal.append(&[WalOp::Retract(f("p(a)")), WalOp::Assert(f("q(b)"))])
+                .unwrap(),
+            2
+        );
+        assert_eq!(
+            wal.append(&[WalOp::Constraint(f("forall x. ~K bad(x)"))])
+                .unwrap(),
+            3
+        );
+        wal.sync().unwrap();
+        let scan = Wal::scan_file(d.join(WAL_FILE)).unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[1].ops.len(), 2);
+        assert_eq!(
+            scan.records[2].ops,
+            vec![WalOp::Constraint(f("forall x. ~K bad(x)"))]
+        );
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncated() {
+        let d = dir();
+        let path = d.join(WAL_FILE);
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        let _ = wal.append(&[WalOp::Assert(f("p(a)"))]).unwrap();
+        let good = wal.len_bytes();
+        let _ = wal.append(&[WalOp::Assert(f("q(b)"))]).unwrap();
+        drop(wal);
+        // Tear the second record: chop 3 bytes off the end.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (wal, scan) = Wal::open(&path, FsyncPolicy::Always).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        let torn = scan.torn.expect("tear must be reported");
+        assert_eq!(torn.offset, good);
+        assert_eq!(wal.last_lsn(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good);
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let d = dir();
+        let path = d.join(WAL_FILE);
+        let mut wal = Wal::create(&path, FsyncPolicy::Always).unwrap();
+        let _ = wal.append(&[WalOp::Assert(f("p(a)"))]).unwrap();
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte, keeping the length intact.
+        let n = bytes.len();
+        bytes[n - 2] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = Wal::scan_file(&path).unwrap();
+        assert!(scan.records.is_empty());
+        let reason = scan.torn.unwrap().reason;
+        assert!(
+            reason.contains("checksum") || reason.contains("sentence"),
+            "unexpected reason: {reason}"
+        );
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn huge_declared_length_is_a_torn_tail_not_a_panic() {
+        // A corrupt header declaring a near-usize::MAX payload length
+        // must be reported as a torn tail, not overflow the scanner.
+        let d = dir();
+        let path = d.join(WAL_FILE);
+        std::fs::write(&path, format!("@1 {} 0000000000000000\np(a)\n", u64::MAX)).unwrap();
+        let scan = Wal::scan_file(&path).unwrap();
+        assert!(scan.records.is_empty());
+        let reason = scan.torn.unwrap().reason;
+        assert!(reason.contains("truncated"), "unexpected reason: {reason}");
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn appends_resume_after_open() {
+        let d = dir();
+        let path = d.join(WAL_FILE);
+        let mut wal = Wal::create(&path, FsyncPolicy::Batch(2)).unwrap();
+        let _ = wal.append(&[WalOp::Assert(f("p(a)"))]).unwrap();
+        drop(wal);
+        let (mut wal, scan) = Wal::open(&path, FsyncPolicy::Batch(2)).unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(wal.append(&[WalOp::Assert(f("q(b)"))]).unwrap(), 2);
+        wal.sync().unwrap();
+        let scan = Wal::scan_file(&path).unwrap();
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.last_lsn(), 2);
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_covered_prefix() {
+        let d = dir();
+        let path = d.join(WAL_FILE);
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        for i in 0..5 {
+            let _ = wal
+                .append(&[WalOp::Assert(f(&format!("p(a{i})")))])
+                .unwrap();
+        }
+        let (dropped, reclaimed) = wal.compact_through(3).unwrap();
+        assert_eq!(dropped, 3);
+        assert!(reclaimed > 0);
+        assert_eq!(wal.records(), 2);
+        // The survivors keep their LSNs and the log stays appendable.
+        assert_eq!(wal.append(&[WalOp::Assert(f("p(b)"))]).unwrap(), 6);
+        wal.sync().unwrap();
+        let scan = Wal::scan_file(&path).unwrap();
+        assert_eq!(
+            scan.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn sentences_round_trip_through_the_text_format() {
+        // Sentence shapes a database can hold, incl. the $-escaped
+        // parameter that collides with the variable convention.
+        let d = dir();
+        let path = d.join(WAL_FILE);
+        let mut wal = Wal::create(&path, FsyncPolicy::Never).unwrap();
+        let ws = [
+            f("p(a)"),
+            f("exists x. Teach(x, CS)"),
+            f("Teach(Mary, Psych) | Teach(Sue, Psych)"),
+            f("forall x, y, z. e(x, y) & t(y, z) -> t(x, z)"),
+            f("~(p(a) & q(b))"),
+            f("a != b"),
+            epilog_syntax::Formula::atom("p", vec![epilog_syntax::Param::new("x").into()]),
+        ];
+        let _ = wal
+            .append(&ws.iter().cloned().map(WalOp::Assert).collect::<Vec<_>>())
+            .unwrap();
+        wal.sync().unwrap();
+        let scan = Wal::scan_file(&path).unwrap();
+        assert!(scan.torn.is_none());
+        let got: Vec<Formula> = scan.records[0]
+            .ops
+            .iter()
+            .map(|op| match op {
+                WalOp::Assert(w) => w.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got.as_slice(), ws.as_slice());
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}

@@ -483,56 +483,103 @@ fn prec(w: &Formula) -> u8 {
     }
 }
 
-fn fmt_prec(w: &Formula, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+/// Print one term with binder context: a parameter is `$`-escaped when
+/// its name follows the variable convention (see [`Term`]'s `Display`)
+/// **or** is shadowed by an enclosing quantifier — in either case the
+/// parser would otherwise read the bare name back as a variable, breaking
+/// the `parse(display(w)) == w` round-trip the persistence layer's text
+/// formats rest on.
+fn fmt_term(t: &Term, bound: &[Var], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if let Term::Param(p) = t {
+        let name = p.name();
+        if bound.iter().any(|v| v.name() == name) && !crate::parse::is_conventional_var(&name) {
+            return write!(f, "${name}");
+        }
+    }
+    // The conventional-name escape lives in `Term`'s Display.
+    write!(f, "{t}")
+}
+
+fn fmt_atom(a: &Atom, bound: &[Var], f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "{}", a.pred)?;
+    if !a.terms.is_empty() {
+        write!(f, "(")?;
+        for (i, t) in a.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            fmt_term(t, bound, f)?;
+        }
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+fn fmt_prec(
+    w: &Formula,
+    parent: u8,
+    bound: &mut Vec<Var>,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
     let me = prec(w);
     let need = me < parent;
     if need {
         write!(f, "(")?;
     }
     match w {
-        Formula::Atom(a) => write!(f, "{a}")?,
-        Formula::Eq(a, b) => write!(f, "{a} = {b}")?,
+        Formula::Atom(a) => fmt_atom(a, bound, f)?,
+        Formula::Eq(a, b) => {
+            fmt_term(a, bound, f)?;
+            write!(f, " = ")?;
+            fmt_term(b, bound, f)?;
+        }
         Formula::Not(inner) => {
             // Print ¬(t₁ = t₂) as t₁ != t₂ for readability.
             if let Formula::Eq(a, b) = inner.as_ref() {
-                write!(f, "{a} != {b}")?;
+                fmt_term(a, bound, f)?;
+                write!(f, " != ")?;
+                fmt_term(b, bound, f)?;
             } else {
                 write!(f, "~")?;
-                fmt_prec(inner, me, f)?;
+                fmt_prec(inner, me, bound, f)?;
             }
         }
         Formula::And(a, b) => {
-            fmt_prec(a, me, f)?;
+            fmt_prec(a, me, bound, f)?;
             write!(f, " & ")?;
-            fmt_prec(b, me + 1, f)?;
+            fmt_prec(b, me + 1, bound, f)?;
         }
         Formula::Or(a, b) => {
-            fmt_prec(a, me, f)?;
+            fmt_prec(a, me, bound, f)?;
             write!(f, " | ")?;
-            fmt_prec(b, me + 1, f)?;
+            fmt_prec(b, me + 1, bound, f)?;
         }
         Formula::Implies(a, b) => {
-            fmt_prec(a, me + 1, f)?;
+            fmt_prec(a, me + 1, bound, f)?;
             write!(f, " -> ")?;
-            fmt_prec(b, me, f)?;
+            fmt_prec(b, me, bound, f)?;
         }
         Formula::Iff(a, b) => {
             // Left-associative, matching the parser.
-            fmt_prec(a, me, f)?;
+            fmt_prec(a, me, bound, f)?;
             write!(f, " <-> ")?;
-            fmt_prec(b, me + 1, f)?;
+            fmt_prec(b, me + 1, bound, f)?;
         }
         Formula::Forall(x, body) => {
             write!(f, "forall {x}. ")?;
-            fmt_prec(body, me, f)?;
+            bound.push(*x);
+            fmt_prec(body, me, bound, f)?;
+            bound.pop();
         }
         Formula::Exists(x, body) => {
             write!(f, "exists {x}. ")?;
-            fmt_prec(body, me, f)?;
+            bound.push(*x);
+            fmt_prec(body, me, bound, f)?;
+            bound.pop();
         }
         Formula::Know(body) => {
             write!(f, "K ")?;
-            fmt_prec(body, me, f)?;
+            fmt_prec(body, me, bound, f)?;
         }
     }
     if need {
@@ -543,7 +590,7 @@ fn fmt_prec(w: &Formula, parent: u8, f: &mut fmt::Formatter<'_>) -> fmt::Result 
 
 impl fmt::Display for Formula {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt_prec(self, 0, f)
+        fmt_prec(self, 0, &mut Vec::new(), f)
     }
 }
 

@@ -100,8 +100,10 @@ impl Lexer {
                 }
                 '-' if bytes.get(l.pos + 1) == Some(&b'>') => l.push(Tok::Implies, 2, start),
                 '<' if src[l.pos..].starts_with("<->") => l.push(Tok::Iff, 3, start),
-                _ if c.is_ascii_alphabetic() || c == '_' => {
-                    let mut end = l.pos;
+                _ if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                    // `$` introduces an identifier (the forced-parameter
+                    // escape) but may not continue one.
+                    let mut end = l.pos + usize::from(c == '$');
                     while end < bytes.len() {
                         let ch = bytes[end] as char;
                         if ch.is_ascii_alphanumeric() || ch == '_' || ch == '\'' || ch == '#' {
@@ -281,8 +283,14 @@ impl Parser {
     }
 
     /// An identifier in term position denotes a variable iff it is bound by
-    /// an enclosing quantifier or follows the u/v/w/x/y/z convention.
+    /// an enclosing quantifier or follows the u/v/w/x/y/z convention. A
+    /// leading `$` forces a parameter reading regardless of the name (the
+    /// printer's escape for parameters like `$x` that would otherwise
+    /// reparse as variables), and is stripped.
     fn term_of(&self, name: &str) -> Term {
+        if let Some(stripped) = name.strip_prefix('$') {
+            return Term::Param(Param::new(stripped));
+        }
         if self.bound.iter().any(|b| b == name) || is_conventional_var(name) {
             Term::Var(Var::new(name))
         } else {
@@ -341,7 +349,7 @@ impl Parser {
 
 /// Whether an identifier follows the paper's variable-naming convention:
 /// one of `u v w x y z` followed only by digits.
-fn is_conventional_var(name: &str) -> bool {
+pub(crate) fn is_conventional_var(name: &str) -> bool {
     let mut chars = name.chars();
     match chars.next() {
         Some('u' | 'v' | 'w' | 'x' | 'y' | 'z') => chars.all(|c| c.is_ascii_digit()),
@@ -500,6 +508,45 @@ mod tests {
         assert!(parse("p q").is_err());
         assert!(parse("(p").is_err());
         assert!(parse("exists . p").is_err());
+    }
+
+    #[test]
+    fn dollar_escape_forces_parameters() {
+        // A parameter named like a variable prints escaped and reparses as
+        // the same ground sentence (the WAL round-trip guarantee).
+        let w = Formula::atom("p", vec![Param::new("x").into(), Param::new("y1").into()]);
+        assert_eq!(w.to_string(), "p($x, $y1)");
+        let back = parse(&w.to_string()).unwrap();
+        assert_eq!(back, w);
+        assert!(back.is_sentence());
+        // The escape works in equality position too.
+        let e =
+            crate::formula::Formula::Eq(Term::Param(Param::new("x")), Term::Param(Param::new("a")));
+        assert_eq!(e.to_string(), "$x = a");
+        assert_eq!(parse("$x = a").unwrap(), e);
+        // Explicit `$` on a non-colliding name is accepted and stripped.
+        assert_eq!(parse("p($John)").unwrap(), parse("p(John)").unwrap());
+    }
+
+    #[test]
+    fn binder_shadowed_parameters_escape() {
+        // `exists a. p(a) & q(<param a>)`: inside the binder, the bound
+        // occurrence prints bare but the *parameter* named `a` must be
+        // escaped — the parser reads bound names as variables regardless
+        // of the naming convention.
+        let a = Var::new("a");
+        let w = Formula::exists(
+            a,
+            crate::formula::Formula::and(
+                Formula::atom("p", vec![a.into()]),
+                Formula::atom("q", vec![Param::new("a").into()]),
+            ),
+        );
+        assert_eq!(w.to_string(), "exists a. p(a) & q($a)");
+        assert_eq!(parse(&w.to_string()).unwrap(), w);
+        // Outside the binder the same parameter prints bare.
+        let w2 = Formula::atom("q", vec![Param::new("a").into()]);
+        assert_eq!(w2.to_string(), "q(a)");
     }
 
     #[test]

@@ -53,10 +53,24 @@ impl From<Param> for Term {
 }
 
 impl fmt::Display for Term {
+    /// Prints the bare symbol name, except for a parameter whose name
+    /// follows the variable-naming convention (`x`, `y1`, …): that one is
+    /// escaped as `$x` so the parser reads it back as a parameter. This is
+    /// the round-trip guarantee the persistence layer's textual log format
+    /// rests on: `parse(w.to_string()) == w` for every sentence a database
+    /// can hold (symbol names must be valid identifiers not starting with
+    /// `$`).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Term::Var(v) => write!(f, "{v}"),
-            Term::Param(p) => write!(f, "{p}"),
+            Term::Param(p) => {
+                let name = p.name();
+                if crate::parse::is_conventional_var(&name) {
+                    write!(f, "${name}")
+                } else {
+                    write!(f, "{p}")
+                }
+            }
         }
     }
 }

@@ -38,9 +38,11 @@
 //! | [`datalog`] | Datalog engine with stratified negation; Clark completion |
 //! | [`semantics`] | worlds, KFOPCE truth, the brute-force oracle, circumscription |
 //! | [`core`] | the `demo` evaluator, queries, integrity constraints, closure |
+//! | [`persist`] | durability: write-ahead log, snapshots, crash recovery |
 
 pub use epilog_core as core;
 pub use epilog_datalog as datalog;
+pub use epilog_persist as persist;
 pub use epilog_prover as prover;
 pub use epilog_sat as sat;
 pub use epilog_semantics as semantics;
@@ -53,6 +55,7 @@ pub mod prelude {
         all_answers, ask, demo, demo_sentence, ic_satisfaction, Answer, ClosedDb, CommitReport,
         DemoOutcome, EpistemicDb, IcDefinition, IcReport, ModelUpdate, Transaction,
     };
+    pub use epilog_persist::{DurableDb, FsyncPolicy, PersistError, RecoveryReport};
     pub use epilog_prover::Prover;
     pub use epilog_syntax::{
         admissibility, is_admissible, is_safe, is_subjective, parse, parse_theory, Formula, Param,

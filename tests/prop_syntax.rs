@@ -51,6 +51,56 @@ fn kfopce() -> impl Strategy<Value = Formula> {
     })
 }
 
+/// A random ground term whose parameter pool deliberately includes names
+/// that collide with the variable convention (`x`, `y1`) — the printer
+/// must `$`-escape those — plus a primed name exercising the extended
+/// identifier charset.
+fn ground_term() -> impl Strategy<Value = Term> {
+    (0..6usize).prop_map(|i| {
+        let name = ["a", "b", "John", "x", "y1", "n'1"][i];
+        Param::new(name).into()
+    })
+}
+
+/// A random FOPCE *database* sentence: every shape `Theory::assert`
+/// accepts — ground atoms (arity 0‥3), ground (in)equalities, boolean
+/// combinations, and quantified sentences — closed by construction. This
+/// is the correctness floor for the WAL/snapshot text format: whatever a
+/// database can hold must survive `parse(display(s))`.
+fn db_sentence() -> impl Strategy<Value = Formula> {
+    let atom = (0..3usize, proptest::collection::vec(ground_term(), 0..3)).prop_map(|(p, ts)| {
+        let name = ["p", "q", "Teach"][p];
+        Formula::atom(name, ts)
+    });
+    let leaf = prop_oneof![
+        4 => atom,
+        1 => (ground_term(), ground_term()).prop_map(|(a, b)| Formula::Eq(a, b)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            inner.clone().prop_map(|a| {
+                let x = Var::new("x");
+                Formula::forall(x, Formula::implies(Formula::atom("p", vec![x.into()]), a))
+            }),
+            inner.clone().prop_map(|a| {
+                let y = Var::new("y");
+                Formula::exists(y, Formula::and(Formula::atom("q", vec![y.into()]), a))
+            }),
+            inner.clone().prop_map(|a| {
+                // A binder colliding with the parameter pool's `a`: any
+                // parameter named `a` inside must print `$`-escaped.
+                let v = Var::new("a");
+                Formula::exists(v, Formula::and(Formula::atom("p", vec![v.into()]), a))
+            }),
+        ]
+    })
+}
+
 fn oracle() -> ModelSet {
     // An arbitrary nonempty theory over the vocabulary; equivalences must
     // hold in *every* (W, 𝒮), so we check truth pointwise over all worlds
@@ -74,6 +124,30 @@ proptest! {
             "unstable printing for {}", printed
         );
         prop_assert_eq!(reparsed, w);
+    }
+
+    /// print ∘ parse = id, *structurally*, for every sentence form a
+    /// database can hold — including parameters whose names collide with
+    /// the variable convention (printed `$`-escaped). The WAL and
+    /// snapshot formats of `epilog-persist` serialize sentences through
+    /// `Display` and read them back through `parse`, so this property is
+    /// their correctness floor.
+    #[test]
+    fn db_sentences_roundtrip_structurally(w in db_sentence()) {
+        prop_assert!(w.is_sentence(), "generator must produce sentences");
+        let reparsed = parse(&w.to_string()).unwrap();
+        prop_assert_eq!(&reparsed, &w, "print/parse changed {}", w.to_string());
+    }
+
+    /// Theory-level round-trip: a theory built from db sentences reprints
+    /// and reparses to the same theory, sentence for sentence, in order —
+    /// the snapshot format's contract.
+    #[test]
+    fn db_theories_roundtrip(ws in proptest::collection::vec(db_sentence(), 0..8)) {
+        let theory = Theory::new(ws).unwrap();
+        let reparsed = Theory::from_text(&theory.to_string()).unwrap();
+        // Not just equal: identical sentence order (replay determinism).
+        prop_assert_eq!(reparsed.sentences(), theory.sentences());
     }
 
     /// kernel() preserves truth in every world of the oracle's model set.
