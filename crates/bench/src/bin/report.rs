@@ -6,12 +6,14 @@
 //! measured output, and exits nonzero on any mismatch.
 
 use epilog_bench::workloads::{
-    durable_registrar, enrollment_batch, registrar_db, scaling_program, section1_queries, teach_db,
+    durable_registrar, enrollment_batch, join_heavy_program, order_sensitive_program, registrar_db,
+    scaling_program, section1_queries, teach_db,
 };
 use epilog_core::closure::cwa_demo;
 use epilog_core::{
     ask, demo_sentence, ic_satisfaction, prover_for, IcDefinition, IcReport, ModelUpdate,
 };
+use epilog_datalog::PlannerMode;
 use epilog_prover::Prover;
 use epilog_semantics::{minimal_worlds, ModelSet};
 use epilog_syntax::{is_admissible, parse, Param, Pred, Theory};
@@ -224,6 +226,21 @@ fn main() {
                 "NOT-fewer"
             },
         );
+        // Cost-based literal ordering must never do more join work than
+        // the seed greedy order on this workload.
+        let (greedy_db, greedy) = prog.eval_with(true, PlannerMode::Greedy).unwrap();
+        check(
+            &format!(
+                "n={n} rows cost-based {} <= greedy {} (same model)",
+                fast.rows_examined, greedy.rows_examined
+            ),
+            "yes",
+            if fast.rows_examined <= greedy.rows_examined && db == greedy_db {
+                "yes"
+            } else {
+                "no"
+            },
+        );
     }
 
     println!("\nF7 — transactional updates (registrar + batch of 2 employees)");
@@ -250,11 +267,11 @@ fn main() {
             txn = txn.assert(w);
         }
         let report = txn.commit().unwrap();
-        let (tuples_added, full_firings) = match &report.model {
+        let (tuples_added, stats) = match &report.model {
             ModelUpdate::Incremental {
                 tuples_added,
                 stats,
-            } => (*tuples_added, stats.full_firings),
+            } => (*tuples_added, *stats),
             other => {
                 check(
                     &format!("n={n} commit path"),
@@ -272,7 +289,12 @@ fn main() {
         check(
             &format!("n={n} full plans in the resumed fixpoint"),
             "0",
-            &full_firings.to_string(),
+            &stats.full_firings.to_string(),
+        );
+        check(
+            &format!("n={n} rule plans compiled by the commit (cache hit)"),
+            "0",
+            &stats.plans_compiled.to_string(),
         );
         check(
             &format!("n={n} constraint routes specialized/skipped/full"),
@@ -382,6 +404,81 @@ fn main() {
         );
         drop(rec);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    println!("\nF9 — join planning (hash vs probe on skewed equi-joins; cost vs greedy order)");
+    for n in [128usize, 512, 2048] {
+        let prog = join_heavy_program(n, 8);
+        let (cost_db, cost) = prog.eval_with(true, PlannerMode::CostBased).unwrap();
+        let (greedy_db, greedy) = prog.eval_with(true, PlannerMode::Greedy).unwrap();
+        check(
+            &format!("n={n} |hit| (= n)"),
+            &n.to_string(),
+            &cost_db
+                .relation(Pred::new("hit", 2))
+                .map_or(0, |r| r.len())
+                .to_string(),
+        );
+        check(
+            &format!("n={n} models agree"),
+            "yes",
+            if cost_db == greedy_db { "yes" } else { "no" },
+        );
+        check(
+            &format!("n={n} join strategy cost/greedy"),
+            "hash/probe-only",
+            &format!(
+                "{}/{}",
+                if cost.hash_steps > 0 {
+                    "hash"
+                } else {
+                    "probe-only"
+                },
+                if greedy.hash_steps > 0 {
+                    "hash"
+                } else {
+                    "probe-only"
+                }
+            ),
+        );
+        check(
+            &format!(
+                "n={n} rows examined: probe {} >= 2x hash {}",
+                greedy.rows_examined, cost.rows_examined
+            ),
+            "yes",
+            if greedy.rows_examined >= 2 * cost.rows_examined {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    }
+    for n in [128usize, 512, 2048] {
+        let prog = order_sensitive_program(n, 16);
+        let (cost_db, cost) = prog.eval_with(true, PlannerMode::CostBased).unwrap();
+        let (greedy_db, greedy) = prog.eval_with(true, PlannerMode::Greedy).unwrap();
+        check(
+            &format!("n={n} |out| (= 16) and models agree"),
+            "16/yes",
+            &format!(
+                "{}/{}",
+                cost_db.relation(Pred::new("out", 2)).map_or(0, |r| r.len()),
+                if cost_db == greedy_db { "yes" } else { "no" }
+            ),
+        );
+        check(
+            &format!(
+                "n={n} rows examined: greedy order {} >= 2x cost order {}",
+                greedy.rows_examined, cost.rows_examined
+            ),
+            "yes",
+            if greedy.rows_examined >= 2 * cost.rows_examined {
+                "yes"
+            } else {
+                "no"
+            },
+        );
     }
 
     let failures = FAILURES.load(Ordering::Relaxed);

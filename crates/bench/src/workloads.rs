@@ -203,6 +203,52 @@ pub fn scaling_program(n: usize, k: usize) -> epilog_datalog::Program {
     epilog_datalog::Program::from_text(&src).expect("generated text parses")
 }
 
+/// The `f9_joins` hash-vs-probe workload: an equi-join on **both**
+/// columns of a skewed relation.
+///
+/// EDB: `q` and `big` each hold the `n` tuples `(k_{i mod d}, val_i)` —
+/// column 0 takes only `d` distinct values, column 1 is unique. Rule:
+/// `hit(x, y) ← q(x, y) ∧ big(x, y)`, so `|hit| = n`.
+///
+/// The seed greedy planner scans `q` and, per outer row, probes `big`'s
+/// single-column index on the skewed column 0 — a bucket of `n/d` tuples
+/// residually filtered on column 1, `Θ(n²/d)` rows examined. The
+/// cost-based planner upgrades the `big` step to hash build+probe keyed
+/// on both columns: `Θ(n)` rows (one build, singleton buckets).
+pub fn join_heavy_program(n: usize, d: usize) -> epilog_datalog::Program {
+    assert!(d >= 1 && n >= d, "need n >= d >= 1");
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("q(k{}, val{i})\nbig(k{}, val{i})\n", i % d, i % d));
+    }
+    src.push_str("forall x, y. q(x, y) & big(x, y) -> hit(x, y)\n");
+    epilog_datalog::Program::from_text(&src).expect("generated text parses")
+}
+
+/// The `f9_joins` ordering workload: a two-literal body written big
+/// relation first.
+///
+/// EDB: `big` holds `n` tuples `(b_i, c_i)` (both columns unique),
+/// `small` holds the `m ≤ n` tuples `b_0 … b_{m-1}`. Rule:
+/// `out(x, y) ← big(x, y) ∧ small(x)`, so `|out| = m`.
+///
+/// Bound-column counts tie at zero, so the greedy planner keeps the
+/// written order and scans all of `big`; the cost-based planner flips to
+/// `small` first (`m` rows) and probes `big`'s unique column — rows
+/// examined drop from `Θ(n)` to `Θ(m)`.
+pub fn order_sensitive_program(n: usize, m: usize) -> epilog_datalog::Program {
+    assert!(m >= 1 && n >= m, "need n >= m >= 1");
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("big(b{i}, c{i})\n"));
+    }
+    for j in 0..m {
+        src.push_str(&format!("small(b{j})\n"));
+    }
+    src.push_str("forall x, y. big(x, y) & small(x) -> out(x, y)\n");
+    epilog_datalog::Program::from_text(&src).expect("generated text parses")
+}
+
 /// The pigeonhole CNF PHP(holes+1, holes) — unsatisfiable; the classic
 /// separator between clause-learning and plain DPLL.
 pub fn pigeonhole(holes: u32) -> Cnf {
@@ -285,6 +331,25 @@ mod tests {
         assert_eq!(report.asserted, 4);
         assert!(matches!(report.model, ModelUpdate::Incremental { .. }));
         assert!(db.satisfies_constraints());
+    }
+
+    #[test]
+    fn join_workload_shapes_and_planner_agreement() {
+        use epilog_datalog::PlannerMode;
+        let prog = join_heavy_program(32, 4);
+        let (a, cost) = prog.eval_with(true, PlannerMode::CostBased).unwrap();
+        let (b, greedy) = prog.eval_with(true, PlannerMode::Greedy).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.relation(Pred::new("hit", 2)).unwrap().len(), 32);
+        assert!(cost.hash_steps > 0 && greedy.hash_steps == 0);
+        assert!(cost.rows_examined < greedy.rows_examined);
+
+        let prog = order_sensitive_program(32, 4);
+        let (a, cost) = prog.eval_with(true, PlannerMode::CostBased).unwrap();
+        let (b, greedy) = prog.eval_with(true, PlannerMode::Greedy).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.relation(Pred::new("out", 2)).unwrap().len(), 4);
+        assert!(cost.rows_examined < greedy.rows_examined);
     }
 
     #[test]

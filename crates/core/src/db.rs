@@ -76,6 +76,14 @@ pub struct EpistemicDb {
     /// ground-atom commits reuse it and only rule-changing commits (a
     /// retraction, or an asserted non-atom) rebuild it.
     pub(crate) rule_graph: RuleGraph,
+    /// The compiled [`epilog_datalog::RulePlan`] set of the definite
+    /// program, cached across commits like the constraint `rule_graph`:
+    /// plans depend only on the rule-shaped sentences, so ground-atom
+    /// commits resume the fixpoint through these without compiling
+    /// anything, and only rule-changing commits rebuild them (with cost
+    /// statistics read from the then-current least model). `None` when
+    /// the theory is not a definite program.
+    pub(crate) rule_plans: Option<Vec<epilog_datalog::RulePlan>>,
 }
 
 impl EpistemicDb {
@@ -84,12 +92,31 @@ impl EpistemicDb {
     /// is materialized once and answers ground-atom questions directly.
     pub fn new(theory: Theory) -> Self {
         let rule_graph = RuleGraph::new(&theory);
+        let prover = prover_for(theory);
+        let rule_plans = Self::compile_rule_plans(&prover);
         EpistemicDb {
-            prover: prover_for(theory),
+            prover,
             constraints: Vec::new(),
             checker: Some(IncrementalChecker::default()),
             rule_graph,
+            rule_plans,
         }
+    }
+
+    /// Compile the cross-commit rule-plan cache for a prover whose theory
+    /// is a definite program, using the attached least model as the cost
+    /// statistics source (it covers intensional relations too). `None`
+    /// outside the definite fragment — those theories have no resumable
+    /// fixpoint to cache plans for.
+    pub(crate) fn compile_rule_plans(prover: &Prover) -> Option<Vec<epilog_datalog::RulePlan>> {
+        let model = prover.atom_model()?;
+        let prog = crate::engine::definite_program(prover.theory())?;
+        Some(
+            prog.rules
+                .iter()
+                .map(|r| epilog_datalog::RulePlan::compile_with_stats(r, Some(model)))
+                .collect(),
+        )
     }
 
     /// Open a database over a theory whose least model the caller has
@@ -104,11 +131,14 @@ impl EpistemicDb {
             "attached model must be the theory's least model"
         );
         let rule_graph = RuleGraph::new(&theory);
+        let prover = Prover::new(theory).with_atom_model(model);
+        let rule_plans = Self::compile_rule_plans(&prover);
         EpistemicDb {
-            prover: Prover::new(theory).with_atom_model(model),
+            prover,
             constraints: Vec::new(),
             checker: Some(IncrementalChecker::default()),
             rule_graph,
+            rule_plans,
         }
     }
 

@@ -294,8 +294,19 @@ impl<'db> Transaction<'db> {
                             new_facts.insert(a);
                         }
                     }
-                    if let Ok((model, stats)) = prog.eval_incremental(old_model.clone(), &new_facts)
-                    {
+                    // An atoms-only commit leaves the rule set untouched,
+                    // so the plans cached on the db are exactly the
+                    // candidate program's plans — the resumed fixpoint
+                    // compiles nothing (`stats.plans_compiled == 0`).
+                    // The compiling fallback only covers a db whose cache
+                    // is unexpectedly cold.
+                    let resumed = match &db.rule_plans {
+                        Some(plans) => {
+                            prog.eval_incremental_with(plans, old_model.clone(), &new_facts)
+                        }
+                        None => prog.eval_incremental(old_model.clone(), &new_facts),
+                    };
+                    if let Ok((model, stats)) = resumed {
                         let update = ModelUpdate::Incremental {
                             tuples_added: model.len() - old_model.len(),
                             stats,
@@ -422,7 +433,11 @@ impl PreparedCommit<'_> {
         if let Some(candidate) = self.candidate {
             self.db.prover = candidate;
             if self.rules_changed {
+                // Both caches derive from the rule-shaped sentences only:
+                // rebuild them here, once, and every following ground-atom
+                // commit reuses them as-is.
                 self.db.rule_graph = RuleGraph::new(self.db.prover.theory());
+                self.db.rule_plans = EpistemicDb::compile_rule_plans(&self.db.prover);
             }
         }
         self.report
@@ -735,6 +750,49 @@ mod tests {
         let report = d.transaction().assert(f("hired(Sue)")).commit().unwrap();
         assert_eq!(report.checks.skipped, 1);
         assert_eq!(report.checks.full, 0);
+    }
+
+    #[test]
+    fn ground_atom_commits_compile_no_plans() {
+        let mut d = db("e(n0, n1)\nforall x, y. e(x, y) -> t(x, y)\nforall x, y, z. e(x, y) & t(y, z) -> t(x, z)");
+        assert!(d.rule_plans.is_some(), "definite theory caches its plans");
+        for i in 1..4 {
+            let report = d
+                .transaction()
+                .assert(f(&format!("e(n{i}, n{})", i + 1)))
+                .commit()
+                .unwrap();
+            let ModelUpdate::Incremental { stats, .. } = report.model else {
+                panic!("expected the incremental path, got {:?}", report.model);
+            };
+            assert_eq!(
+                stats.plans_compiled, 0,
+                "commit {i} must reuse the cached plans"
+            );
+        }
+    }
+
+    #[test]
+    fn rule_commits_rebuild_the_plan_cache() {
+        let mut d = db("e(a, b)\nforall x, y. e(x, y) -> t(x, y)");
+        assert_eq!(
+            d.rule_plans.as_ref().map(Vec::len),
+            Some(1),
+            "one plan per rule"
+        );
+        // Commit a new rule: the cache must be rebuilt to include it, or
+        // the next incremental commit would silently not derive u-facts.
+        let _ = d
+            .transaction()
+            .assert(f("forall x, y. t(x, y) -> u2(x, y)"))
+            .commit()
+            .unwrap();
+        let report = d.transaction().assert(f("e(b, c)")).commit().unwrap();
+        assert!(matches!(report.model, ModelUpdate::Incremental { .. }));
+        assert_eq!(d.ask(&f("K u2(b, c)")), Answer::Yes);
+        // Leaving the definite fragment drops the cache entirely.
+        let _ = d.transaction().assert(f("p(a) | p(b)")).commit().unwrap();
+        assert!(d.rule_plans.is_none());
     }
 
     #[test]

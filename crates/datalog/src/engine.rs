@@ -14,11 +14,26 @@
 
 use crate::plan::RulePlan;
 use crate::program::{DatalogError, Program};
-use epilog_storage::{ConjunctionPlan, Database, DeltaDatabase};
+use epilog_storage::{ConjunctionPlan, Database, DeltaDatabase, StepStrategy};
+
+/// Which join planner compiles the rule plans of an evaluation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// The seed planner: literals ordered greedily by bound-column count,
+    /// every step an index probe or a residual scan. Kept as the ablation
+    /// baseline for the planner-differential property suite and the
+    /// `f9_joins` bench.
+    Greedy,
+    /// Cost-based ordering from live relation cardinalities
+    /// (EDB statistics), with hash build+probe steps for multi-column
+    /// joins against large relations.
+    #[default]
+    CostBased,
+}
 
 /// Counters reported by an evaluation run (for the `f2_datalog`/
-/// `f6_scaling` benches and for tests asserting that semi-naive does
-/// strictly less work).
+/// `f6_scaling`/`f9_joins` benches and for tests asserting that
+/// semi-naive does strictly less work).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Number of executed join plans: one per rule per naive round (and
@@ -35,21 +50,59 @@ pub struct EvalStats {
     pub derivations: u64,
     /// Number of fixpoint iterations across all strata.
     pub iterations: u64,
+    /// Join steps executed as single-column index probes, counted once
+    /// per step per firing.
+    pub probe_steps: u64,
+    /// Join steps executed as hash build+probe, counted once per step per
+    /// firing.
+    pub hash_steps: u64,
+    /// Join steps executed as full/residual scans, counted once per step
+    /// per firing.
+    pub scan_steps: u64,
+    /// Semi-naive delta variants **skipped** because their delta relation
+    /// was empty. Disambiguates "the variant never ran" from "the variant
+    /// ran and matched nothing": a firing with zero derivations still
+    /// counts its steps above, a skipped variant counts here and nowhere
+    /// else.
+    pub variants_skipped: u64,
+    /// Candidate tuples examined across all join steps: tuples pulled
+    /// from scans and probed buckets (including ones residual filtering
+    /// rejected), tuples read while building hash tables, and hash-bucket
+    /// entries probed. The deterministic work-done measure the F9 report
+    /// table compares planners by.
+    pub rows_examined: u64,
+    /// Rule plans compiled for this run. Zero on the cached-plan path
+    /// ([`Program::eval_incremental_with`]) — the `CommitReport` evidence
+    /// that ground-atom commits recompile nothing.
+    pub plans_compiled: u64,
 }
 
 impl Program {
     /// Compute the perfect model by **semi-naive** evaluation: after the
     /// first round of each stratum, only join against the delta of the
-    /// previous round.
+    /// previous round. Plans are compiled cost-based
+    /// ([`PlannerMode::CostBased`]) from the EDB's live statistics.
     pub fn eval(&self) -> Result<(Database, EvalStats), DatalogError> {
-        self.run(true)
+        self.eval_with(true, PlannerMode::CostBased)
     }
 
     /// Compute the perfect model by **naive** evaluation: re-derive
     /// everything from scratch each iteration. Kept as the ablation
     /// baseline.
     pub fn eval_naive(&self) -> Result<(Database, EvalStats), DatalogError> {
-        self.run(false)
+        self.eval_with(false, PlannerMode::CostBased)
+    }
+
+    /// Compute the perfect model with an explicit evaluation strategy and
+    /// join planner — the ablation surface behind [`Program::eval`] /
+    /// [`Program::eval_naive`], used by the planner-differential property
+    /// suite and the `f9_joins` bench.
+    pub fn eval_with(
+        &self,
+        seminaive: bool,
+        planner: PlannerMode,
+    ) -> Result<(Database, EvalStats), DatalogError> {
+        self.run(seminaive, planner)
     }
 
     /// Resume the least-model fixpoint of a **definite** (negation-free)
@@ -73,19 +126,49 @@ impl Program {
         model: Database,
         new_facts: &Database,
     ) -> Result<(Database, EvalStats), DatalogError> {
-        if self
-            .rules
-            .iter()
-            .any(|r| r.body.iter().any(|l| !l.positive))
-        {
+        if self.has_negation() {
             // Non-monotone: recompute from the enlarged EDB.
             drop(model);
             let mut prog = self.clone();
             prog.edb.union_with(new_facts);
             return prog.eval();
         }
+        // Compile against the existing model: it covers the intensional
+        // relations too, so the cost estimates are exact.
+        let plans: Vec<RulePlan> = self
+            .rules
+            .iter()
+            .map(|r| RulePlan::compile_with_stats(r, Some(&model)))
+            .collect();
+        let mut result = self.eval_incremental_with(&plans, model, new_facts)?;
+        result.1.plans_compiled += plans.len() as u64;
+        Ok(result)
+    }
+
+    /// [`Program::eval_incremental`] with **caller-supplied plans** — the
+    /// cross-commit plan-cache hook. `plans` must be the compiled plans
+    /// of exactly `self.rules`, in order (they depend only on the rule
+    /// shapes, so a cache owner invalidates them precisely when a commit
+    /// changes the rule set). Reports `plans_compiled == 0`: the whole
+    /// point of the cache is that ground-atom commits recompile nothing.
+    ///
+    /// Falls back to a full [`Program::eval`] (which does compile) when
+    /// the program has negated body literals, exactly like
+    /// [`Program::eval_incremental`].
+    pub fn eval_incremental_with(
+        &self,
+        plans: &[RulePlan],
+        model: Database,
+        new_facts: &Database,
+    ) -> Result<(Database, EvalStats), DatalogError> {
+        if self.has_negation() {
+            drop(model);
+            let mut prog = self.clone();
+            prog.edb.union_with(new_facts);
+            return prog.eval();
+        }
+        debug_assert_eq!(plans.len(), self.rules.len(), "one plan per rule");
         let mut stats = EvalStats::default();
-        let plans: Vec<RulePlan> = self.rules.iter().map(RulePlan::compile).collect();
         let plan_refs: Vec<&RulePlan> = plans.iter().collect();
         let mut ddb = DeltaDatabase::resume(model, new_facts);
         {
@@ -100,18 +183,38 @@ impl Program {
         Ok((db, stats))
     }
 
-    fn run(&self, seminaive: bool) -> Result<(Database, EvalStats), DatalogError> {
+    fn has_negation(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| r.body.iter().any(|l| !l.positive))
+    }
+
+    fn run(
+        &self,
+        seminaive: bool,
+        planner: PlannerMode,
+    ) -> Result<(Database, EvalStats), DatalogError> {
         let strata = self.stratify()?;
         let max_stratum = strata.values().copied().max().unwrap_or(0);
         let mut db = self.edb.clone();
         let mut stats = EvalStats::default();
 
         // Compile every rule exactly once; plans are reused each round.
+        let edb_stats = match planner {
+            PlannerMode::Greedy => None,
+            PlannerMode::CostBased => Some(&self.edb),
+        };
         let plans: Vec<(usize, RulePlan)> = self
             .rules
             .iter()
-            .map(|r| (strata[&r.head.pred], RulePlan::compile(r)))
+            .map(|r| {
+                (
+                    strata[&r.head.pred],
+                    RulePlan::compile_with_stats(r, edb_stats),
+                )
+            })
             .collect();
+        stats.plans_compiled = plans.len() as u64;
 
         for level in 0..=max_stratum {
             let level_plans: Vec<&RulePlan> = plans
@@ -189,7 +292,10 @@ fn seminaive_rounds(
             for plan in plans {
                 for (pred, variant) in &plan.variants {
                     if ddb.delta().relation(*pred).is_none_or(|r| r.is_empty()) {
-                        continue; // nothing new for this literal
+                        // Nothing new for this literal: the variant is
+                        // skipped, not fired with an empty result.
+                        stats.variants_skipped += 1;
+                        continue;
                     }
                     stats.rule_firings += 1;
                     fire(
@@ -238,18 +344,31 @@ fn fire(
     out: &mut Database,
     stats: &mut EvalStats,
 ) {
+    for step in join.steps() {
+        match step.strategy {
+            StepStrategy::IndexProbe => stats.probe_steps += 1,
+            StepStrategy::HashBuildProbe => stats.hash_steps += 1,
+            StepStrategy::Scan => stats.scan_steps += 1,
+        }
+    }
     let mut env = vec![None; plan.slots.len()];
     let mut derivations = 0u64;
-    join.for_each_match(total, delta, &mut env, &mut |env| {
-        let blocked = plan
-            .negatives
-            .iter()
-            .any(|n| total.contains_tuple(n.pred, &n.ground(env)));
-        if !blocked {
-            derivations += 1;
-            out.insert_tuple(plan.head.pred, plan.head.ground(env));
-        }
-    });
+    join.for_each_match_counting(
+        total,
+        delta,
+        &mut env,
+        &mut stats.rows_examined,
+        &mut |env| {
+            let blocked = plan
+                .negatives
+                .iter()
+                .any(|n| total.contains_tuple(n.pred, &n.ground(env)));
+            if !blocked {
+                derivations += 1;
+                out.insert_tuple(plan.head.pred, plan.head.ground(env));
+            }
+        },
+    );
     stats.derivations += derivations;
 }
 
@@ -379,6 +498,95 @@ mod tests {
         assert!(!inc.contains(&atom("sep(b, a)")));
         assert!(inc.contains(&atom("reach(b, a)")));
         assert!(stats.full_firings > 0, "fallback runs full plans");
+    }
+
+    #[test]
+    fn planner_modes_agree_and_report_strategies() {
+        let mut src = String::new();
+        for i in 0..8 {
+            src.push_str(&format!("q(k{}, val{i})\nbig(k{}, val{i})\n", i % 2, i % 2));
+        }
+        src.push_str("forall x, y. q(x, y) & big(x, y) -> hit(x, y)\n");
+        let p = Program::from_text(&src).unwrap();
+        let (cost_db, cost) = p.eval_with(true, PlannerMode::CostBased).unwrap();
+        let (greedy_db, greedy) = p.eval_with(true, PlannerMode::Greedy).unwrap();
+        assert_eq!(cost_db, greedy_db);
+        assert_eq!(cost.derivations, greedy.derivations);
+        assert_eq!(cost.rule_firings, greedy.rule_firings);
+        assert!(cost.hash_steps > 0, "two bound columns on a large relation");
+        assert_eq!(greedy.hash_steps, 0, "the seed planner never hashes");
+        assert!(greedy.probe_steps > 0);
+        assert!(
+            cost.rows_examined < greedy.rows_examined,
+            "hash {} vs residual probe {}",
+            cost.rows_examined,
+            greedy.rows_examined
+        );
+        assert!(cost.plans_compiled > 0);
+    }
+
+    #[test]
+    fn recursive_delta_rounds_never_do_more_work_than_greedy() {
+        // r(y) ← r(x) ∧ a(x,y) ∧ b(x,y): every semi-naive round carries
+        // a one-row delta, so rebuilding a hash table over `b` per round
+        // would turn the Θ(n) greedy evaluation into Θ(n²). The outer-
+        // cardinality gate must keep the probe strategy here.
+        let n = 32;
+        let mut src = String::from("r(n0)\n");
+        for i in 0..n {
+            src.push_str(&format!("a(n{i}, n{})\nb(n{i}, n{})\n", i + 1, i + 1));
+        }
+        src.push_str("forall x, y. r(x) & a(x, y) & b(x, y) -> r(y)\n");
+        let p = Program::from_text(&src).unwrap();
+        let (cost_db, cost) = p.eval_with(true, PlannerMode::CostBased).unwrap();
+        let (greedy_db, greedy) = p.eval_with(true, PlannerMode::Greedy).unwrap();
+        assert_eq!(cost_db, greedy_db);
+        assert!(
+            cost.rows_examined <= greedy.rows_examined,
+            "cost-based {} must not exceed greedy {} on small-delta recursion",
+            cost.rows_examined,
+            greedy.rows_examined
+        );
+    }
+
+    #[test]
+    fn skipped_variants_are_counted_apart_from_firings() {
+        let p = chain(6);
+        let (_, stats) = p.eval().unwrap();
+        assert!(
+            stats.variants_skipped > 0,
+            "the e-delta variant is skipped after round 2"
+        );
+        // Naive evaluation has no variants to skip.
+        let (_, naive) = p.eval_naive().unwrap();
+        assert_eq!(naive.variants_skipped, 0);
+    }
+
+    #[test]
+    fn cached_plans_match_fresh_compiles_and_compile_nothing() {
+        let before = chain(5);
+        let (model, _) = before.eval().unwrap();
+        let after = chain(8);
+        let mut new_facts = epilog_storage::Database::new();
+        for i in 5..8 {
+            new_facts.insert(&atom(&format!("e(n{i}, n{})", i + 1)));
+        }
+        let plans: Vec<crate::plan::RulePlan> = after
+            .rules
+            .iter()
+            .map(|r| crate::plan::RulePlan::compile_with_stats(r, Some(&model)))
+            .collect();
+        let (cached, cached_stats) = after
+            .eval_incremental_with(&plans, model.clone(), &new_facts)
+            .unwrap();
+        let (fresh, fresh_stats) = after.eval_incremental(model, &new_facts).unwrap();
+        assert_eq!(cached, fresh);
+        assert_eq!(
+            cached_stats.plans_compiled, 0,
+            "cache path compiles nothing"
+        );
+        assert!(fresh_stats.plans_compiled > 0);
+        assert_eq!(cached_stats.full_firings, 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod program;
 pub mod sld;
 
 pub use completion::completion;
-pub use engine::EvalStats;
+pub use engine::{EvalStats, PlannerMode};
 pub use plan::RulePlan;
 pub use program::{DatalogError, Literal, Program, Rule};
 pub use sld::{SldEngine, SldOutcome};

@@ -1,24 +1,35 @@
 //! Compiled rule plans for bottom-up evaluation.
 //!
 //! A [`RulePlan`] is compiled once per rule before the fixpoint starts and
-//! reused every round:
+//! reused every round (or, via `epilog-core`'s cross-commit plan cache,
+//! across many fixpoints):
 //!
 //! * the rule's variables are numbered into dense slots, so a binding
 //!   environment is a flat `Vec<Option<Param>>` instead of a cloned
 //!   `HashMap<Var, Param>` per candidate match;
-//! * the positive body literals are greedily reordered by bound-column
-//!   count, with selection shapes precomputed per step
+//! * the positive body literals are reordered — greedily by bound-column
+//!   count, or by estimated intermediate size when relation statistics
+//!   are supplied ([`RulePlan::compile_with_stats`]) — with selection
+//!   shapes and a per-step [`StepStrategy`] (index probe, hash
+//!   build+probe, scan) precomputed per step
 //!   ([`epilog_storage::ConjunctionPlan`]);
 //! * one plan variant exists per positive literal, designating it as the
 //!   **delta position** for semi-naive rounds, plus a full variant used by
 //!   naive evaluation and the first round of each stratum;
 //! * the head and the negated literals are compiled to
 //!   [`AtomTemplate`]s grounded directly from the slot environment.
+//!
+//! [`RulePlan::explain`] renders the chosen literal order, per-step
+//! strategy, and estimated cardinalities — the debugging surface for
+//! ordering regressions.
 
 use crate::program::Rule;
-use epilog_storage::{AtomTemplate, ConjunctionPlan, Database, SlotMap};
+use epilog_storage::{
+    AtomTemplate, ConjunctionPlan, Database, PatTerm, PlanStats, SlotMap, StepStrategy,
+};
 use epilog_syntax::formula::Atom;
 use epilog_syntax::Pred;
+use std::fmt::Write as _;
 
 /// A rule compiled for bottom-up evaluation.
 #[derive(Debug, Clone)]
@@ -38,8 +49,17 @@ pub struct RulePlan {
 }
 
 impl RulePlan {
-    /// Compile a rule.
+    /// Compile a rule with the seed greedy planner (no statistics).
     pub fn compile(rule: &Rule) -> RulePlan {
+        Self::compile_with_stats(rule, None)
+    }
+
+    /// Compile a rule, optionally threading live relation statistics into
+    /// literal ordering and join-strategy selection (see
+    /// [`ConjunctionPlan::compile_with`]). `stats` is typically the
+    /// program's EDB, or — on the cross-commit cache path — the theory's
+    /// current least model, which also covers intensional relations.
+    pub fn compile_with_stats(rule: &Rule, stats: Option<&Database>) -> RulePlan {
         let mut slots = SlotMap::new();
         let positives: Vec<Atom> = rule
             .body
@@ -47,12 +67,21 @@ impl RulePlan {
             .filter(|l| l.positive)
             .map(|l| l.atom.clone())
             .collect();
-        let full = ConjunctionPlan::compile(&positives, &mut slots, None);
+        // One statistics view shared by the full plan and every delta
+        // variant, so per-column distinct counts are collected once per
+        // rule rather than once per variant.
+        let view = stats.map(PlanStats::new);
+        let full = ConjunctionPlan::compile_planned(&positives, &mut slots, None, view.as_ref());
         let variants = (0..positives.len())
             .map(|d| {
                 (
                     positives[d].pred,
-                    ConjunctionPlan::compile(&positives, &mut slots, Some(d)),
+                    ConjunctionPlan::compile_planned(
+                        &positives,
+                        &mut slots,
+                        Some(d),
+                        view.as_ref(),
+                    ),
                 )
             })
             .collect();
@@ -78,6 +107,67 @@ impl RulePlan {
         for (_, v) in &self.variants {
             v.ensure_indexes(total, None);
         }
+    }
+
+    /// Render an atom template back to source-ish text using the plan's
+    /// slot-numbered variable names.
+    fn render(&self, t: &AtomTemplate) -> String {
+        let args: Vec<String> = t
+            .args
+            .iter()
+            .map(|a| match a {
+                PatTerm::Const(p) => p.name(),
+                PatTerm::Slot(s) => self.slots.vars()[*s].name(),
+            })
+            .collect();
+        if args.is_empty() {
+            t.pred.name()
+        } else {
+            format!("{}({})", t.pred.name(), args.join(", "))
+        }
+    }
+
+    fn explain_plan(&self, out: &mut String, label: &str, plan: &ConjunctionPlan) {
+        let _ = writeln!(out, "  {label}:");
+        for (i, step) in plan.steps().iter().enumerate() {
+            let strategy = match step.strategy {
+                StepStrategy::IndexProbe => format!(
+                    "index-probe col {}",
+                    step.index_col.expect("probe steps have an index column")
+                ),
+                StepStrategy::HashBuildProbe => "hash build+probe".to_string(),
+                StepStrategy::Scan => "scan".to_string(),
+            };
+            let est = match step.est {
+                Some(e) => format!(", est {e}/row"),
+                None => String::new(),
+            };
+            let delta = if step.from_delta { " [delta]" } else { "" };
+            let _ = writeln!(
+                out,
+                "    {}. {}{delta}  ({strategy}{est})",
+                i + 1,
+                self.render(&step.template)
+            );
+        }
+    }
+
+    /// Pretty-print the compiled plan: the head, the chosen literal order
+    /// of the full variant and of every delta variant, each step's join
+    /// strategy, and (when compiled with statistics) the planner's
+    /// estimated matches per outer row. The debugging surface for
+    /// literal-ordering regressions.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(&mut out, "plan for {}:", self.render(&self.head));
+        self.explain_plan(&mut out, "full", &self.full);
+        for (pred, v) in &self.variants {
+            self.explain_plan(&mut out, &format!("delta[{}]", pred.name()), v);
+        }
+        for n in &self.negatives {
+            let _ = writeln!(&mut out, "  negated check: ~{}", self.render(n));
+        }
+        out
     }
 }
 
@@ -122,6 +212,35 @@ mod tests {
         assert_eq!(plan.negatives.len(), 1);
         assert_eq!(plan.negatives[0].pred, Pred::new("e", 2));
         assert_eq!(plan.variants.len(), 2);
+    }
+
+    #[test]
+    fn explain_renders_order_strategy_and_estimates() {
+        let mut src = String::new();
+        for i in 0..8 {
+            src.push_str(&format!("q(k{}, val{i})\nbig(k{}, val{i})\n", i % 2, i % 2));
+        }
+        src.push_str("forall x, y. q(x, y) & big(x, y) -> hit(x, y)\n");
+        let p = Program::from_text(&src).unwrap();
+        let plan = RulePlan::compile_with_stats(&p.rules[0], Some(&p.edb));
+        let text = plan.explain();
+        assert!(text.contains("plan for hit(x, y)"), "{text}");
+        assert!(text.contains("full:"), "{text}");
+        assert!(text.contains("hash build+probe"), "{text}");
+        assert!(text.contains("est"), "{text}");
+        assert!(text.contains("delta[q]"), "{text}");
+        assert!(text.contains("[delta]"), "{text}");
+        // The seed planner has no statistics: no estimates, no hashing.
+        let greedy = RulePlan::compile(&p.rules[0]).explain();
+        assert!(!greedy.contains("est"), "{greedy}");
+        assert!(!greedy.contains("hash"), "{greedy}");
+    }
+
+    #[test]
+    fn explain_covers_negated_literals() {
+        let plan = plan_of("forall x, y. node(x) & node(y) & ~e(x, y) -> sep(x, y)");
+        let text = plan.explain();
+        assert!(text.contains("negated check: ~e(x, y)"), "{text}");
     }
 
     #[test]

@@ -30,7 +30,9 @@ pub mod relation;
 
 pub use database::Database;
 pub use delta::DeltaDatabase;
-pub use plan::{AtomTemplate, ConjunctionPlan, JoinStep, PatTerm, SlotMap};
+pub use plan::{
+    AtomTemplate, ConjunctionPlan, JoinStep, PatTerm, PlanStats, SlotMap, StepStrategy,
+};
 pub use relation::{Matches, Relation, Selection};
 
 use epilog_syntax::Param;

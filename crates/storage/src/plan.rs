@@ -3,21 +3,48 @@
 //! A [`ConjunctionPlan`] turns a conjunction of atoms into an executable
 //! join: variables are numbered into dense **slots** (so a binding
 //! environment is a flat `Vec<Option<Param>>` rather than a hash map),
-//! atoms are greedily reordered so the most-bound literal joins first, and
-//! each step's selection shape — which columns are constants, which are
-//! bound by earlier steps, which bind fresh slots — is computed once at
-//! compile time. Execution walks borrowed tuples; nothing is cloned until
-//! a full match reaches the caller's callback.
+//! atoms are reordered so cheap literals join first, and each step's
+//! selection shape — which columns are constants, which are bound by
+//! earlier steps, which bind fresh slots — is computed once at compile
+//! time. Execution walks borrowed tuples; nothing is cloned until a full
+//! match reaches the caller's callback.
+//!
+//! Two planners share the machinery ([`ConjunctionPlan::compile_with`]):
+//!
+//! * **greedy** (no statistics): literals ordered by descending
+//!   bound-column count, every step an index probe or a scan — the seed
+//!   nested-loop planner, kept as the ablation baseline;
+//! * **cost-based** (statistics from a [`Database`]): literals ordered by
+//!   ascending estimated match count (relation cardinality divided by the
+//!   distinct counts of its bound columns, [`Relation::distinct_count`]),
+//!   and each step assigned a [`StepStrategy`] — single-column index
+//!   probe, **hash build + probe** keyed on every bound column at once,
+//!   or full scan.
+//!
+//! The hash strategy exists because the persistent per-column indexes
+//! probe exactly one column: a step whose selection binds several columns
+//! probes one index and *residually filters* the rest, which degrades to
+//! a bucket scan per outer row when the probed column is skewed. A hash
+//! step instead builds a transient table over the relation once per plan
+//! execution, keyed on the full bound-column tuple, and answers each
+//! outer row with one lookup.
 //!
 //! The Datalog engine compiles one plan per rule and delta position
 //! (`epilog-datalog`'s `RulePlan`); the canonical-model grounder in
 //! `epilog-prover` compiles one per rule body.
+//!
+//! [`Relation::distinct_count`]: crate::relation::Relation::distinct_count
 
 use crate::database::Database;
 use crate::relation::Selection;
 use crate::Tuple;
 use epilog_syntax::formula::Atom;
 use epilog_syntax::{Param, Pred, Term, Var};
+use std::collections::HashMap;
+
+/// Minimum (estimated) relation size before a hash build pays for itself;
+/// below it the plan keeps the probe-or-scan step the seed planner used.
+const HASH_MIN_ROWS: usize = 4;
 
 /// Dense numbering of the variables appearing in a rule: slot `i` holds
 /// the binding of `vars()[i]`.
@@ -126,6 +153,21 @@ impl AtomTemplate {
     }
 }
 
+/// How one join step enumerates its candidate tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStrategy {
+    /// Probe the relation's persistent single-column index on
+    /// [`JoinStep::index_col`], residually filtering any other bound
+    /// columns inside the probed bucket.
+    IndexProbe,
+    /// Build a transient hash table over the relation once per plan
+    /// execution, keyed on **all** bound-slot columns (constant columns
+    /// are filtered out at build time), and probe it per outer row.
+    HashBuildProbe,
+    /// Full scan: the step has no bound columns.
+    Scan,
+}
+
 /// One join step of a compiled plan. The selection shape is static: which
 /// columns are constants or bound by earlier steps (and therefore filter),
 /// which columns bind fresh slots, and which repeat a slot first bound by
@@ -139,26 +181,162 @@ pub struct JoinStep {
     /// The first column known bound at compile time — the column whose
     /// index makes this step sub-linear; `None` means a full scan.
     pub index_col: Option<usize>,
+    /// How this step enumerates candidates (chosen by the planner).
+    pub strategy: StepStrategy,
+    /// Estimated matches this step emits per outer row — the quantity the
+    /// cost-based ordering minimizes. `None` when compiled without
+    /// statistics (the greedy planner).
+    pub est: Option<u64>,
     /// Columns that bind a fresh slot (first occurrence in this atom).
     binders: Vec<(usize, usize)>,
     /// Columns that repeat a slot bound earlier in this same atom.
     checks: Vec<(usize, usize)>,
+    /// For [`StepStrategy::HashBuildProbe`]: constant columns, filtered
+    /// while building the table.
+    hash_consts: Vec<(usize, Param)>,
+    /// For [`StepStrategy::HashBuildProbe`]: (column, slot) pairs forming
+    /// the composite probe key.
+    hash_keys: Vec<(usize, usize)>,
 }
+
+/// A transient hash table built by a [`StepStrategy::HashBuildProbe`]
+/// step: probe key (values of the step's bound-slot columns) to the
+/// matching tuples, in the relation's deterministic iteration order.
+type HashTable<'a> = HashMap<Tuple, Vec<&'a Tuple>>;
 
 /// A compiled conjunction of atoms: steps in join order.
 #[derive(Debug, Clone)]
 pub struct ConjunctionPlan {
     steps: Vec<JoinStep>,
+    /// Whether any step hashes (gates the per-execution scratch alloc).
+    has_hash: bool,
+}
+
+/// Relation statistics consulted while compiling a plan: live
+/// cardinalities and per-column distinct counts read from a [`Database`]
+/// (typically the program's EDB, or a cached least model). Predicates the
+/// database does not hold — intensional relations whose size is unknown
+/// before the fixpoint runs — are estimated at the size of the largest
+/// known relation, which makes the cost order degrade gracefully to the
+/// greedy one instead of gambling on recursion being small.
+///
+/// Distinct counts are memoized, and a rule compiler producing several
+/// plan variants over the same database should build **one** `PlanStats`
+/// and pass it to every [`ConjunctionPlan::compile_planned`] call, so an
+/// unindexed column's counting scan is paid once per rule, not once per
+/// variant.
+pub struct PlanStats<'a> {
+    db: &'a Database,
+    /// Fallback cardinality for unknown predicates.
+    default_len: usize,
+    /// Memoized per-(predicate, column) distinct counts: the ordering
+    /// loop re-estimates every remaining literal per iteration, and an
+    /// unindexed `distinct_count` is a relation scan — pay it once.
+    distinct_memo: std::cell::RefCell<HashMap<(Pred, usize), usize>>,
+}
+
+impl<'a> PlanStats<'a> {
+    /// Snapshot a statistics view over `db`.
+    pub fn new(db: &'a Database) -> Self {
+        let default_len = db
+            .relations()
+            .map(|(_, r)| r.len())
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        PlanStats {
+            db,
+            default_len,
+            distinct_memo: std::cell::RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn len_of(&self, pred: Pred) -> usize {
+        self.db
+            .relation(pred)
+            .map(|r| r.len())
+            .unwrap_or(self.default_len)
+    }
+
+    fn distinct_of(&self, pred: Pred, c: usize) -> usize {
+        *self
+            .distinct_memo
+            .borrow_mut()
+            .entry((pred, c))
+            .or_insert_with(|| {
+                self.db
+                    .relation(pred)
+                    .map(|r| r.distinct_count(c))
+                    .unwrap_or(self.default_len)
+                    .max(1)
+            })
+    }
+
+    /// Estimated matches per outer row for `template` given which slots
+    /// are bound: cardinality over the product of the bound columns'
+    /// distinct counts (clamped, integer arithmetic — deterministic).
+    fn estimate(&self, template: &AtomTemplate, bound: &[bool]) -> u64 {
+        let mut est = self.len_of(template.pred) as u64;
+        for (c, arg) in template.args.iter().enumerate() {
+            let is_bound = match arg {
+                PatTerm::Const(_) => true,
+                PatTerm::Slot(s) => bound[*s],
+            };
+            if is_bound {
+                est /= self.distinct_of(template.pred, c) as u64;
+            }
+        }
+        est
+    }
 }
 
 impl ConjunctionPlan {
+    /// Compile a conjunction against a (shared) slot map with the seed
+    /// **greedy** planner: no statistics, literals ordered by descending
+    /// bound-column count, every step an index probe or a scan.
+    /// Equivalent to [`ConjunctionPlan::compile_with`] with `stats: None`.
+    pub fn compile(atoms: &[Atom], slots: &mut SlotMap, delta_pos: Option<usize>) -> Self {
+        Self::compile_with(atoms, slots, delta_pos, None)
+    }
+
     /// Compile a conjunction against a (shared) slot map.
     ///
     /// When `delta_pos` is `Some(d)`, literal `d` joins first and matches
-    /// the delta database; the remaining literals are then ordered
-    /// greedily by descending bound-column count (ties broken by written
-    /// order), all matching the total.
-    pub fn compile(atoms: &[Atom], slots: &mut SlotMap, delta_pos: Option<usize>) -> Self {
+    /// the delta database — the delta is the smallest relation in sight
+    /// by construction, so it is pinned to the outermost position rather
+    /// than costed. The remaining literals all match the total and are
+    /// ordered:
+    ///
+    /// * **without statistics** (`stats: None`): greedily by descending
+    ///   bound-column count, ties broken by written order, each step an
+    ///   index probe or scan — bit-for-bit the seed planner;
+    /// * **with statistics** (`stats: Some(db)`): by ascending estimated
+    ///   match count (cardinality over bound-column distinct counts, read
+    ///   live from `db`), ties broken by bound-column count then written
+    ///   order; a step binding several columns (at least one via a slot)
+    ///   is upgraded to [`StepStrategy::HashBuildProbe`] when the
+    ///   estimated outer cardinality amortizes the per-execution build.
+    pub fn compile_with(
+        atoms: &[Atom],
+        slots: &mut SlotMap,
+        delta_pos: Option<usize>,
+        stats: Option<&Database>,
+    ) -> Self {
+        let view = stats.map(PlanStats::new);
+        Self::compile_planned(atoms, slots, delta_pos, view.as_ref())
+    }
+
+    /// [`ConjunctionPlan::compile_with`] over a prebuilt [`PlanStats`]
+    /// view. Compilers producing several plan variants against the same
+    /// database (e.g. `RulePlan`'s full + per-literal delta variants)
+    /// share one view here so its memoized column statistics are
+    /// collected once per rule rather than once per variant.
+    pub fn compile_planned(
+        atoms: &[Atom],
+        slots: &mut SlotMap,
+        delta_pos: Option<usize>,
+        stats: Option<&PlanStats<'_>>,
+    ) -> Self {
         // Intern every variable up front so slot numbering follows written
         // order regardless of the join order chosen below.
         let templates: Vec<AtomTemplate> = atoms
@@ -169,53 +347,100 @@ impl ConjunctionPlan {
         let mut bound = vec![false; slots.len()];
         let mut steps = Vec::with_capacity(templates.len());
         let mut remaining: Vec<usize> = (0..templates.len()).collect();
+        // Estimated rows flowing *into* the next step (the product of the
+        // chosen steps' per-row estimates). Gates the hash upgrade: a
+        // transient table is rebuilt every plan execution, so it only
+        // pays when enough outer rows amortize the build.
+        let mut est_outer: u64 = 1;
 
         if let Some(d) = delta_pos {
             remaining.retain(|&i| i != d);
-            steps.push(Self::make_step(&templates[d], true, &mut bound));
+            let step = Self::make_step(&templates[d], true, &mut bound, stats, est_outer);
+            if let Some(e) = step.est {
+                est_outer = est_outer.saturating_mul(e.max(1));
+            }
+            steps.push(step);
         }
         while !remaining.is_empty() {
-            // Greedy: the literal with the most bound columns joins next.
-            let (pos, _) = remaining
-                .iter()
-                .enumerate()
-                .max_by_key(|&(pos, &i)| {
-                    let score = templates[i]
-                        .args
-                        .iter()
-                        .filter(|a| match a {
-                            PatTerm::Const(_) => true,
-                            PatTerm::Slot(s) => bound[*s],
-                        })
-                        .count();
-                    // max_by_key keeps the *last* max; invert the position
-                    // so ties resolve to the earliest written literal.
-                    (score, usize::MAX - pos)
-                })
-                .expect("remaining is nonempty");
+            let bound_count = |i: usize| {
+                templates[i]
+                    .args
+                    .iter()
+                    .filter(|a| match a {
+                        PatTerm::Const(_) => true,
+                        PatTerm::Slot(s) => bound[*s],
+                    })
+                    .count()
+            };
+            let pos = match stats {
+                // Cost-based: the literal expected to emit the fewest
+                // matches per outer row joins next.
+                Some(sv) => (0..remaining.len())
+                    .min_by_key(|&pos| {
+                        let i = remaining[pos];
+                        (
+                            sv.estimate(&templates[i], &bound),
+                            usize::MAX - bound_count(i),
+                            pos,
+                        )
+                    })
+                    .expect("remaining is nonempty"),
+                // Greedy: the literal with the most bound columns joins
+                // next (ties resolve to the earliest written literal).
+                None => (0..remaining.len())
+                    .max_by_key(|&pos| (bound_count(remaining[pos]), usize::MAX - pos))
+                    .expect("remaining is nonempty"),
+            };
             let i = remaining.remove(pos);
-            steps.push(Self::make_step(&templates[i], false, &mut bound));
+            let step = Self::make_step(&templates[i], false, &mut bound, stats, est_outer);
+            if let Some(e) = step.est {
+                est_outer = est_outer.saturating_mul(e.max(1));
+            }
+            steps.push(step);
         }
-        ConjunctionPlan { steps }
+        let has_hash = steps
+            .iter()
+            .any(|s| s.strategy == StepStrategy::HashBuildProbe);
+        ConjunctionPlan { steps, has_hash }
     }
 
-    fn make_step(template: &AtomTemplate, from_delta: bool, bound: &mut [bool]) -> JoinStep {
+    fn make_step(
+        template: &AtomTemplate,
+        from_delta: bool,
+        bound: &mut [bool],
+        stats: Option<&PlanStats<'_>>,
+        est_outer: u64,
+    ) -> JoinStep {
         let mut index_col = None;
         let mut binders = Vec::new();
         let mut checks = Vec::new();
         let mut fresh_here = Vec::new();
+        let mut hash_consts = Vec::new();
+        let mut hash_keys = Vec::new();
+        // A delta literal is estimated at its true (small) size — one
+        // row — not at its predicate's total cardinality: the delta holds
+        // only the last round's new facts. This is what keeps expensive
+        // strategies out of semi-naive rounds whose real outer
+        // cardinality is tiny.
+        let est = if from_delta {
+            stats.map(|_| 1)
+        } else {
+            stats.map(|sv| sv.estimate(template, bound))
+        };
         for (c, arg) in template.args.iter().enumerate() {
             match arg {
-                PatTerm::Const(_) => {
+                PatTerm::Const(p) => {
                     if index_col.is_none() {
                         index_col = Some(c);
                     }
+                    hash_consts.push((c, *p));
                 }
                 PatTerm::Slot(s) => {
                     if bound[*s] {
                         if index_col.is_none() {
                             index_col = Some(c);
                         }
+                        hash_keys.push((c, *s));
                     } else if fresh_here.contains(s) {
                         checks.push((c, *s));
                     } else {
@@ -228,12 +453,47 @@ impl ConjunctionPlan {
         for s in fresh_here {
             bound[s] = true;
         }
+        // Strategy: delta steps and stat-less compiles keep the seed
+        // probe-or-scan behavior. With statistics, a total-side step that
+        // binds several columns — at least one through a slot — *may*
+        // hash: one composite-key lookup per outer row instead of a
+        // single-column index probe plus residual bucket filtering. The
+        // transient table costs a relation pass per plan execution, so
+        // the upgrade happens only when the estimated residual work the
+        // probe path would do (outer rows × probed-bucket size, minus
+        // the rows both paths must emit) exceeds the build.
+        let bound_cols = hash_consts.len() + hash_keys.len();
+        let strategy = if bound_cols == 0 {
+            StepStrategy::Scan
+        } else if from_delta || stats.is_none() || bound_cols == 1 || hash_keys.is_empty() {
+            StepStrategy::IndexProbe
+        } else {
+            let sv = stats.expect("stats are present on this branch");
+            let n = sv.len_of(template.pred) as u64;
+            let probed_col = index_col.expect("bound_cols >= 1 implies an index column");
+            let bucket_est = n / sv.distinct_of(template.pred, probed_col) as u64;
+            let step_est = est.expect("stats are present on this branch");
+            let residual_est = est_outer.saturating_mul(bucket_est.saturating_sub(step_est));
+            if n >= HASH_MIN_ROWS as u64 && residual_est > n {
+                StepStrategy::HashBuildProbe
+            } else {
+                StepStrategy::IndexProbe
+            }
+        };
+        if strategy != StepStrategy::HashBuildProbe {
+            hash_consts.clear();
+            hash_keys.clear();
+        }
         JoinStep {
             template: template.clone(),
             from_delta,
             index_col,
+            strategy,
+            est,
             binders,
             checks,
+            hash_consts,
+            hash_keys,
         }
     }
 
@@ -242,10 +502,15 @@ impl ConjunctionPlan {
         &self.steps
     }
 
-    /// Build (once) the indexes every step probes; incrementally
-    /// maintained storage keeps them warm afterwards.
+    /// Build (once) the indexes every probing step needs; incrementally
+    /// maintained storage keeps them warm afterwards. Hash steps build
+    /// their own transient tables at execution time and need no
+    /// persistent index.
     pub fn ensure_indexes(&self, total: &mut Database, mut delta: Option<&mut Database>) {
         for step in &self.steps {
+            if step.strategy == StepStrategy::HashBuildProbe {
+                continue;
+            }
             let Some(c) = step.index_col else { continue };
             if step.from_delta {
                 if let Some(d) = delta.as_deref_mut() {
@@ -267,15 +532,41 @@ impl ConjunctionPlan {
         env: &mut [Option<Param>],
         f: &mut dyn FnMut(&[Option<Param>]),
     ) {
-        self.run_step(0, total, delta, env, f);
+        let mut rows = 0;
+        self.for_each_match_counting(total, delta, env, &mut rows, f);
     }
 
-    fn run_step(
+    /// Like [`ConjunctionPlan::for_each_match`], additionally adding to
+    /// `rows` every candidate tuple the join examined: tuples pulled from
+    /// scans and probed buckets (including ones residual filtering then
+    /// rejected), tuples read while building a hash table, and bucket
+    /// entries returned by hash probes. This is the deterministic
+    /// work-done measure behind `EvalStats::rows_examined`.
+    pub fn for_each_match_counting(
         &self,
-        i: usize,
         total: &Database,
         delta: Option<&Database>,
         env: &mut [Option<Param>],
+        rows: &mut u64,
+        f: &mut dyn FnMut(&[Option<Param>]),
+    ) {
+        let mut tables: Vec<Option<HashTable<'_>>> = if self.has_hash {
+            vec![None; self.steps.len()]
+        } else {
+            Vec::new()
+        };
+        self.run_step(0, total, delta, env, &mut tables, rows, f);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_step<'a>(
+        &self,
+        i: usize,
+        total: &'a Database,
+        delta: Option<&'a Database>,
+        env: &mut [Option<Param>],
+        tables: &mut [Option<HashTable<'a>>],
+        rows: &mut u64,
         f: &mut dyn FnMut(&[Option<Param>]),
     ) {
         let Some(step) = self.steps.get(i) else {
@@ -287,15 +578,60 @@ impl ConjunctionPlan {
         } else {
             total
         };
+        if step.strategy == StepStrategy::HashBuildProbe {
+            // Build once per plan execution (first visit), probe per
+            // outer row. Bucket order follows the relation's set order,
+            // so enumeration stays deterministic.
+            let table = match tables[i].take() {
+                Some(t) => t,
+                None => {
+                    let mut map = HashTable::new();
+                    if let Some(rel) = db.relation(step.template.pred) {
+                        *rows += rel.len() as u64;
+                        for t in rel.iter() {
+                            if step.hash_consts.iter().all(|&(c, p)| t[c] == p) {
+                                let key: Tuple =
+                                    step.hash_keys.iter().map(|&(c, _)| t[c]).collect();
+                                map.entry(key).or_default().push(t);
+                            }
+                        }
+                    }
+                    map
+                }
+            };
+            let key: Tuple = step
+                .hash_keys
+                .iter()
+                .map(|&(_, s)| env[s].expect("hash key slot is bound by an earlier step"))
+                .collect();
+            if let Some(bucket) = table.get(&key) {
+                for &tuple in bucket {
+                    *rows += 1;
+                    for &(c, s) in &step.binders {
+                        env[s] = Some(tuple[c]);
+                    }
+                    if step.checks.iter().all(|&(c, s)| env[s] == Some(tuple[c])) {
+                        self.run_step(i + 1, total, delta, env, tables, rows, f);
+                    }
+                }
+            }
+            for &(_, s) in &step.binders {
+                env[s] = None;
+            }
+            tables[i] = Some(table);
+            return;
+        }
         let pattern = step.template.pattern(env);
-        for tuple in db.select(step.template.pred, &pattern) {
+        let mut matches = db.select(step.template.pred, &pattern);
+        for tuple in matches.by_ref() {
             for &(c, s) in &step.binders {
                 env[s] = Some(tuple[c]);
             }
             if step.checks.iter().all(|&(c, s)| env[s] == Some(tuple[c])) {
-                self.run_step(i + 1, total, delta, env, f);
+                self.run_step(i + 1, total, delta, env, tables, rows, f);
             }
         }
+        *rows += matches.examined();
         for &(_, s) in &step.binders {
             env[s] = None;
         }
@@ -412,6 +748,121 @@ mod tests {
         // Results agree with the unindexed run.
         let got = matches(&plan, &slots, &total);
         assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn hash_step_chosen_and_agrees_with_probe() {
+        // big(x, y) joined on both columns: the cost-based planner hashes
+        // it, the greedy planner probes col 0 and residually filters.
+        let atoms = vec![atom("q(x, y)"), atom("big(x, y)")];
+        let mut total = Database::new();
+        for i in 0..8 {
+            total.insert(&atom(&format!("big(k{}, val{i})", i % 2)));
+            total.insert(&atom(&format!("q(k{}, val{i})", i % 2)));
+        }
+        let mut slots = SlotMap::new();
+        let greedy = ConjunctionPlan::compile(&atoms, &mut slots, None);
+        let mut slots2 = SlotMap::new();
+        let cost = ConjunctionPlan::compile_with(&atoms, &mut slots2, None, Some(&total));
+        assert!(greedy
+            .steps()
+            .iter()
+            .all(|s| s.strategy != StepStrategy::HashBuildProbe));
+        assert_eq!(cost.steps()[1].strategy, StepStrategy::HashBuildProbe);
+
+        greedy.ensure_indexes(&mut total, None);
+        let a = matches(&greedy, &slots, &total);
+        let b = matches(&cost, &slots2, &total);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a, b, "hash and probe plans must agree");
+
+        // The hash path touches fewer rows: 8 (scan q) + 8 (build big) +
+        // 8 probes of singleton buckets, vs 8 + 8 × 4 residual bucket
+        // rows for the probe path.
+        let (mut probe_rows, mut hash_rows) = (0, 0);
+        let mut env = vec![None; slots.len()];
+        greedy.for_each_match_counting(&total, None, &mut env, &mut probe_rows, &mut |_| {});
+        let mut env = vec![None; slots2.len()];
+        cost.for_each_match_counting(&total, None, &mut env, &mut hash_rows, &mut |_| {});
+        assert!(
+            hash_rows < probe_rows,
+            "hash rows {hash_rows} must undercut probe rows {probe_rows}"
+        );
+    }
+
+    #[test]
+    fn cost_order_puts_small_relation_first() {
+        // Written order starts with the big relation; bound counts tie at
+        // zero, so the greedy planner keeps it while the cost-based one
+        // flips to the 1-tuple relation.
+        let atoms = vec![atom("big(x, y)"), atom("small(x)")];
+        let mut total = Database::new();
+        for i in 0..8 {
+            total.insert(&atom(&format!("big(b{i}, c{i})")));
+        }
+        total.insert(&atom("small(b0)"));
+        let mut slots = SlotMap::new();
+        let greedy = ConjunctionPlan::compile(&atoms, &mut slots, None);
+        assert_eq!(greedy.steps()[0].template.pred, Pred::new("big", 2));
+        let mut slots2 = SlotMap::new();
+        let cost = ConjunctionPlan::compile_with(&atoms, &mut slots2, None, Some(&total));
+        assert_eq!(cost.steps()[0].template.pred, Pred::new("small", 1));
+        assert_eq!(cost.steps()[0].est, Some(1));
+        // Same matches either way.
+        greedy.ensure_indexes(&mut total, None);
+        cost.ensure_indexes(&mut total, None);
+        assert_eq!(matches(&cost, &slots2, &total).len(), 1);
+        assert_eq!(matches(&greedy, &slots, &total).len(), 1);
+    }
+
+    #[test]
+    fn const_only_bound_columns_never_hash() {
+        // A fully-ground literal has no slot keys: an empty-key hash
+        // table returns exactly the probed bucket and costs a build
+        // pass per execution — the planner must keep the index probe.
+        let atoms = vec![atom("q(x)"), atom("p(c0, d0)")];
+        let mut total = Database::new();
+        for i in 0..8 {
+            total.insert(&atom(&format!("p(c{i}, d{i})")));
+            total.insert(&atom(&format!("q(e{i})")));
+        }
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile_with(&atoms, &mut slots, None, Some(&total));
+        assert!(plan
+            .steps()
+            .iter()
+            .all(|s| s.strategy != StepStrategy::HashBuildProbe));
+    }
+
+    #[test]
+    fn tiny_outer_cardinality_never_hashes() {
+        // One outer row cannot amortize an O(|big|) table build: the
+        // two-bound-column step must stay an index probe.
+        let atoms = vec![atom("tiny(x, y)"), atom("big(x, y)")];
+        let mut total = Database::new();
+        total.insert(&atom("tiny(b0, c0)"));
+        for i in 0..32 {
+            total.insert(&atom(&format!("big(b{i}, c{i})")));
+        }
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile_with(&atoms, &mut slots, None, Some(&total));
+        assert_eq!(plan.steps()[0].template.pred, Pred::new("tiny", 2));
+        assert_eq!(plan.steps()[1].strategy, StepStrategy::IndexProbe);
+    }
+
+    #[test]
+    fn stats_compile_without_relation_falls_back() {
+        // A predicate absent from the stats database (an IDB relation)
+        // is estimated at the largest known size — the plan still
+        // compiles and runs.
+        let atoms = vec![atom("e(x, y)"), atom("t(y, z)")];
+        let mut total = db(&["e(a, b)"]);
+        let mut slots = SlotMap::new();
+        let plan = ConjunctionPlan::compile_with(&atoms, &mut slots, None, Some(&total));
+        assert_eq!(plan.steps()[0].template.pred, Pred::new("e", 2));
+        plan.ensure_indexes(&mut total, None);
+        total.insert(&atom("t(b, c)"));
+        assert_eq!(matches(&plan, &slots, &total).len(), 1);
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub struct Relation {
 pub struct Matches<'a> {
     inner: MatchesInner<'a>,
     pattern: &'a [Option<Param>],
+    examined: u64,
 }
 
 enum MatchesInner<'a> {
@@ -46,7 +47,18 @@ impl<'a> Matches<'a> {
         Matches {
             inner: MatchesInner::Empty,
             pattern: &[],
+            examined: 0,
         }
+    }
+
+    /// Number of candidate tuples pulled from storage so far — including
+    /// the ones the residual pattern filter rejected. The join executor
+    /// reads this after draining the iterator to report true work done
+    /// (`EvalStats::rows_examined`), which is what separates an index
+    /// probe that lands on a selective bucket from one that residually
+    /// scans a large one.
+    pub fn examined(&self) -> u64 {
+        self.examined
     }
 }
 
@@ -60,6 +72,7 @@ impl<'a> Iterator for Matches<'a> {
                 MatchesInner::Scan(it) => it.next()?,
                 MatchesInner::Bucket(it) => it.next()?,
             };
+            self.examined += 1;
             if Relation::matches(t, self.pattern) {
                 return Some(t);
             }
@@ -155,6 +168,23 @@ impl Relation {
         self.indexes[c].is_some()
     }
 
+    /// Number of distinct parameters in column `c` — the per-column
+    /// statistic the cost-based planner divides by. When the column's
+    /// index is built this is its (incrementally maintained) key count;
+    /// otherwise one scan computes it. Planners call this once per plan
+    /// compilation, not per probe.
+    pub fn distinct_count(&self, c: usize) -> usize {
+        match &self.indexes[c] {
+            Some(idx) => idx.iter().filter(|(_, b)| !b.is_empty()).count(),
+            None => self
+                .tuples
+                .iter()
+                .map(|t| t[c])
+                .collect::<BTreeSet<_>>()
+                .len(),
+        }
+    }
+
     /// All tuples matching a partial binding pattern, as a **borrowing**
     /// iterator — no tuple is cloned.
     ///
@@ -172,11 +202,16 @@ impl Relation {
                 Some(bucket) => MatchesInner::Bucket(bucket.iter()),
                 None => MatchesInner::Empty,
             };
-            return Matches { inner, pattern };
+            return Matches {
+                inner,
+                pattern,
+                examined: 0,
+            };
         }
         Matches {
             inner: MatchesInner::Scan(self.tuples.iter()),
             pattern,
+            examined: 0,
         }
     }
 
@@ -340,6 +375,42 @@ mod tests {
         assert_eq!(r.union_with(&other), 1);
         assert_eq!(r.len(), 4);
         assert_eq!(sel(&r, &vec![None, Some(p("b"))]).len(), 3);
+    }
+
+    #[test]
+    fn distinct_counts_with_and_without_index() {
+        let mut r = rel();
+        assert_eq!(r.distinct_count(0), 2); // a, d
+        assert_eq!(r.distinct_count(1), 2); // b, c
+        r.ensure_index(0);
+        assert_eq!(r.distinct_count(0), 2, "indexed count agrees");
+        r.insert(vec![p("e"), p("b")]);
+        assert_eq!(r.distinct_count(0), 3, "maintained on insert");
+        r.remove(&vec![p("d"), p("b")]);
+        r.remove(&vec![p("e"), p("b")]);
+        assert_eq!(
+            r.distinct_count(0),
+            1,
+            "emptied buckets must not be counted"
+        );
+        assert_eq!(r.distinct_count(1), 2);
+    }
+
+    #[test]
+    fn matches_counts_examined_tuples() {
+        let mut r = rel();
+        r.ensure_index(0);
+        // Bucket for `a` holds 2 tuples; the residual filter on col 1
+        // rejects one — both were examined.
+        let pattern = vec![Some(p("a")), Some(p("c"))];
+        let mut it = r.select(&pattern);
+        assert_eq!(it.by_ref().count(), 1);
+        assert_eq!(it.examined(), 2);
+        // A full scan examines everything.
+        let all = vec![None, Some(p("zz"))];
+        let mut it = r.select(&all);
+        assert_eq!(it.by_ref().count(), 0);
+        assert_eq!(it.examined(), 3);
     }
 
     #[test]
