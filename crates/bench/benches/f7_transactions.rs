@@ -8,7 +8,7 @@
 //! consequences, so its latency stays near-flat as `n` grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use epilog_bench::workloads::{enrollment_batch, registrar_db};
+use epilog_bench::workloads::{enrollment_batch, registrar_db, withdrawal_batch};
 use epilog_core::{ic_satisfaction, prover_for, IcDefinition, IcReport, ModelUpdate};
 use std::hint::black_box;
 
@@ -26,6 +26,29 @@ fn bench(c: &mut Criterion) {
             panic!("expected an incremental commit, got {:?}", report.model);
         };
         assert_eq!(stats.full_firings, 0);
+        let scratch = prover_for(db.theory().clone());
+        assert_eq!(db.prover().atom_model(), scratch.atom_model());
+    }
+    // Retract gate: the decremental commit also runs no full plans,
+    // compiles nothing, and shrinks the model to exactly the rebuild's.
+    {
+        let mut db = registrar_db(32);
+        let mut txn = db.transaction();
+        for w in withdrawal_batch(30, 2) {
+            txn = txn.retract(w);
+        }
+        let report = txn.commit().unwrap();
+        let ModelUpdate::Incremental {
+            tuples_removed,
+            stats,
+            ..
+        } = report.model
+        else {
+            panic!("expected a decremental commit, got {:?}", report.model);
+        };
+        assert_eq!(tuples_removed, 6, "emp + ss + person per employee");
+        assert_eq!(stats.full_firings, 0);
+        assert_eq!(stats.plans_compiled, 0);
         let scratch = prover_for(db.theory().clone());
         assert_eq!(db.prover().atom_model(), scratch.atom_model());
     }
@@ -61,6 +84,41 @@ fn bench(c: &mut Criterion) {
                 let mut theory = db.theory().clone();
                 for w in enrollment_batch(n, 2) {
                     theory.assert(w).unwrap();
+                }
+                let candidate = prover_for(theory);
+                for ic in db.constraints() {
+                    assert_eq!(
+                        ic_satisfaction(&candidate, ic, IcDefinition::Epistemic),
+                        IcReport::Satisfied
+                    );
+                }
+                black_box(candidate)
+            })
+        });
+        // A 2-employee withdrawal through the over-delete/re-derive
+        // fixpoint: like the enrollment, latency should stay near-flat
+        // as `n` grows.
+        g.bench_with_input(BenchmarkId::new("retract_incremental", n), &n, |b, &n| {
+            b.iter_with_setup(
+                || registrar_db(n),
+                |mut db| {
+                    let mut txn = db.transaction();
+                    for w in withdrawal_batch(n - 2, 2) {
+                        txn = txn.retract(w);
+                    }
+                    let _ = black_box(txn.commit().unwrap());
+                    db
+                },
+            )
+        });
+        // The same withdrawal on the pre-DRed path: clone, retract,
+        // rebuild the least model, full-check every constraint.
+        g.bench_with_input(BenchmarkId::new("retract_rebuild", n), &n, |b, &n| {
+            let db = registrar_db(n);
+            b.iter(|| {
+                let mut theory = db.theory().clone();
+                for w in withdrawal_batch(n - 2, 2) {
+                    theory.retract(&w);
                 }
                 let candidate = prover_for(theory);
                 for ic in db.constraints() {

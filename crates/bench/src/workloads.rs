@@ -90,6 +90,20 @@ pub fn enrollment_batch(start: usize, k: usize) -> Vec<epilog_syntax::Formula> {
     out
 }
 
+/// The sentences withdrawing employees `start .. start + k` from a
+/// registrar: exactly the facts [`enrollment_batch`] enrolls, to be
+/// *retracted*. Each withdrawn employee takes 3 model tuples with them
+/// (`emp`, `ss`, and the derived `person`), exercising the
+/// over-delete/re-derive path.
+pub fn withdrawal_batch(start: usize, k: usize) -> Vec<epilog_syntax::Formula> {
+    let mut out = Vec::with_capacity(2 * k);
+    for i in start..start + k {
+        out.push(epilog_syntax::parse(&format!("emp(e{i})")).unwrap());
+        out.push(epilog_syntax::parse(&format!("ss(e{i}, n{i})")).unwrap());
+    }
+    out
+}
+
 /// The `f8_recovery` workload: the registrar built *durably* at `dir` —
 /// `DurableDb::create` with the `emp ⊃ person` rule, the two §3
 /// constraints (2 log records), then `n` single-employee enrollment
@@ -330,6 +344,31 @@ mod tests {
         let report = txn.commit().unwrap();
         assert_eq!(report.asserted, 4);
         assert!(matches!(report.model, ModelUpdate::Incremental { .. }));
+        assert!(db.satisfies_constraints());
+    }
+
+    #[test]
+    fn registrar_withdrawals_take_the_decremental_path() {
+        use epilog_core::ModelUpdate;
+        let mut db = registrar_db(4);
+        let mut txn = db.transaction();
+        for w in withdrawal_batch(2, 2) {
+            txn = txn.retract(w);
+        }
+        let report = txn.commit().unwrap();
+        assert_eq!(report.retracted, 4);
+        let ModelUpdate::Incremental {
+            tuples_removed,
+            stats,
+            ..
+        } = report.model
+        else {
+            panic!("expected the decremental path, got {:?}", report.model);
+        };
+        // Each employee takes emp, ss, and the derived person fact.
+        assert_eq!(tuples_removed, 6);
+        assert_eq!(stats.full_firings, 0);
+        assert_eq!(stats.plans_compiled, 0);
         assert!(db.satisfies_constraints());
     }
 

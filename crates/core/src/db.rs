@@ -84,6 +84,16 @@ pub struct EpistemicDb {
     /// statistics read from the then-current least model). `None` when
     /// the theory is not a definite program.
     pub(crate) rule_plans: Option<Vec<epilog_datalog::RulePlan>>,
+    /// Total least-model size at the time `rule_plans` was compiled: the
+    /// baseline for the staleness trigger. Cached plans embed literal
+    /// orderings costed against the model as it looked back then; when the
+    /// model has since halved or doubled, those orderings may be inverted,
+    /// so [`EpistemicDb::maybe_recost_plans`] recompiles against fresh
+    /// statistics.
+    pub(crate) plans_model_size: usize,
+    /// How many times the staleness trigger has recompiled the cached
+    /// plans (observable via [`EpistemicDb::plan_recosts`]).
+    pub(crate) plan_recosts: u64,
 }
 
 impl EpistemicDb {
@@ -94,12 +104,15 @@ impl EpistemicDb {
         let rule_graph = RuleGraph::new(&theory);
         let prover = prover_for(theory);
         let rule_plans = Self::compile_rule_plans(&prover);
+        let plans_model_size = prover.atom_model().map_or(0, |m| m.len());
         EpistemicDb {
             prover,
             constraints: Vec::new(),
             checker: Some(IncrementalChecker::default()),
             rule_graph,
             rule_plans,
+            plans_model_size,
+            plan_recosts: 0,
         }
     }
 
@@ -119,6 +132,34 @@ impl EpistemicDb {
         )
     }
 
+    /// Re-cost the cached rule plans when the attached least model has
+    /// drifted far from the statistics they were compiled against: the
+    /// cost-based literal ordering is only as good as its cardinality
+    /// estimates, and a model that has at least halved or doubled in
+    /// total size since compile time can invert join orders. Called after
+    /// fact-only commits (rule-changing commits recompile unconditionally,
+    /// resetting the baseline). Cheap when the trigger does not fire: one
+    /// `len()` and two comparisons.
+    pub(crate) fn maybe_recost_plans(&mut self) {
+        let Some(model) = self.prover.atom_model() else {
+            return;
+        };
+        let cur = model.len().max(1);
+        let base = self.plans_model_size.max(1);
+        if cur >= base * 2 || base >= cur * 2 {
+            self.rule_plans = Self::compile_rule_plans(&self.prover);
+            self.plans_model_size = cur;
+            self.plan_recosts += 1;
+        }
+    }
+
+    /// How many times the planner's staleness trigger has recompiled the
+    /// cached rule plans because the least model's total size halved or
+    /// doubled since they were last costed.
+    pub fn plan_recosts(&self) -> u64 {
+        self.plan_recosts
+    }
+
     /// Open a database over a theory whose least model the caller has
     /// already materialized — e.g. restored from a snapshot — skipping the
     /// fixpoint recomputation [`EpistemicDb::new`] would run. The caller
@@ -133,12 +174,15 @@ impl EpistemicDb {
         let rule_graph = RuleGraph::new(&theory);
         let prover = Prover::new(theory).with_atom_model(model);
         let rule_plans = Self::compile_rule_plans(&prover);
+        let plans_model_size = prover.atom_model().map_or(0, |m| m.len());
         EpistemicDb {
             prover,
             constraints: Vec::new(),
             checker: Some(IncrementalChecker::default()),
             rule_graph,
             rule_plans,
+            plans_model_size,
+            plan_recosts: 0,
         }
     }
 
@@ -334,6 +378,24 @@ mod tests {
         assert!(d.retract(&parse("emp(Mary)").unwrap()).unwrap());
         assert!(d.retract(&parse("ss(Mary, n1)").unwrap()).unwrap());
         assert!(!d.retract(&parse("ss(Mary, n1)").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn fact_drift_triggers_plan_recosting() {
+        let mut d = db("e(a, b)\nforall x, y. e(x, y) -> t(x, y)");
+        assert_eq!(d.plan_recosts(), 0);
+        // The model is {e(a,b), t(a,b)}; one more edge doubles it to 4
+        // tuples, tripping the staleness trigger.
+        d.assert(parse("e(b, c)").unwrap()).unwrap();
+        assert_eq!(d.plan_recosts(), 1);
+        // The baseline reset to 4: sub-doubling growth stays quiet.
+        d.assert(parse("hobby(c, chess)").unwrap()).unwrap();
+        assert_eq!(d.plan_recosts(), 1);
+        // Rule commits recompile unconditionally and reset the baseline
+        // without counting as a re-cost.
+        d.assert(parse("forall x, y. t(x, y) -> u(x, y)").unwrap())
+            .unwrap();
+        assert_eq!(d.plan_recosts(), 1);
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub struct CompiledConstraint {
     body: Formula,
     /// The positive `K`-literal atom patterns in the matrix.
     positive_patterns: Vec<Atom>,
+    /// The `K`-literal atom patterns under a negation in the matrix
+    /// (inner `∃` prefixes stripped). A *removal* can only newly violate
+    /// the constraint by making one of these negated conjuncts true —
+    /// the mirror image of the positive patterns for retractions. Empty
+    /// for prohibitions (`¬∃x̄ K bad(x)`: removal can never violate) and
+    /// for constraints whose negated conjunct is an equality (the
+    /// functional dependency: removing an `ss` fact cannot equate two
+    /// distinct numbers).
+    negative_patterns: Vec<Atom>,
 }
 
 /// Why compilation failed: the constraint is outside the
@@ -76,12 +85,15 @@ impl CompiledConstraint {
                 "no positive K-literal to index on in {rewritten}"
             )));
         }
+        let mut negative_patterns = Vec::new();
+        collect_negative_k_atoms(&body, &mut negative_patterns);
         Ok(CompiledConstraint {
             original: ic.clone(),
             rewritten,
             vars,
             body,
             positive_patterns,
+            negative_patterns,
         })
     }
 
@@ -90,6 +102,14 @@ impl CompiledConstraint {
     /// the functional dependency's `ss` — is reported once).
     pub fn trigger_preds(&self) -> Vec<Pred> {
         let set: BTreeSet<Pred> = self.positive_patterns.iter().map(|a| a.pred).collect();
+        set.into_iter().collect()
+    }
+
+    /// The predicates whose **removals** can newly violate this
+    /// constraint (the predicates of the negated `K`-patterns),
+    /// deduplicated. Empty when no removal can ever violate it.
+    pub fn negative_trigger_preds(&self) -> Vec<Pred> {
+        let set: BTreeSet<Pred> = self.negative_patterns.iter().map(|a| a.pred).collect();
         set.into_iter().collect()
     }
 
@@ -112,6 +132,39 @@ impl CompiledConstraint {
             let mut w = self.body.subst(&map);
             for v in self.vars.iter().rev() {
                 if !binding.contains_key(v) {
+                    w = Formula::exists(*v, w);
+                }
+            }
+            debug_assert!(w.is_sentence(), "instantiated violation check is closed");
+            out.push(w);
+        }
+        out
+    }
+
+    /// The violation-check instances induced by a **removed** model atom:
+    /// for each negated pattern matching it, the body with the matched
+    /// *outer* variables bound (variables the pattern binds under its own
+    /// inner `∃` stay quantified — the removed atom only witnesses which
+    /// instantiation to re-check, not the inner search) and the remaining
+    /// outer variables re-quantified. The constraint, restricted to this
+    /// removal, is violated iff one of these sentences is certain.
+    pub fn removal_violation_instances(&self, removed: &Atom) -> Vec<Formula> {
+        let mut out = Vec::new();
+        for pattern in &self.negative_patterns {
+            if pattern.pred != removed.pred {
+                continue;
+            }
+            let Some(binding) = match_pattern(pattern, removed) else {
+                continue;
+            };
+            let map: HashMap<Var, Term> = binding
+                .iter()
+                .filter(|(v, _)| self.vars.contains(v))
+                .map(|(v, p)| (*v, Term::Param(*p)))
+                .collect();
+            let mut w = self.body.subst(&map);
+            for v in self.vars.iter().rev() {
+                if !map.contains_key(v) {
                     w = Formula::exists(*v, w);
                 }
             }
@@ -245,10 +298,38 @@ impl IncrementalChecker {
         graph: &RuleGraph,
         stats: &mut CheckStats,
     ) -> Option<&CompiledConstraint> {
+        self.check_batch_with_removals(prover, facts, &[], graph, stats)
+    }
+
+    /// [`IncrementalChecker::check_batch_routed`] for a **mixed** batch:
+    /// `facts` are the asserted ground facts and `removed` the atoms the
+    /// update erased *from the attached least model* — the exact model
+    /// diff, derived consequences included, not merely the retracted
+    /// extensional facts.
+    ///
+    /// The routing mirrors the assertion side. A removal can newly
+    /// violate a constraint only by making one of its *negated* conjuncts
+    /// true, so a constraint is specialized when an asserted predicate
+    /// hits a positive trigger or a removed predicate hits a negative
+    /// trigger, and checked on the union of both kinds of violation
+    /// instances. No dependency-graph fallback exists on the removal
+    /// side: because `removed` is the exact model diff, a derived trigger
+    /// atom that disappeared is itself in the list — the graph is only
+    /// consulted for what *assertions* might derive beyond themselves.
+    pub fn check_batch_with_removals(
+        &self,
+        prover: &Prover,
+        facts: &[&Atom],
+        removed: &[Atom],
+        graph: &RuleGraph,
+        stats: &mut CheckStats,
+    ) -> Option<&CompiledConstraint> {
         let updated: BTreeSet<Pred> = facts.iter().map(|f| f.pred).collect();
+        let removed_preds: BTreeSet<Pred> = removed.iter().map(|f| f.pred).collect();
         let derivable = graph.derivable_from(&updated);
         for c in &self.constraints {
             let triggers = c.trigger_preds();
+            let neg_triggers = c.negative_trigger_preds();
             if triggers.iter().any(|t| derivable.contains(t)) {
                 // A rule chain from the batch can derive a trigger atom
                 // the specialization would not see: one full recheck.
@@ -256,13 +337,25 @@ impl IncrementalChecker {
                 if !certain(prover, &c.rewritten) {
                     return Some(c);
                 }
-            } else if triggers.iter().any(|t| updated.contains(t)) {
+            } else if triggers.iter().any(|t| updated.contains(t))
+                || neg_triggers.iter().any(|t| removed_preds.contains(t))
+            {
                 stats.specialized += 1;
                 for fact in facts {
                     if !triggers.contains(&fact.pred) {
                         continue;
                     }
                     for violation in c.violation_instances(fact) {
+                        if certain(prover, &violation) {
+                            return Some(c);
+                        }
+                    }
+                }
+                for gone in removed {
+                    if !neg_triggers.contains(&gone.pred) {
+                        continue;
+                    }
+                    for violation in c.removal_violation_instances(gone) {
                         if certain(prover, &violation) {
                             return Some(c);
                         }
@@ -359,6 +452,37 @@ fn collect_positive_k_atoms(w: &Formula, out: &mut Vec<Atom>) {
         Formula::Know(inner) => {
             // K over an atom, or K over a conjunction of atoms.
             collect_bare_atoms(inner, out);
+        }
+        _ => {}
+    }
+}
+
+/// Collect the `K`-atom patterns sitting under a negated conjunct:
+/// `¬K a`, `¬∃ȳ K a`, or `¬K ∃ȳ a` — the `∃` prefixes on either side of
+/// the `K` are stripped (they only widen which instantiation a removal
+/// invalidates, the pattern is the atom either way). Negated equalities
+/// contribute nothing (a removal cannot make `y = z` true), which is
+/// what keeps the functional dependency off the removal route.
+fn collect_negative_k_atoms(w: &Formula, out: &mut Vec<Atom>) {
+    match w {
+        Formula::And(a, b) => {
+            collect_negative_k_atoms(a, out);
+            collect_negative_k_atoms(b, out);
+        }
+        Formula::Not(inner) => {
+            let mut cur: &Formula = inner;
+            while let Formula::Exists(_, b) = cur {
+                cur = b;
+            }
+            if let Formula::Know(known) = cur {
+                let mut kcur: &Formula = known;
+                while let Formula::Exists(_, b) = kcur {
+                    kcur = b;
+                }
+                collect_bare_atoms(kcur, out);
+            } else {
+                collect_positive_k_atoms(cur, out);
+            }
         }
         _ => {}
     }
@@ -606,6 +730,98 @@ mod tests {
         let ck = IncrementalChecker::new(&[parse("forall x. ~K bad(x)").unwrap()]).unwrap();
         let prover = Prover::new(Theory::from_text("bad(Joe)").unwrap());
         assert!(ck.check_update(&prover, &ga("bad(Joe)")).is_some());
+    }
+
+    #[test]
+    fn negative_patterns_extracted_per_shape() {
+        // emp→ss: the negated ∃y K ss(x,y) conjunct is a removal trigger.
+        let c = CompiledConstraint::compile(
+            &parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(c.negative_trigger_preds(), vec![Pred::new("ss", 2)]);
+        // FD: the negated conjunct is an equality — no removal trigger.
+        let fd = CompiledConstraint::compile(
+            &parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+        )
+        .unwrap();
+        assert!(fd.negative_trigger_preds().is_empty());
+        // Prohibition: no negated conjunct at all under the ∃ prefix.
+        let ban = CompiledConstraint::compile(&parse("forall x. ~K bad(x)").unwrap()).unwrap();
+        assert!(ban.negative_trigger_preds().is_empty());
+    }
+
+    #[test]
+    fn removal_violation_caught_incrementally() {
+        let ck = checker();
+        // Sue keeps emp but loses her only ss fact: the emp→ss constraint
+        // is violated, found through the removal specialization alone.
+        let prover = Prover::new(Theory::from_text("emp(Mary)\nss(Mary, n1)\nemp(Sue)").unwrap());
+        let graph = RuleGraph::new(prover.theory());
+        let mut stats = CheckStats::default();
+        let hit =
+            ck.check_batch_with_removals(&prover, &[], &[ga("ss(Sue, n2)")], &graph, &mut stats);
+        assert!(hit.is_some(), "emp(Sue) lost its number");
+        assert!(hit.unwrap().original.to_string().contains("emp"));
+        assert_eq!(stats.specialized, 1, "only the emp→ss constraint routes");
+        // The violation short-circuits before the FD is even routed
+        // (it would be skipped: a removal never violates an equality).
+        assert_eq!(stats.skipped, 0);
+        assert_eq!(stats.full, 0);
+    }
+
+    #[test]
+    fn removal_specialization_passes_with_alternative_witness() {
+        let ck = checker();
+        // Sue has a second number: removing one keeps the constraint.
+        let prover = Prover::new(
+            Theory::from_text("emp(Mary)\nss(Mary, n1)\nemp(Sue)\nss(Sue, n3)").unwrap(),
+        );
+        let graph = RuleGraph::new(prover.theory());
+        let mut stats = CheckStats::default();
+        let hit =
+            ck.check_batch_with_removals(&prover, &[], &[ga("ss(Sue, n2)")], &graph, &mut stats);
+        assert!(hit.is_none(), "ss(Sue, n3) still witnesses the ∃");
+        assert_eq!(stats.specialized, 1);
+    }
+
+    #[test]
+    fn irrelevant_removals_skip_all_constraints() {
+        let ck = checker();
+        let prover = Prover::new(Theory::from_text("emp(Mary)\nss(Mary, n1)").unwrap());
+        let graph = RuleGraph::new(prover.theory());
+        let mut stats = CheckStats::default();
+        // Removing an emp atom can only *satisfy* the emp→ss constraint,
+        // and bad/hobby removals touch nothing: all skipped.
+        let hit = ck.check_batch_with_removals(
+            &prover,
+            &[],
+            &[ga("emp(Sue)"), ga("hobby(Mary, chess)"), ga("bad(Joe)")],
+            &graph,
+            &mut stats,
+        );
+        assert!(hit.is_none());
+        assert_eq!(stats.skipped, 2, "no removal reaches a negative trigger");
+        assert_eq!(stats.specialized + stats.full, 0);
+    }
+
+    #[test]
+    fn empty_removals_match_the_assert_only_route_exactly() {
+        // check_batch_routed delegates with no removals: identical stats.
+        let ck = checker();
+        let prover = Prover::new(
+            Theory::from_text("emp(Mary)\nss(Mary, n1)\nemp(Sue)\nss(Sue, n2)").unwrap(),
+        );
+        let graph = RuleGraph::new(prover.theory());
+        let (mut a, mut b) = (CheckStats::default(), CheckStats::default());
+        let via_routed = ck
+            .check_batch_routed(&prover, &[&ga("emp(Sue)")], &graph, &mut a)
+            .is_some();
+        let via_removals = ck
+            .check_batch_with_removals(&prover, &[&ga("emp(Sue)")], &[], &graph, &mut b)
+            .is_some();
+        assert_eq!(via_routed, via_removals);
+        assert_eq!(a, b);
     }
 
     #[test]

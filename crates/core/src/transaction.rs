@@ -14,11 +14,15 @@
 //!   transaction with no effective operations commits without touching
 //!   the prover at all.
 //! * **Model maintenance**: when the theory is definite and the commit
-//!   only adds ground atoms, the attached least model is *not* rebuilt —
-//!   the transaction's facts seed the semi-naive delta
+//!   only touches ground atoms, the attached least model is *not*
+//!   rebuilt. Assertions seed the semi-naive delta
 //!   (`DeltaDatabase::resume`) and the fixpoint continues with
-//!   delta-variant plans only (`Program::eval_incremental`), then the
-//!   result is spliced into the prover through [`Prover::updated`].
+//!   delta-variant plans only (`Program::eval_incremental`); retractions
+//!   run the over-delete/re-derive (DRed) fixpoint first
+//!   (`Program::eval_decremental`), and a mixed batch chains the two —
+//!   both over the plan cache, so no full plan runs and nothing is
+//!   compiled. The result is spliced into the prover through
+//!   [`Prover::updated`].
 //! * **Constraint checking** routes through the compiled
 //!   [`IncrementalChecker`](crate::incremental::IncrementalChecker):
 //!   constraints untouched by the commit are skipped, touched ones are
@@ -79,19 +83,24 @@ pub struct Transaction<'db> {
 /// How a commit maintained the prover's attached least model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModelUpdate {
-    /// The commit added only ground atoms to a definite theory: the
-    /// existing least model was reused and the semi-naive fixpoint
-    /// resumed from the transaction's delta — no full plan ran.
+    /// The commit touched only ground atoms of a definite theory: the
+    /// existing least model was reused — retractions ran the
+    /// over-delete/re-derive fixpoint, assertions resumed the semi-naive
+    /// fixpoint from the transaction's delta — and no full plan ran.
     Incremental {
         /// Model tuples added by the resumed fixpoint (asserted facts
         /// plus their derived consequences).
         tuples_added: usize,
-        /// Counters of the resumed fixpoint; `full_firings` is 0 by
-        /// construction.
+        /// Model tuples removed by the deletion fixpoint (retracted facts
+        /// plus the derived consequences that lost their last support);
+        /// 0 for assert-only commits.
+        tuples_removed: usize,
+        /// Combined counters of the deletion and insertion fixpoints;
+        /// `full_firings` and `plans_compiled` are 0 by construction.
         stats: EvalStats,
     },
-    /// The least model was recomputed from scratch (the commit retracted
-    /// sentences or asserted non-atomic formulas).
+    /// The least model was recomputed from scratch (the commit asserted
+    /// or retracted non-atomic, i.e. rule-shaped, sentences).
     Rebuilt,
     /// The updated theory is not a definite program — there is no
     /// attached model and entailment rides the grounding + SAT path.
@@ -136,10 +145,11 @@ impl fmt::Display for CommitReport {
         match &self.model {
             ModelUpdate::Incremental {
                 tuples_added,
+                tuples_removed,
                 stats,
             } => write!(
                 f,
-                "model +{tuples_added} tuples (resumed: {} delta firings, {} rounds)",
+                "model +{tuples_added} -{tuples_removed} tuples (resumed: {} delta firings, {} rounds)",
                 stats.rule_firings, stats.iterations
             )?,
             ModelUpdate::Rebuilt => write!(f, "model rebuilt")?,
@@ -276,41 +286,84 @@ impl<'db> Transaction<'db> {
             theory.assert(w.clone())?;
         }
 
-        // Phase 3 — maintain the least model. Pure ground-atom growth of
-        // a definite theory resumes the semi-naive fixpoint from the
-        // transaction's delta; everything else rebuilds.
-        let atoms_only = removed.is_empty()
-            && added
-                .iter()
-                .all(|w| matches!(w, Formula::Atom(a) if a.is_ground()));
+        // Phase 3 — maintain the least model. A commit that touches only
+        // ground atoms of a definite theory never rebuilds: retractions
+        // run the over-delete/re-derive fixpoint, assertions resume the
+        // semi-naive fixpoint, a mixed batch chains the two. Everything
+        // else rebuilds.
+        let is_ground_atom = |w: &Formula| matches!(w, Formula::Atom(a) if a.is_ground());
+        let facts_only = added.iter().all(is_ground_atom) && removed.iter().all(is_ground_atom);
+        // The exact model-level delta of a facts-only commit's removals
+        // (retracted facts plus derived consequences that died with
+        // them), for the constraint router: `Some` exactly on the
+        // incremental path, `None` when the model was rebuilt and no
+        // per-tuple delta exists.
+        let mut removed_model_atoms: Option<Vec<epilog_syntax::formula::Atom>> = None;
         let (candidate, model_update): (Prover, ModelUpdate) = 'prover: {
-            if atoms_only {
+            if facts_only {
                 if let (Some(old_model), Some(prog)) =
                     (db.prover.atom_model(), definite_program(&theory))
                 {
                     let mut new_facts = Database::new();
+                    let mut removed_facts = Database::new();
                     for w in &added {
                         if let Formula::Atom(a) = w {
                             new_facts.insert(a);
                         }
                     }
-                    // An atoms-only commit leaves the rule set untouched,
-                    // so the plans cached on the db are exactly the
-                    // candidate program's plans — the resumed fixpoint
-                    // compiles nothing (`stats.plans_compiled == 0`).
-                    // The compiling fallback only covers a db whose cache
-                    // is unexpectedly cold.
-                    let resumed = match &db.rule_plans {
-                        Some(plans) => {
-                            prog.eval_incremental_with(plans, old_model.clone(), &new_facts)
+                    for w in &removed {
+                        if let Formula::Atom(a) = w {
+                            removed_facts.insert(a);
                         }
-                        None => prog.eval_incremental(old_model.clone(), &new_facts),
+                    }
+                    // A facts-only commit leaves the rule set untouched,
+                    // so the plans cached on the db are exactly the
+                    // candidate program's plans — neither fixpoint
+                    // compiles anything (`stats.plans_compiled == 0`).
+                    // The compiling fallbacks only cover a db whose cache
+                    // is unexpectedly cold.
+                    let shrunk = if removed_facts.is_empty() {
+                        Ok((old_model.clone(), EvalStats::default()))
+                    } else {
+                        match &db.rule_plans {
+                            Some(plans) => {
+                                prog.eval_decremental_with(plans, old_model.clone(), &removed_facts)
+                            }
+                            None => prog.eval_decremental(old_model.clone(), &removed_facts),
+                        }
                     };
-                    if let Ok((model, stats)) = resumed {
+                    let maintained = shrunk.and_then(|(model, mut stats)| {
+                        if new_facts.is_empty() {
+                            return Ok((model, stats));
+                        }
+                        let resumed = match &db.rule_plans {
+                            Some(plans) => prog.eval_incremental_with(plans, model, &new_facts),
+                            None => prog.eval_incremental(model, &new_facts),
+                        };
+                        resumed.map(|(model, grown)| {
+                            stats.absorb(&grown);
+                            (model, stats)
+                        })
+                    });
+                    if let Ok((model, stats)) = maintained {
+                        // `gone` is the exact model diff: everything the
+                        // deletion fixpoint removed and the insertion
+                        // fixpoint did not re-add.
+                        let gone = if removed_facts.is_empty() {
+                            Database::new()
+                        } else {
+                            old_model.difference(&model)
+                        };
+                        let tuples_removed = gone.len();
                         let update = ModelUpdate::Incremental {
-                            tuples_added: model.len() - old_model.len(),
+                            // `new = old - gone + fresh`, so `fresh`
+                            // (the net additions) is this — never
+                            // underflows.
+                            tuples_added: model.len() + tuples_removed - old_model.len(),
+                            tuples_removed,
                             stats,
                         };
+                        removed_model_atoms = Some(gone.atoms().collect());
                         break 'prover (db.prover.updated(theory, Some(model)), update);
                     }
                 }
@@ -324,30 +377,37 @@ impl<'db> Transaction<'db> {
             (rebuilt, update)
         };
 
-        // Phase 4 — verify the constraints. Ground-atom-only commits on a
+        // Phase 4 — verify the constraints. Facts-only commits on a
         // *definite* theory ride the compiled incremental checker (its
         // dependency-graph routing is exact only when every non-rule
         // sentence is a ground atom — a disjunction like `¬p(a) ∨ emp(b)`
         // can make a trigger atom certain with no rule edge the graph
-        // could see); `candidate.atom_model()` is attached exactly for
-        // definite theories, so it doubles as that gate. All other
+        // could see); `removed_model_atoms` is `Some` exactly when the
+        // incremental model path ran, which implies both the definite
+        // fragment and an exact removal delta — the routed checker needs
+        // the latter because a removal can only violate a constraint
+        // through an atom that actually left the model. All other
         // commits re-check every constraint in full.
         let mut checks = CheckStats::default();
-        match &db.checker {
-            Some(checker) if atoms_only && candidate.atom_model().is_some() => {
+        match (&db.checker, &removed_model_atoms) {
+            (Some(checker), Some(removed_atoms)) if candidate.atom_model().is_some() => {
                 let facts: Vec<&epilog_syntax::formula::Atom> = added
                     .iter()
                     .map(|w| match w {
                         Formula::Atom(a) => a,
-                        _ => unreachable!("atoms_only guarantees ground atoms"),
+                        _ => unreachable!("facts_only guarantees ground atoms"),
                     })
                     .collect();
-                // An atoms-only commit cannot have changed the rule set,
+                // A facts-only commit cannot have changed the rule set,
                 // so the dependency graph cached on the db is exactly the
                 // candidate theory's graph — no per-commit re-derivation.
-                if let Some(c) =
-                    checker.check_batch_routed(&candidate, &facts, &db.rule_graph, &mut checks)
-                {
+                if let Some(c) = checker.check_batch_with_removals(
+                    &candidate,
+                    &facts,
+                    removed_atoms,
+                    &db.rule_graph,
+                    &mut checks,
+                ) {
                     return Err(DbError::ConstraintViolated(c.original.clone()));
                 }
             }
@@ -367,9 +427,7 @@ impl<'db> Transaction<'db> {
         // `PreparedCommit::commit` so a WAL append can sit in between.
         // The cached rule graph stays valid unless some added or removed
         // sentence is rule-shaped (a non-ground-atom).
-        let is_ground_atom = |w: &Formula| matches!(w, Formula::Atom(a) if a.is_ground());
-        let rules_changed =
-            !added.iter().all(is_ground_atom) || !removed.iter().all(is_ground_atom);
+        let rules_changed = !facts_only;
         Ok(PreparedCommit {
             db,
             candidate: Some(candidate),
@@ -435,9 +493,17 @@ impl PreparedCommit<'_> {
             if self.rules_changed {
                 // Both caches derive from the rule-shaped sentences only:
                 // rebuild them here, once, and every following ground-atom
-                // commit reuses them as-is.
+                // commit reuses them as-is. The fresh plans are costed
+                // against the just-published model, so that becomes the
+                // staleness baseline.
                 self.db.rule_graph = RuleGraph::new(self.db.prover.theory());
                 self.db.rule_plans = EpistemicDb::compile_rule_plans(&self.db.prover);
+                self.db.plans_model_size = self.db.prover.atom_model().map_or(0, |m| m.len());
+            } else {
+                // Facts-only commits keep the cached plans but may drift
+                // the model away from the statistics those plans were
+                // costed with; re-cost when it has halved or doubled.
+                self.db.maybe_recost_plans();
             }
         }
         self.report
@@ -516,6 +582,7 @@ mod tests {
             .unwrap();
         let ModelUpdate::Incremental {
             tuples_added,
+            tuples_removed,
             stats,
         } = report.model
         else {
@@ -523,6 +590,7 @@ mod tests {
         };
         // 2 edges + t(n1,n2), t(n2,n3), t(n0,n2), t(n1,n3), t(n0,n3).
         assert_eq!(tuples_added, 7);
+        assert_eq!(tuples_removed, 0);
         assert_eq!(stats.full_firings, 0, "only delta variants may run");
         assert!(stats.rule_firings > 0);
         // The resumed model answers like a from-scratch one.
@@ -532,11 +600,85 @@ mod tests {
     }
 
     #[test]
-    fn retraction_rebuilds_the_model() {
+    fn retraction_takes_the_decremental_path() {
         let mut d = db("e(a, b)\ne(b, c)\nforall x, y. e(x, y) -> t(x, y)");
         let report = d.transaction().retract(f("e(b, c)")).commit().unwrap();
-        assert_eq!(report.model, ModelUpdate::Rebuilt);
+        let ModelUpdate::Incremental {
+            tuples_added,
+            tuples_removed,
+            stats,
+        } = report.model
+        else {
+            panic!("expected the decremental path, got {:?}", report.model);
+        };
+        // e(b,c) and its sole consequence t(b,c) leave the model.
+        assert_eq!((tuples_added, tuples_removed), (0, 2));
+        assert_eq!(stats.full_firings, 0, "no full plan may run");
+        assert_eq!(stats.plans_compiled, 0, "the cached plans are reused");
+        assert!(stats.tuples_overdeleted >= 2);
         assert_eq!(d.ask(&f("K t(b, c)")), Answer::No);
+        assert_eq!(d.ask(&f("K t(a, b)")), Answer::Yes);
+        // The shrunk model answers like a from-scratch one.
+        let scratch = crate::engine::prover_for(d.theory().clone());
+        assert_eq!(d.prover().atom_model(), scratch.atom_model());
+    }
+
+    #[test]
+    fn mixed_batch_chains_deletion_and_insertion_fixpoints() {
+        let mut d = db("e(n0, n1)\ne(n1, n2)\nforall x, y. e(x, y) -> t(x, y)\nforall x, y, z. e(x, y) & t(y, z) -> t(x, z)");
+        let report = d
+            .transaction()
+            .retract(f("e(n1, n2)"))
+            .assert(f("e(n1, n3)"))
+            .assert(f("e(n3, n2)"))
+            .commit()
+            .unwrap();
+        let ModelUpdate::Incremental {
+            tuples_added,
+            tuples_removed,
+            stats,
+        } = report.model
+        else {
+            panic!("expected the incremental path, got {:?}", report.model);
+        };
+        // Out: e(n1,n2), t(n1,n2), t(n0,n2) — then the new edges restore
+        // both t-paths via n3, so the re-grown facts count as added.
+        assert!(tuples_removed > 0);
+        assert!(tuples_added > 0);
+        assert_eq!(stats.full_firings, 0, "no full plan may run");
+        assert_eq!(stats.plans_compiled, 0, "the cached plans are reused");
+        assert_eq!(d.ask(&f("K t(n0, n2)")), Answer::Yes);
+        assert_eq!(d.ask(&f("K t(n1, n2)")), Answer::Yes);
+        assert_eq!(d.ask(&f("K e(n1, n2)")), Answer::No);
+        let scratch = crate::engine::prover_for(d.theory().clone());
+        assert_eq!(d.prover().atom_model(), scratch.atom_model());
+    }
+
+    #[test]
+    fn retraction_violating_a_constraint_is_rejected_incrementally() {
+        let mut d = db("emp(Mary)\nss(Mary, n1)\nhobby(Mary, chess)");
+        d.add_constraint(f("forall x. K emp(x) -> exists y. K ss(x, y)"))
+            .unwrap();
+        // Removing Mary's number while she is an employee violates the
+        // constraint — caught on the specialized route, not a full check.
+        let err = d
+            .transaction()
+            .retract(f("ss(Mary, n1)"))
+            .commit()
+            .unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolated(_)));
+        assert_eq!(d.ask(&f("K ss(Mary, n1)")), Answer::Yes, "no trace");
+        // An irrelevant retraction skips the constraint entirely.
+        let report = d
+            .transaction()
+            .retract(f("hobby(Mary, chess)"))
+            .commit()
+            .unwrap();
+        assert_eq!(report.checks.skipped, 1);
+        assert_eq!(report.checks.full, 0);
+        // Retracting emp first makes the ss retraction legal.
+        assert!(d.retract(&f("emp(Mary)")).unwrap());
+        assert!(d.retract(&f("ss(Mary, n1)")).unwrap());
     }
 
     #[test]

@@ -75,6 +75,38 @@ pub struct EvalStats {
     /// ([`Program::eval_incremental_with`]) — the `CommitReport` evidence
     /// that ground-atom commits recompile nothing.
     pub plans_compiled: u64,
+    /// DRed phase 1 ([`Program::eval_decremental_with`]): tuples the
+    /// over-deletion fixpoint removed from the model — the retracted
+    /// facts themselves plus everything transitively derivable from them.
+    pub tuples_overdeleted: u64,
+    /// DRed phase 3: over-deleted tuples put back because an alternative
+    /// derivation (or extensional membership) still supports them.
+    pub tuples_rederived: u64,
+    /// DRed phase 3: support queries executed — one per over-deleted
+    /// tuple per candidate rule head, until one succeeds. These run the
+    /// prebound `RulePlan::support` plan, never a full firing.
+    pub support_checks: u64,
+}
+
+impl EvalStats {
+    /// Accumulate another run's counters into this one — used by commits
+    /// that chain a deletion fixpoint and an insertion fixpoint (a mixed
+    /// retract/assert batch) into one reported figure.
+    pub fn absorb(&mut self, other: &EvalStats) {
+        self.rule_firings += other.rule_firings;
+        self.full_firings += other.full_firings;
+        self.derivations += other.derivations;
+        self.iterations += other.iterations;
+        self.probe_steps += other.probe_steps;
+        self.hash_steps += other.hash_steps;
+        self.scan_steps += other.scan_steps;
+        self.variants_skipped += other.variants_skipped;
+        self.rows_examined += other.rows_examined;
+        self.plans_compiled += other.plans_compiled;
+        self.tuples_overdeleted += other.tuples_overdeleted;
+        self.tuples_rederived += other.tuples_rederived;
+        self.support_checks += other.support_checks;
+    }
 }
 
 impl Program {
@@ -179,6 +211,195 @@ impl Program {
         }
         seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats);
         let mut db = ddb.into_total();
+        db.prune_empty();
+        Ok((db, stats))
+    }
+
+    /// Shrink the least model of a **definite** program after a
+    /// retraction, without recomputing it from scratch — the
+    /// delete-and-re-derive (DRed) algorithm. Compiles plans against the
+    /// pre-retraction model; see [`Program::eval_decremental_with`] for
+    /// the cached-plan variant and the contract.
+    pub fn eval_decremental(
+        &self,
+        model: Database,
+        removed_facts: &Database,
+    ) -> Result<(Database, EvalStats), DatalogError> {
+        if self.has_negation() {
+            drop(model);
+            return self.eval();
+        }
+        let plans: Vec<RulePlan> = self
+            .rules
+            .iter()
+            .map(|r| RulePlan::compile_with_stats(r, Some(&model)))
+            .collect();
+        let mut result = self.eval_decremental_with(&plans, model, removed_facts)?;
+        result.1.plans_compiled += plans.len() as u64;
+        Ok(result)
+    }
+
+    /// [`Program::eval_decremental`] with **caller-supplied plans** — the
+    /// cross-commit plan-cache hook for retract commits.
+    ///
+    /// `self` must be the **post-retraction** program (its EDB no longer
+    /// holds `removed_facts`), `model` the least model of the
+    /// pre-retraction program, and `removed_facts` the ground atoms the
+    /// update removes. The result is exactly the least model of `self`,
+    /// computed in four phases:
+    ///
+    /// 1. **over-delete**: starting from the removed facts still present
+    ///    in the model, run the delta variants against the *original*
+    ///    model to collect everything derivable from the deleted set —
+    ///    the standard over-approximation of the facts that may have lost
+    ///    their derivation;
+    /// 2. **prune** the over-deleted set from the model
+    ///    ([`Database::remove_tuple`] maintains column indexes
+    ///    incrementally);
+    /// 3. **re-derive seeds**: an over-deleted tuple survives if it is
+    ///    still extensional, or if some rule body re-derives it from the
+    ///    pruned model — answered per tuple by the prebound
+    ///    [`RulePlan::support`] plan (`support_checks`), never by a full
+    ///    firing;
+    /// 4. **propagate**: the surviving seeds resume the ordinary
+    ///    semi-naive insertion fixpoint, restoring everything reachable
+    ///    from them.
+    ///
+    /// The returned stats report `full_firings == 0` and
+    /// `plans_compiled == 0`; programs with negated body literals fall
+    /// back to a full [`Program::eval`] exactly like the insertion path.
+    pub fn eval_decremental_with(
+        &self,
+        plans: &[RulePlan],
+        model: Database,
+        removed_facts: &Database,
+    ) -> Result<(Database, EvalStats), DatalogError> {
+        if self.has_negation() {
+            drop(model);
+            return self.eval();
+        }
+        debug_assert_eq!(plans.len(), self.rules.len(), "one plan per rule");
+        let mut stats = EvalStats::default();
+        let mut model = model;
+        let plan_refs: Vec<&RulePlan> = plans.iter().collect();
+
+        // Phase 1 — over-delete. Seed with the removed facts actually in
+        // the model; absent retracts delete nothing.
+        let mut seed = Database::new();
+        for (pred, rel) in removed_facts.relations() {
+            for t in rel.iter() {
+                if model.contains_tuple(pred, t) {
+                    seed.insert_tuple(pred, t.clone());
+                }
+            }
+        }
+        if seed.is_empty() {
+            return Ok((model, stats));
+        }
+        for plan in &plan_refs {
+            plan.ensure_total_indexes(&mut model);
+        }
+        let mut deleted = DeltaDatabase::new(Database::new());
+        deleted.advance(&seed);
+        while !deleted.delta().is_empty() {
+            stats.iterations += 1;
+            {
+                // Delta-side index warm-up; the deleted split is disjoint
+                // from `model`, so both borrows are independent.
+                let (_, delta) = deleted.parts_mut();
+                for plan in &plan_refs {
+                    for (_, variant) in &plan.variants {
+                        variant.ensure_indexes(&mut model, Some(delta));
+                    }
+                }
+            }
+            let mut next = Database::new();
+            for plan in &plan_refs {
+                for (pred, variant) in &plan.variants {
+                    if deleted.delta().relation(*pred).is_none_or(|r| r.is_empty()) {
+                        stats.variants_skipped += 1;
+                        continue;
+                    }
+                    stats.rule_firings += 1;
+                    fire(
+                        plan,
+                        variant,
+                        &model,
+                        Some(deleted.delta()),
+                        &mut next,
+                        &mut stats,
+                    );
+                }
+            }
+            // Every candidate is already in the model (the model is closed
+            // under the rules and the delta is a subset of it), so advance
+            // filters only against what is already marked deleted.
+            deleted.advance(&next);
+        }
+        let deleted = deleted.into_total();
+        stats.tuples_overdeleted = deleted.len() as u64;
+
+        // Phase 2 — prune the over-approximation from the model.
+        for (pred, rel) in deleted.relations() {
+            for t in rel.iter() {
+                model.remove_tuple(pred, t);
+            }
+        }
+
+        // Phase 3 — find the survivors: extensional membership in the
+        // post-retraction EDB, or an alternative derivation from the
+        // pruned model via the prebound support plan.
+        for plan in &plan_refs {
+            plan.ensure_support_indexes(&mut model);
+        }
+        let mut seeds = Database::new();
+        for (pred, rel) in deleted.relations() {
+            for t in rel.iter() {
+                if self.edb.contains_tuple(pred, t) {
+                    seeds.insert_tuple(pred, t.clone());
+                    continue;
+                }
+                for plan in &plan_refs {
+                    if plan.head.pred != pred {
+                        continue;
+                    }
+                    let mut env = vec![None; plan.slots.len()];
+                    if !plan.bind_head(t, &mut env) {
+                        continue;
+                    }
+                    stats.support_checks += 1;
+                    let mut found = false;
+                    plan.support.for_each_match_counting(
+                        &model,
+                        None,
+                        &mut env,
+                        &mut stats.rows_examined,
+                        &mut |_| found = true,
+                    );
+                    if found {
+                        seeds.insert_tuple(pred, t.clone());
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Phase 4 — propagate the survivors with the ordinary insertion
+        // fixpoint. Everything it adds back was over-deleted (the model
+        // was closed before the prune), so it reuses the delta variants.
+        let mut ddb = DeltaDatabase::resume(model, &seeds);
+        {
+            let (total, _) = ddb.parts_mut();
+            for plan in &plan_refs {
+                plan.ensure_total_indexes(total);
+            }
+        }
+        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats);
+        let mut db = ddb.into_total();
+        stats.tuples_rederived = deleted
+            .relations()
+            .map(|(pred, rel)| rel.iter().filter(|t| db.contains_tuple(pred, t)).count() as u64)
+            .sum();
         db.prune_empty();
         Ok((db, stats))
     }
@@ -587,6 +808,197 @@ mod tests {
         );
         assert!(fresh_stats.plans_compiled > 0);
         assert_eq!(cached_stats.full_firings, 0);
+    }
+
+    #[test]
+    fn decremental_matches_from_scratch_on_chains() {
+        for (n, cut) in [(6usize, 2usize), (5, 0), (8, 7)] {
+            let before = chain(n);
+            let (model, _) = before.eval().unwrap();
+            // Retract edge cut..cut+1; the post-retraction program is the
+            // chain minus that edge.
+            let removed_src = format!("e(n{cut}, n{})", cut + 1);
+            let mut removed = epilog_storage::Database::new();
+            removed.insert(&atom(&removed_src));
+            let mut src = String::new();
+            for i in (0..n).filter(|&i| i != cut) {
+                src.push_str(&format!("e(n{i}, n{})\n", i + 1));
+            }
+            src.push_str("forall x, y. e(x, y) -> t(x, y)\n");
+            src.push_str("forall x, y, z. e(x, y) & t(y, z) -> t(x, z)\n");
+            let after = Program::from_text(&src).unwrap();
+            let (dec, stats) = after.eval_decremental(model, &removed).unwrap();
+            let (scratch, _) = after.eval().unwrap();
+            assert_eq!(dec, scratch, "DRed diverged for chain({n}) - edge {cut}");
+            assert_eq!(stats.full_firings, 0, "DRed must never run a full plan");
+            assert!(stats.tuples_overdeleted > 0);
+        }
+    }
+
+    #[test]
+    fn decremental_rederives_alternative_support() {
+        // Two parallel edges a→b; retracting one must keep t(a, b) and
+        // everything downstream, re-derived from the surviving edge.
+        let before = Program::from_text(
+            "e(a, b)
+             e2(a, b)
+             e(b, c)
+             forall x, y. e(x, y) -> t(x, y)
+             forall x, y. e2(x, y) -> t(x, y)
+             forall x, y, z. e(x, y) & t(y, z) -> t(x, z)",
+        )
+        .unwrap();
+        let (model, _) = before.eval().unwrap();
+        let mut removed = epilog_storage::Database::new();
+        removed.insert(&atom("e(a, b)"));
+        let after = Program::from_text(
+            "e2(a, b)
+             e(b, c)
+             forall x, y. e(x, y) -> t(x, y)
+             forall x, y. e2(x, y) -> t(x, y)
+             forall x, y, z. e(x, y) & t(y, z) -> t(x, z)",
+        )
+        .unwrap();
+        let (dec, stats) = after.eval_decremental(model, &removed).unwrap();
+        let (scratch, _) = after.eval().unwrap();
+        assert_eq!(dec, scratch);
+        assert!(dec.contains(&atom("t(a, b)")), "e2 still supports t(a, b)");
+        assert!(!dec.contains(&atom("t(a, c)")), "a→…→c needed e(a, b)");
+        assert!(stats.support_checks > 0, "survival went through support");
+        assert!(stats.tuples_rederived > 0);
+        assert_eq!(stats.full_firings, 0);
+    }
+
+    #[test]
+    fn decremental_keeps_extensional_survivors() {
+        // t(a, b) is *also* an extensional fact: over-deleting it via the
+        // rule must re-seed it from EDB membership, no support query
+        // needed for it.
+        let before = Program::from_text(
+            "e(a, b)
+             t(a, b)
+             forall x, y. e(x, y) -> t(x, y)",
+        )
+        .unwrap();
+        let (model, _) = before.eval().unwrap();
+        let mut removed = epilog_storage::Database::new();
+        removed.insert(&atom("e(a, b)"));
+        let after = Program::from_text(
+            "t(a, b)
+             forall x, y. e(x, y) -> t(x, y)",
+        )
+        .unwrap();
+        let (dec, _) = after.eval_decremental(model, &removed).unwrap();
+        let (scratch, _) = after.eval().unwrap();
+        assert_eq!(dec, scratch);
+        assert!(dec.contains(&atom("t(a, b)")));
+        assert!(!dec.contains(&atom("e(a, b)")));
+    }
+
+    #[test]
+    fn decremental_of_absent_fact_is_a_noop() {
+        let p = chain(4);
+        let (model, _) = p.eval().unwrap();
+        let mut removed = epilog_storage::Database::new();
+        removed.insert(&atom("e(n9, n10)"));
+        let (dec, stats) = p.eval_decremental(model.clone(), &removed).unwrap();
+        assert_eq!(dec, model);
+        assert_eq!(stats.rule_firings, 0, "empty seed deletes nothing");
+        assert_eq!(stats.tuples_overdeleted, 0);
+    }
+
+    #[test]
+    fn decremental_falls_back_on_negation() {
+        let p = Program::from_text(
+            "node(a)
+             node(b)
+             e(a, b)
+             e(b, a)
+             forall x, y. e(x, y) -> reach(x, y)
+             forall x, y. node(x) & node(y) & ~reach(x, y) -> sep(x, y)",
+        )
+        .unwrap();
+        let (model, _) = p.eval().unwrap();
+        assert!(!model.contains(&atom("sep(b, a)")));
+        // Removing e(b, a) must *add* sep(b, a): only the fallback can.
+        let mut removed = epilog_storage::Database::new();
+        removed.insert(&atom("e(b, a)"));
+        let after = Program::from_text(
+            "node(a)
+             node(b)
+             e(a, b)
+             forall x, y. e(x, y) -> reach(x, y)
+             forall x, y. node(x) & node(y) & ~reach(x, y) -> sep(x, y)",
+        )
+        .unwrap();
+        let (dec, stats) = after.eval_decremental(model, &removed).unwrap();
+        assert!(dec.contains(&atom("sep(b, a)")));
+        assert!(stats.full_firings > 0, "fallback runs full plans");
+    }
+
+    #[test]
+    fn cached_decremental_plans_match_fresh_and_compile_nothing() {
+        let before = chain(7);
+        let (model, _) = before.eval().unwrap();
+        let mut removed = epilog_storage::Database::new();
+        removed.insert(&atom("e(n3, n4)"));
+        let mut src = String::new();
+        for i in (0..7).filter(|&i| i != 3) {
+            src.push_str(&format!("e(n{i}, n{})\n", i + 1));
+        }
+        src.push_str("forall x, y. e(x, y) -> t(x, y)\n");
+        src.push_str("forall x, y, z. e(x, y) & t(y, z) -> t(x, z)\n");
+        let after = Program::from_text(&src).unwrap();
+        let plans: Vec<crate::plan::RulePlan> = after
+            .rules
+            .iter()
+            .map(|r| crate::plan::RulePlan::compile_with_stats(r, Some(&model)))
+            .collect();
+        let (cached, cached_stats) = after
+            .eval_decremental_with(&plans, model.clone(), &removed)
+            .unwrap();
+        let (fresh, fresh_stats) = after.eval_decremental(model, &removed).unwrap();
+        assert_eq!(cached, fresh);
+        assert_eq!(
+            cached_stats.plans_compiled, 0,
+            "cache path compiles nothing"
+        );
+        assert!(fresh_stats.plans_compiled > 0);
+        assert_eq!(cached_stats.full_firings, 0);
+    }
+
+    #[test]
+    fn stats_absorb_sums_every_counter() {
+        let mut a = EvalStats {
+            rule_firings: 1,
+            full_firings: 2,
+            derivations: 3,
+            iterations: 4,
+            probe_steps: 5,
+            hash_steps: 6,
+            scan_steps: 7,
+            variants_skipped: 8,
+            rows_examined: 9,
+            plans_compiled: 10,
+            tuples_overdeleted: 11,
+            tuples_rederived: 12,
+            support_checks: 13,
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.rule_firings, 2);
+        assert_eq!(a.full_firings, 4);
+        assert_eq!(a.derivations, 6);
+        assert_eq!(a.iterations, 8);
+        assert_eq!(a.probe_steps, 10);
+        assert_eq!(a.hash_steps, 12);
+        assert_eq!(a.scan_steps, 14);
+        assert_eq!(a.variants_skipped, 16);
+        assert_eq!(a.rows_examined, 18);
+        assert_eq!(a.plans_compiled, 20);
+        assert_eq!(a.tuples_overdeleted, 22);
+        assert_eq!(a.tuples_rederived, 24);
+        assert_eq!(a.support_checks, 26);
     }
 
     #[test]

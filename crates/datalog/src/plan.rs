@@ -28,7 +28,7 @@ use epilog_storage::{
     AtomTemplate, ConjunctionPlan, Database, PatTerm, PlanStats, SlotMap, StepStrategy,
 };
 use epilog_syntax::formula::Atom;
-use epilog_syntax::Pred;
+use epilog_syntax::{Param, Pred};
 use std::fmt::Write as _;
 
 /// A rule compiled for bottom-up evaluation.
@@ -46,6 +46,12 @@ pub struct RulePlan {
     /// Per positive literal: its predicate (for empty-delta skipping) and
     /// the variant joining that literal against the delta first.
     pub variants: Vec<(Pred, ConjunctionPlan)>,
+    /// The positive body compiled as a **support query**: the head's
+    /// slots are prebound (the caller seeds them from a ground head tuple
+    /// via [`RulePlan::bind_head`]), so running it answers "does any body
+    /// match still derive this tuple?" without a full firing. Used by the
+    /// deletion fixpoint's re-derivation phase.
+    pub support: ConjunctionPlan,
 }
 
 impl RulePlan {
@@ -92,13 +98,48 @@ impl RulePlan {
             .map(|l| AtomTemplate::compile(&l.atom, &mut slots))
             .collect();
         let head = AtomTemplate::compile(&rule.head, &mut slots);
+        // The support variant is compiled after the head so the head's
+        // slots exist: they are the prebound seed of every support query.
+        let prebound: Vec<usize> = head
+            .args
+            .iter()
+            .filter_map(|a| match a {
+                PatTerm::Slot(s) => Some(*s),
+                PatTerm::Const(_) => None,
+            })
+            .collect();
+        let support =
+            ConjunctionPlan::compile_support(&positives, &mut slots, &prebound, view.as_ref());
         RulePlan {
             head,
             negatives,
             slots,
             full,
             variants,
+            support,
         }
+    }
+
+    /// Seed `env` with the head bindings a ground `tuple` induces: head
+    /// constants must match, repeated head slots must agree. Returns
+    /// `false` (with `env` partially written) when the tuple cannot be an
+    /// instance of this head. On `true`, `env` is ready to drive the
+    /// [`RulePlan::support`] plan.
+    pub fn bind_head(&self, tuple: &[Param], env: &mut [Option<Param>]) -> bool {
+        for (arg, p) in self.head.args.iter().zip(tuple) {
+            match arg {
+                PatTerm::Const(c) => {
+                    if c != p {
+                        return false;
+                    }
+                }
+                PatTerm::Slot(s) => match env[*s] {
+                    Some(prev) if prev != *p => return false,
+                    _ => env[*s] = Some(*p),
+                },
+            }
+        }
+        true
     }
 
     /// Warm up the total-side indexes every variant probes.
@@ -107,6 +148,13 @@ impl RulePlan {
         for (_, v) in &self.variants {
             v.ensure_indexes(total, None);
         }
+    }
+
+    /// Warm up the indexes the support variant probes. Kept separate from
+    /// [`RulePlan::ensure_total_indexes`]: the assert-only path never runs
+    /// support queries and should not pay for their indexes.
+    pub fn ensure_support_indexes(&self, total: &mut Database) {
+        self.support.ensure_indexes(total, None);
     }
 
     /// Render an atom template back to source-ish text using the plan's
@@ -164,6 +212,7 @@ impl RulePlan {
         for (pred, v) in &self.variants {
             self.explain_plan(&mut out, &format!("delta[{}]", pred.name()), v);
         }
+        self.explain_plan(&mut out, "support", &self.support);
         for n in &self.negatives {
             let _ = writeln!(&mut out, "  negated check: ~{}", self.render(n));
         }
@@ -241,6 +290,57 @@ mod tests {
         let plan = plan_of("forall x, y. node(x) & node(y) & ~e(x, y) -> sep(x, y)");
         let text = plan.explain();
         assert!(text.contains("negated check: ~e(x, y)"), "{text}");
+    }
+
+    #[test]
+    fn support_plan_answers_alternative_derivations() {
+        use epilog_storage::Database;
+        let plan = plan_of("forall x, y, z. e(x, y) & t(y, z) -> t(x, z)");
+        let mut db = Database::new();
+        for f in ["e(a, b)", "t(b, c)", "e(a, d)"] {
+            match epilog_syntax::parse(f).unwrap() {
+                epilog_syntax::Formula::Atom(a) => db.insert(&a),
+                other => panic!("not an atom: {other}"),
+            };
+        }
+        plan.ensure_support_indexes(&mut db);
+        let supported = |t: &[Param], db: &Database| {
+            let mut env = vec![None; plan.slots.len()];
+            assert!(plan.bind_head(t, &mut env));
+            let mut found = false;
+            plan.support
+                .for_each_match(db, None, &mut env, &mut |_| found = true);
+            found
+        };
+        let (a, c, d) = (Param::new("a"), Param::new("c"), Param::new("d"));
+        assert!(supported(&[a, c], &db), "e(a,b) & t(b,c) supports t(a,c)");
+        assert!(!supported(&[a, d], &db), "no body derives t(a,d)");
+    }
+
+    #[test]
+    fn bind_head_rejects_mismatched_constants_and_repeats() {
+        let p = Program::from_text("forall x. e(x, x) -> loop(x)").unwrap();
+        let plan = RulePlan::compile(&p.rules[0]);
+        let mut env = vec![None; plan.slots.len()];
+        assert!(plan.bind_head(&[Param::new("a")], &mut env));
+        assert_eq!(
+            env[plan.slots.get(Var::new("x")).unwrap()],
+            Some(Param::new("a"))
+        );
+        // A constant head column must match the tuple exactly.
+        let q = Program::from_text("forall x. e(x) -> mark(x, gold)").unwrap();
+        let qplan = RulePlan::compile(&q.rules[0]);
+        let mut env = vec![None; qplan.slots.len()];
+        assert!(qplan.bind_head(&[Param::new("a"), Param::new("gold")], &mut env));
+        let mut env = vec![None; qplan.slots.len()];
+        assert!(!qplan.bind_head(&[Param::new("a"), Param::new("lead")], &mut env));
+        // A repeated head slot must agree across columns.
+        let r = Program::from_text("forall x. p(x) -> d(x, x)").unwrap();
+        let rplan = RulePlan::compile(&r.rules[0]);
+        let mut env = vec![None; rplan.slots.len()];
+        assert!(rplan.bind_head(&[Param::new("a"), Param::new("a")], &mut env));
+        let mut env = vec![None; rplan.slots.len()];
+        assert!(!rplan.bind_head(&[Param::new("a"), Param::new("b")], &mut env));
     }
 
     #[test]

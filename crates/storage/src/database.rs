@@ -54,6 +54,12 @@ impl Database {
             .is_some_and(|r| r.remove(&t))
     }
 
+    /// Remove a tuple directly under a predicate; returns `true` if it
+    /// was present. Any column indexes are maintained incrementally.
+    pub fn remove_tuple(&mut self, pred: Pred, t: &Tuple) -> bool {
+        self.relations.get_mut(&pred).is_some_and(|r| r.remove(t))
+    }
+
     /// Whether a ground atom is present.
     pub fn contains(&self, atom: &Atom) -> bool {
         match atom.param_tuple() {
@@ -154,6 +160,20 @@ impl Database {
         added
     }
 
+    /// The set difference `self ∖ other` as a fresh database: every
+    /// tuple stored here that `other` does not contain.
+    pub fn difference(&self, other: &Database) -> Database {
+        let mut out = Database::new();
+        for (pred, rel) in &self.relations {
+            for t in rel.iter() {
+                if !other.contains_tuple(*pred, t) {
+                    out.insert_tuple(*pred, t.clone());
+                }
+            }
+        }
+        out
+    }
+
     /// Whether `self ⊆ other` as sets of atoms.
     pub fn subset_of(&self, other: &Database) -> bool {
         self.relations.iter().all(|(pred, rel)| {
@@ -233,6 +253,25 @@ mod tests {
         assert!(!big.subset_of(&small));
         assert_eq!(small.union_with(&big), 1);
         assert!(big.subset_of(&small));
+    }
+
+    #[test]
+    fn difference_and_remove_tuple() {
+        let mut a = Database::new();
+        a.insert(&ga("p(a)"));
+        a.insert(&ga("p(b)"));
+        a.insert(&ga("q(a, b)"));
+        let mut b = Database::new();
+        b.insert(&ga("p(b)"));
+        let diff = a.difference(&b);
+        assert_eq!(diff.len(), 2);
+        assert!(diff.contains(&ga("p(a)")));
+        assert!(diff.contains(&ga("q(a, b)")));
+        assert!(!diff.contains(&ga("p(b)")));
+        let t = vec![Param::new("a")];
+        assert!(a.remove_tuple(Pred::new("p", 1), &t));
+        assert!(!a.remove_tuple(Pred::new("p", 1), &t));
+        assert!(!a.remove_tuple(Pred::new("missing", 1), &t));
     }
 
     #[test]

@@ -337,6 +337,32 @@ impl ConjunctionPlan {
         delta_pos: Option<usize>,
         stats: Option<&PlanStats<'_>>,
     ) -> Self {
+        Self::compile_inner(atoms, slots, delta_pos, &[], stats)
+    }
+
+    /// Compile a conjunction whose `prebound` slots are already bound when
+    /// the plan runs — the caller seeds the environment before
+    /// [`ConjunctionPlan::for_each_match`]. Prebound slots are treated as
+    /// bound throughout planning, so they route into index probes and
+    /// composite hash keys (never into binders that would clobber the
+    /// seeded values on unwind). This is the shape of a *support query*:
+    /// given a ground head, does any body match re-derive it?
+    pub fn compile_support(
+        atoms: &[Atom],
+        slots: &mut SlotMap,
+        prebound: &[usize],
+        stats: Option<&PlanStats<'_>>,
+    ) -> Self {
+        Self::compile_inner(atoms, slots, None, prebound, stats)
+    }
+
+    fn compile_inner(
+        atoms: &[Atom],
+        slots: &mut SlotMap,
+        delta_pos: Option<usize>,
+        prebound: &[usize],
+        stats: Option<&PlanStats<'_>>,
+    ) -> Self {
         // Intern every variable up front so slot numbering follows written
         // order regardless of the join order chosen below.
         let templates: Vec<AtomTemplate> = atoms
@@ -345,6 +371,9 @@ impl ConjunctionPlan {
             .collect();
 
         let mut bound = vec![false; slots.len()];
+        for &s in prebound {
+            bound[s] = true;
+        }
         let mut steps = Vec::with_capacity(templates.len());
         let mut remaining: Vec<usize> = (0..templates.len()).collect();
         // Estimated rows flowing *into* the next step (the product of the
@@ -863,6 +892,48 @@ mod tests {
         plan.ensure_indexes(&mut total, None);
         total.insert(&atom("t(b, c)"));
         assert_eq!(matches(&plan, &slots, &total).len(), 1);
+    }
+
+    #[test]
+    fn support_plan_respects_preseeded_environment() {
+        // Head t(x, z) over body e(x, y), e(y, z): with x and z prebound
+        // the support plan must only enumerate matching y-paths, and must
+        // leave the seeded slots intact after the run.
+        let mut slots = SlotMap::new();
+        let head = AtomTemplate::compile(&atom("t(x, z)"), &mut slots);
+        let prebound: Vec<usize> = head
+            .args
+            .iter()
+            .filter_map(|a| match a {
+                PatTerm::Slot(s) => Some(*s),
+                PatTerm::Const(_) => None,
+            })
+            .collect();
+        let body = vec![atom("e(x, y)"), atom("e(y, z)")];
+        let plan = ConjunctionPlan::compile_support(&body, &mut slots, &prebound, None);
+        // Every step filters on an already-bound column: no full scans.
+        assert!(plan.steps().iter().all(|s| s.index_col.is_some()));
+
+        let db = db(&["e(a, b)", "e(b, c)", "e(a, d)", "e(d, e)"]);
+        let mut env = vec![None; slots.len()];
+        let x = slots.get(Var::new("x")).unwrap();
+        let z = slots.get(Var::new("z")).unwrap();
+        env[x] = Some(Param::new("a"));
+        env[z] = Some(Param::new("c"));
+        let mut hits = 0;
+        plan.for_each_match(&db, None, &mut env, &mut |e| {
+            assert_eq!(e[x], Some(Param::new("a")));
+            assert_eq!(e[z], Some(Param::new("c")));
+            hits += 1;
+        });
+        assert_eq!(hits, 1, "only the a-b-c path supports t(a, c)");
+        assert_eq!(env[x], Some(Param::new("a")), "seed survives the run");
+        assert_eq!(env[z], Some(Param::new("c")));
+        // A head with no support: same environment shape, zero matches.
+        env[z] = Some(Param::new("b"));
+        let mut misses = 0;
+        plan.for_each_match(&db, None, &mut env, &mut |_| misses += 1);
+        assert_eq!(misses, 0, "t(a, b) has no two-step path");
     }
 
     #[test]

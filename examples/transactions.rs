@@ -47,10 +47,11 @@ fn main() {
     match report.model {
         ModelUpdate::Incremental {
             tuples_added,
+            tuples_removed,
             stats,
         } => {
             println!(
-                "  model resumed from the delta: +{tuples_added} tuples, \
+                "  model resumed from the delta: +{tuples_added} -{tuples_removed} tuples, \
                  {} delta firings, {} full plans (always 0 here)\n",
                 stats.rule_firings, stats.full_firings
             );

@@ -16,7 +16,7 @@
 //! always equals a fresh from-scratch rebuild.
 
 use epilog::core::{prover_for, EpistemicDb, ModelUpdate};
-use epilog::datalog::{PlannerMode, Program};
+use epilog::datalog::{PlannerMode, Program, RulePlan};
 use epilog::syntax::parse;
 use proptest::prelude::*;
 
@@ -55,6 +55,35 @@ fn program_text() -> impl Strategy<Value = String> {
             for (i, rule) in RULES.iter().enumerate() {
                 if mask & (1 << i) != 0 {
                     src.push_str(rule);
+                    src.push('\n');
+                }
+            }
+            src
+        })
+}
+
+/// Like [`program_text`] but drawn from the negation-free rules only, so
+/// every sample is a definite program eligible for the resumed fixpoint
+/// (`eval_incremental_with` falls back to full evaluation under
+/// negation, which would defeat the stale-vs-recosted comparison).
+fn definite_program_text() -> impl Strategy<Value = String> {
+    const DEFINITE: [usize; 6] = [0, 1, 2, 3, 6, 7];
+    (
+        proptest::collection::vec((0..PARAMS, 0..PARAMS), 0..10),
+        proptest::collection::vec(0..PARAMS, 0..5),
+        1u8..64,
+    )
+        .prop_map(|(edges, units, mask)| {
+            let mut src = String::new();
+            for (a, b) in edges {
+                src.push_str(&format!("e(a{a}, a{b})\n"));
+            }
+            for a in units {
+                src.push_str(&format!("f(a{a})\n"));
+            }
+            for (i, &rule) in DEFINITE.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    src.push_str(RULES[rule]);
                     src.push('\n');
                 }
             }
@@ -182,4 +211,99 @@ proptest! {
         let scratch = prover_for(db.theory().clone());
         prop_assert_eq!(db.prover().atom_model(), scratch.atom_model());
     }
+
+    /// Plan re-costing is a pure performance knob: resuming the fixpoint
+    /// with plans costed against the **stale** (pre-growth) model and
+    /// with plans re-costed against the **current** model must produce
+    /// the identical model — equal to the from-scratch oracle — with
+    /// identical firing and derivation counts. Only join strategy and
+    /// literal order may differ.
+    #[test]
+    fn recosted_plans_match_stale_plans(
+        src in definite_program_text(),
+        extra in proptest::collection::vec((0..PARAMS, 0..PARAMS), 1..6),
+    ) {
+        let base = Program::from_text(&src).unwrap();
+        let (model, _) = base.eval().unwrap();
+        // Growth delta on fresh `b`-constants, so every new fact is
+        // genuinely absent from the base EDB (the resume contract).
+        let mut grown_src = src.clone();
+        let mut facts_src = String::new();
+        for (a, b) in &extra {
+            let fact = format!("e(b{a}, a{b})\n");
+            grown_src.push_str(&fact);
+            facts_src.push_str(&fact);
+        }
+        let grown = Program::from_text(&grown_src).unwrap();
+        let new_facts = Program::from_text(&facts_src).unwrap().edb;
+        let (oracle, _) = grown.eval().unwrap();
+
+        let stale: Vec<RulePlan> = grown
+            .rules
+            .iter()
+            .map(|r| RulePlan::compile_with_stats(r, Some(&model)))
+            .collect();
+        let fresh: Vec<RulePlan> = grown
+            .rules
+            .iter()
+            .map(|r| RulePlan::compile_with_stats(r, Some(&oracle)))
+            .collect();
+        let (stale_db, stale_stats) = grown
+            .eval_incremental_with(&stale, model.clone(), &new_facts)
+            .unwrap();
+        let (fresh_db, fresh_stats) = grown
+            .eval_incremental_with(&fresh, model, &new_facts)
+            .unwrap();
+        prop_assert_eq!(&stale_db, &fresh_db, "stale vs re-costed on:\n{}", grown_src);
+        prop_assert_eq!(&stale_db, &oracle, "resume vs oracle on:\n{}", grown_src);
+        prop_assert_eq!(stale_stats.rule_firings, fresh_stats.rule_firings);
+        prop_assert_eq!(stale_stats.derivations, fresh_stats.derivations);
+        // The cached-plan entry point never compiles, re-costed or not.
+        prop_assert_eq!(stale_stats.plans_compiled, 0);
+        prop_assert_eq!(fresh_stats.plans_compiled, 0);
+    }
+}
+
+/// `RulePlan::explain` makes a re-cost observable: costing the same rule
+/// against inverted relation statistics flips the leading literal of the
+/// join order (smallest estimated relation first).
+#[test]
+fn recosting_flips_the_explained_order() {
+    let rule = Program::from_text("forall x, y. big(x, y) & small(x) -> out(x, y)")
+        .unwrap()
+        .rules
+        .remove(0);
+
+    let mut small_heavy = String::from("big(a0, a1)\n");
+    let mut big_heavy = String::from("small(a0)\n");
+    for i in 0..50 {
+        small_heavy.push_str(&format!("small(c{i})\n"));
+        big_heavy.push_str(&format!("big(c{i}, d{i})\n"));
+    }
+    let small_heavy = Program::from_text(&small_heavy).unwrap().edb;
+    let big_heavy = Program::from_text(&big_heavy).unwrap().edb;
+
+    let lean_big = RulePlan::compile_with_stats(&rule, Some(&small_heavy)).explain();
+    let lean_small = RulePlan::compile_with_stats(&rule, Some(&big_heavy)).explain();
+    assert_ne!(
+        lean_big, lean_small,
+        "inverted statistics must change the explained plan"
+    );
+    assert!(
+        lean_big.contains("1. big("),
+        "big holds one row, so it must lead:\n{lean_big}"
+    );
+    assert!(
+        lean_small.contains("1. small("),
+        "small holds one row, so it must lead:\n{lean_small}"
+    );
+    // The support section (the DRed re-derivation probe) is explained too.
+    assert!(
+        lean_big.contains("support:"),
+        "missing support section:\n{lean_big}"
+    );
+    assert!(
+        lean_small.contains("support:"),
+        "missing support section:\n{lean_small}"
+    );
 }

@@ -45,7 +45,7 @@ type RawOp = (u8, u8, u8, u8);
 fn op_formula((kind, pred, p1, p2): RawOp) -> (bool, Formula) {
     let a = p1 as usize % PARAMS;
     let n = p2 as usize % PARAMS;
-    let src = match kind % 5 {
+    let src = match kind % 6 {
         2 => format!("exists y. ss(a{a}, y)"),
         3 | 4 => RULES[pred as usize % RULES.len()].to_string(),
         _ => match pred % 5 {
@@ -56,10 +56,12 @@ fn op_formula((kind, pred, p1, p2): RawOp) -> (bool, Formula) {
             _ => format!("bad(a{a})"),
         },
     };
-    // kind 0 asserts and 1 retracts facts/existentials; kind 3 asserts
-    // and 4 retracts rules (rule-changing commits invalidate the cached
-    // routing graph and replay through the rebuild path).
-    let is_assert = !matches!(kind % 5, 1 | 4);
+    // kind 0 asserts and 1 or 5 retract facts/existentials (two retract
+    // kinds, so logged tails regularly contain retract records and replay
+    // exercises the over-delete/re-derive path); kind 3 asserts and 4
+    // retracts rules (rule-changing commits invalidate the cached routing
+    // graph and replay through the rebuild path).
+    let is_assert = !matches!(kind % 6, 1 | 4 | 5);
     (is_assert, parse(&src).unwrap())
 }
 
@@ -201,6 +203,12 @@ proptest! {
             let ov = ot.commit();
             prop_assert_eq!(dv.is_ok(), ov.is_ok(), "verdict divergence on {:?}", batch);
             if let Ok(report) = dv {
+                // Facts-only commits (retractions included) must stay on
+                // the incremental path: no full plan, nothing compiled.
+                if let ModelUpdate::Incremental { stats, .. } = &report.model {
+                    prop_assert_eq!(stats.full_firings, 0, "incremental commit fired a full plan");
+                    prop_assert_eq!(stats.plans_compiled, 0, "incremental commit compiled plans");
+                }
                 if report.asserted + report.retracted > 0 {
                     by_lsn.push(OracleState {
                         theory: oracle.theory().clone(),

@@ -9,10 +9,18 @@ pub struct ProptestConfig {
     pub max_global_rejects: u32,
 }
 
+/// The `PROPTEST_CASES` environment override, mirroring the real crate:
+/// when set to a positive integer it replaces the case count of every
+/// config — both defaults and explicit `with_cases` choices — so a CI
+/// deep-fuzz job can scale whole suites up without touching the code.
+fn env_cases() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+}
+
 impl Default for ProptestConfig {
     fn default() -> Self {
         ProptestConfig {
-            cases: 256,
+            cases: env_cases().unwrap_or(256),
             max_global_rejects: 65_536,
         }
     }
@@ -21,7 +29,7 @@ impl Default for ProptestConfig {
 impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         ProptestConfig {
-            cases,
+            cases: env_cases().unwrap_or(cases),
             ..Default::default()
         }
     }
