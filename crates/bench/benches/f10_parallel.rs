@@ -1,0 +1,98 @@
+//! F10 — parallel fixpoint evaluation: sequential vs fanned-out rule
+//! firing with partitioned hash probes.
+//!
+//! Shape expectation: on a machine with `p` cores the join-heavy
+//! workload's probe loop and the scaling workload's per-round variant
+//! fan-out both approach a `p`-way split of the dominant loop, so the
+//! parallel rows should trend toward `1/p` of the sequential ones at
+//! the largest `n`; below the thresholds the parallel configuration is
+//! byte-identical to sequential and the rows should coincide.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epilog_bench::workloads::{join_heavy_program, scaling_program};
+use epilog_datalog::EvalOptions;
+use std::hint::black_box;
+
+fn opts(threads: usize) -> EvalOptions {
+    EvalOptions {
+        threads,
+        ..EvalOptions::default()
+    }
+}
+
+/// Thresholds forced to zero so even small inputs take the parallel
+/// paths — used by the ablation group to price the coordination
+/// overhead the default thresholds exist to avoid.
+fn eager_opts(threads: usize) -> EvalOptions {
+    EvalOptions {
+        threads,
+        par_fanout_min_rows: 0,
+        par_probe_min_outer: 0,
+        ..EvalOptions::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate: the parallel configuration computes the same
+    // model with the same derivation counters as the sequential one,
+    // and actually engages workers on the large join.
+    {
+        let prog = join_heavy_program(2048, 8);
+        let (seq_db, seq) = prog.eval_opts(opts(1)).unwrap();
+        let (par_db, par) = prog.eval_opts(opts(4)).unwrap();
+        assert_eq!(seq_db, par_db);
+        assert_eq!(seq.derivations, par.derivations);
+        assert_eq!(seq.rule_firings, par.rule_firings);
+        assert_eq!(seq.rows_examined, par.rows_examined);
+        assert_eq!(seq.threads_used, 0);
+        assert!(par.threads_used >= 2);
+    }
+
+    let mut g = c.benchmark_group("f10_parallel");
+    g.sample_size(10);
+
+    // Partitioned hash probes dominate the join-heavy workload.
+    for n in [1024usize, 2048, 4096] {
+        let prog = join_heavy_program(n, 8);
+        g.bench_with_input(BenchmarkId::new("join_seq", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_opts(opts(1)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("join_par2", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_opts(opts(2)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("join_par4", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_opts(opts(4)).unwrap()))
+        });
+    }
+
+    // Per-round rule-variant fan-out dominates the recursive scaling
+    // workload once the delta is wide enough.
+    for n in [32usize, 48, 64] {
+        let prog = scaling_program(n, 4);
+        g.bench_with_input(BenchmarkId::new("scaling_seq", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_opts(opts(1)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("scaling_par4", n), &n, |b, _| {
+            b.iter(|| black_box(prog.eval_opts(opts(4)).unwrap()))
+        });
+    }
+
+    // Threshold ablation: a workload small enough that the default
+    // thresholds keep it sequential, run (a) with defaults (parallel
+    // machinery bypassed) and (b) with thresholds zeroed (fan-out and
+    // partitioning forced on). The gap is the pure coordination cost.
+    {
+        let prog = join_heavy_program(256, 8);
+        g.bench_with_input(BenchmarkId::new("ablate_gated", 256), &256, |b, _| {
+            b.iter(|| black_box(prog.eval_opts(opts(4)).unwrap()))
+        });
+        g.bench_with_input(BenchmarkId::new("ablate_forced", 256), &256, |b, _| {
+            b.iter(|| black_box(prog.eval_opts(eager_opts(4)).unwrap()))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -14,7 +14,15 @@
 
 use crate::plan::RulePlan;
 use crate::program::{DatalogError, Program};
-use epilog_storage::{ConjunctionPlan, Database, DeltaDatabase, StepStrategy};
+use epilog_storage::{ConjunctionPlan, Database, DeltaDatabase, StepStrategy, PAR_MIN_PROBE_OUTER};
+use epilog_syntax::Param;
+
+/// Default minimum number of driving rows — the delta of a semi-naive
+/// round, or the stable total seeding a full first round — before fanning
+/// a round's firing jobs out across threads pays for the spawn and merge
+/// overhead. Below it (one-row commit resumes, small strata) the round
+/// runs sequentially at its current latency.
+pub const PAR_MIN_FANOUT_ROWS: usize = 128;
 
 /// Which join planner compiles the rule plans of an evaluation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,6 +94,16 @@ pub struct EvalStats {
     /// tuple per candidate rule head, until one succeeds. These run the
     /// prebound `RulePlan::support` plan, never a full firing.
     pub support_checks: u64,
+    /// Fixpoint rounds whose firing jobs ran on ≥ 2 worker threads
+    /// (rule-variant fan-out or partitioned hash probes). Zero whenever
+    /// the thread budget is 1 or every round stayed under the work-size
+    /// thresholds — the observable proof that `EPILOG_THREADS=1` takes
+    /// the sequential path.
+    pub parallel_rounds: u64,
+    /// Maximum worker threads any parallel operation of the run engaged;
+    /// 0 when the whole run was sequential. [`EvalStats::absorb`] merges
+    /// this by maximum (it is a high-water mark, not a sum).
+    pub threads_used: u64,
 }
 
 impl EvalStats {
@@ -106,6 +124,80 @@ impl EvalStats {
         self.tuples_overdeleted += other.tuples_overdeleted;
         self.tuples_rederived += other.tuples_rederived;
         self.support_checks += other.support_checks;
+        self.parallel_rounds += other.parallel_rounds;
+        self.threads_used = self.threads_used.max(other.threads_used);
+    }
+}
+
+/// Evaluation options: strategy, planner, and the parallel-execution
+/// knobs. [`EvalOptions::default`] is what [`Program::eval`] runs —
+/// semi-naive, cost-based, thread budget resolved from the
+/// `EPILOG_THREADS` environment override (or the hardware parallelism),
+/// default work-size thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Semi-naive (`true`) or naive (`false`) fixpoint.
+    pub seminaive: bool,
+    /// Which planner compiles the rule plans.
+    pub planner: PlannerMode,
+    /// Worker-thread budget. `0` resolves to the `EPILOG_THREADS`
+    /// environment override when set, else the hardware parallelism;
+    /// `1` forces the sequential path bit-for-bit.
+    pub threads: usize,
+    /// Minimum driving rows before a round's firing jobs fan out
+    /// ([`PAR_MIN_FANOUT_ROWS`]).
+    pub par_fanout_min_rows: usize,
+    /// Minimum estimated outer cardinality before a hash step's probes
+    /// are partitioned ([`PAR_MIN_PROBE_OUTER`]).
+    pub par_probe_min_outer: u64,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            seminaive: true,
+            planner: PlannerMode::CostBased,
+            threads: 0,
+            par_fanout_min_rows: PAR_MIN_FANOUT_ROWS,
+            par_probe_min_outer: PAR_MIN_PROBE_OUTER,
+        }
+    }
+}
+
+/// Resolved parallel-execution context threaded through the fixpoint:
+/// an effective thread budget (never 0) plus the work-size thresholds.
+#[derive(Clone, Copy)]
+struct ParCtx {
+    threads: usize,
+    fanout_min_rows: usize,
+    probe_min_outer: u64,
+}
+
+impl ParCtx {
+    fn from_opts(opts: &EvalOptions) -> ParCtx {
+        let threads = if opts.threads == 0 {
+            threadpool::configured()
+        } else {
+            opts.threads
+        };
+        ParCtx {
+            threads,
+            fanout_min_rows: opts.par_fanout_min_rows,
+            probe_min_outer: opts.par_probe_min_outer,
+        }
+    }
+
+    /// The context of the incremental/decremental entry points, which
+    /// keep their historical signatures: default thresholds, thread
+    /// budget from the environment.
+    fn auto() -> ParCtx {
+        Self::from_opts(&EvalOptions::default())
+    }
+
+    /// The same thresholds with the thread budget collapsed to 1 — used
+    /// inside a fan-out so jobs never nest another parallel layer.
+    fn sequential(self) -> ParCtx {
+        ParCtx { threads: 1, ..self }
     }
 }
 
@@ -115,14 +207,17 @@ impl Program {
     /// previous round. Plans are compiled cost-based
     /// ([`PlannerMode::CostBased`]) from the EDB's live statistics.
     pub fn eval(&self) -> Result<(Database, EvalStats), DatalogError> {
-        self.eval_with(true, PlannerMode::CostBased)
+        self.eval_opts(EvalOptions::default())
     }
 
     /// Compute the perfect model by **naive** evaluation: re-derive
     /// everything from scratch each iteration. Kept as the ablation
     /// baseline.
     pub fn eval_naive(&self) -> Result<(Database, EvalStats), DatalogError> {
-        self.eval_with(false, PlannerMode::CostBased)
+        self.eval_opts(EvalOptions {
+            seminaive: false,
+            ..EvalOptions::default()
+        })
     }
 
     /// Compute the perfect model with an explicit evaluation strategy and
@@ -134,7 +229,19 @@ impl Program {
         seminaive: bool,
         planner: PlannerMode,
     ) -> Result<(Database, EvalStats), DatalogError> {
-        self.run(seminaive, planner)
+        self.eval_opts(EvalOptions {
+            seminaive,
+            planner,
+            ..EvalOptions::default()
+        })
+    }
+
+    /// Compute the perfect model with full [`EvalOptions`] control —
+    /// notably an explicit thread budget and parallel work-size
+    /// thresholds, which the parallel differential tests use to compare
+    /// thread counts in-process without touching the environment.
+    pub fn eval_opts(&self, opts: EvalOptions) -> Result<(Database, EvalStats), DatalogError> {
+        self.run(opts)
     }
 
     /// Resume the least-model fixpoint of a **definite** (negation-free)
@@ -209,7 +316,7 @@ impl Program {
                 plan.ensure_total_indexes(total);
             }
         }
-        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats);
+        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats, ParCtx::auto());
         let mut db = ddb.into_total();
         db.prune_empty();
         Ok((db, stats))
@@ -281,6 +388,7 @@ impl Program {
         debug_assert_eq!(plans.len(), self.rules.len(), "one plan per rule");
         let mut stats = EvalStats::default();
         let mut model = model;
+        let par = ParCtx::auto();
         let plan_refs: Vec<&RulePlan> = plans.iter().collect();
 
         // Phase 1 — over-delete. Seed with the removed facts actually in
@@ -314,22 +422,28 @@ impl Program {
                 }
             }
             let mut next = Database::new();
+            let mut jobs: Vec<(&RulePlan, &ConjunctionPlan)> = Vec::new();
             for plan in &plan_refs {
                 for (pred, variant) in &plan.variants {
                     if deleted.delta().relation(*pred).is_none_or(|r| r.is_empty()) {
                         stats.variants_skipped += 1;
                         continue;
                     }
-                    stats.rule_firings += 1;
-                    fire(
-                        plan,
-                        variant,
-                        &model,
-                        Some(deleted.delta()),
-                        &mut next,
-                        &mut stats,
-                    );
+                    jobs.push((plan, variant));
                 }
+            }
+            stats.rule_firings += jobs.len() as u64;
+            let round_threads = fire_jobs(
+                &jobs,
+                &model,
+                Some(deleted.delta()),
+                deleted.delta().len(),
+                &mut next,
+                &mut stats,
+                par,
+            );
+            if round_threads >= 2 {
+                stats.parallel_rounds += 1;
             }
             // Every candidate is already in the model (the model is closed
             // under the rules and the delta is a subset of it), so advance
@@ -394,7 +508,7 @@ impl Program {
                 plan.ensure_total_indexes(total);
             }
         }
-        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats);
+        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats, par);
         let mut db = ddb.into_total();
         stats.tuples_rederived = deleted
             .relations()
@@ -410,18 +524,15 @@ impl Program {
             .any(|r| r.body.iter().any(|l| !l.positive))
     }
 
-    fn run(
-        &self,
-        seminaive: bool,
-        planner: PlannerMode,
-    ) -> Result<(Database, EvalStats), DatalogError> {
+    fn run(&self, opts: EvalOptions) -> Result<(Database, EvalStats), DatalogError> {
         let strata = self.stratify()?;
         let max_stratum = strata.values().copied().max().unwrap_or(0);
         let mut db = self.edb.clone();
         let mut stats = EvalStats::default();
+        let par = ParCtx::from_opts(&opts);
 
         // Compile every rule exactly once; plans are reused each round.
-        let edb_stats = match planner {
+        let edb_stats = match opts.planner {
             PlannerMode::Greedy => None,
             PlannerMode::CostBased => Some(&self.edb),
         };
@@ -446,10 +557,10 @@ impl Program {
             if level_plans.is_empty() {
                 continue;
             }
-            if seminaive {
-                db = fix_seminaive(&level_plans, db, &mut stats);
+            if opts.seminaive {
+                db = fix_seminaive(&level_plans, db, &mut stats, par);
             } else {
-                fix_naive(&level_plans, &mut db, &mut stats);
+                fix_naive(&level_plans, &mut db, &mut stats, par);
             }
         }
         // Index warm-up may have created empty relations for body
@@ -460,7 +571,12 @@ impl Program {
 }
 
 /// Semi-naive fixpoint of one stratum over a stable/delta split.
-fn fix_seminaive(plans: &[&RulePlan], db: Database, stats: &mut EvalStats) -> Database {
+fn fix_seminaive(
+    plans: &[&RulePlan],
+    db: Database,
+    stats: &mut EvalStats,
+    par: ParCtx,
+) -> Database {
     let mut ddb = DeltaDatabase::new(db);
     // Warm the total-side indexes once; incremental maintenance keeps
     // them fresh as `advance` inserts each round's facts.
@@ -470,7 +586,7 @@ fn fix_seminaive(plans: &[&RulePlan], db: Database, stats: &mut EvalStats) -> Da
             plan.ensure_total_indexes(total);
         }
     }
-    seminaive_rounds(plans, &mut ddb, true, stats);
+    seminaive_rounds(plans, &mut ddb, true, stats, par);
     ddb.into_total()
 }
 
@@ -484,20 +600,31 @@ fn seminaive_rounds(
     ddb: &mut DeltaDatabase,
     full_first_round: bool,
     stats: &mut EvalStats,
+    par: ParCtx,
 ) {
     let mut first_round = full_first_round;
     loop {
         stats.iterations += 1;
         let mut new_facts = Database::new();
+        let round_threads;
         if first_round {
             // Round 1: the delta is conceptually "everything", so each
-            // rule runs its full plan once.
+            // rule runs its full plan once; the stable total is the
+            // driving work size.
             first_round = false;
-            for plan in plans {
-                stats.rule_firings += 1;
-                stats.full_firings += 1;
-                fire(plan, &plan.full, ddb.total(), None, &mut new_facts, stats);
-            }
+            let jobs: Vec<(&RulePlan, &ConjunctionPlan)> =
+                plans.iter().map(|p| (*p, &p.full)).collect();
+            stats.rule_firings += jobs.len() as u64;
+            stats.full_firings += jobs.len() as u64;
+            round_threads = fire_jobs(
+                &jobs,
+                ddb.total(),
+                None,
+                ddb.total().len(),
+                &mut new_facts,
+                stats,
+                par,
+            );
         } else {
             // The delta was replaced by `advance` (or pre-seeded by the
             // caller): rebuild the (rare) constant-probed delta-side
@@ -510,6 +637,10 @@ fn seminaive_rounds(
                     }
                 }
             }
+            // The skip/run decision is made up front on the coordinator —
+            // deterministic regardless of how the surviving jobs are
+            // scheduled below.
+            let mut jobs: Vec<(&RulePlan, &ConjunctionPlan)> = Vec::new();
             for plan in plans {
                 for (pred, variant) in &plan.variants {
                     if ddb.delta().relation(*pred).is_none_or(|r| r.is_empty()) {
@@ -518,17 +649,22 @@ fn seminaive_rounds(
                         stats.variants_skipped += 1;
                         continue;
                     }
-                    stats.rule_firings += 1;
-                    fire(
-                        plan,
-                        variant,
-                        ddb.total(),
-                        Some(ddb.delta()),
-                        &mut new_facts,
-                        stats,
-                    );
+                    jobs.push((plan, variant));
                 }
             }
+            stats.rule_firings += jobs.len() as u64;
+            round_threads = fire_jobs(
+                &jobs,
+                ddb.total(),
+                Some(ddb.delta()),
+                ddb.delta().len(),
+                &mut new_facts,
+                stats,
+                par,
+            );
+        }
+        if round_threads >= 2 {
+            stats.parallel_rounds += 1;
         }
         if ddb.advance(&new_facts) == 0 {
             break;
@@ -537,17 +673,20 @@ fn seminaive_rounds(
 }
 
 /// Naive fixpoint of one stratum: every rule's full plan, every round.
-fn fix_naive(plans: &[&RulePlan], db: &mut Database, stats: &mut EvalStats) {
+fn fix_naive(plans: &[&RulePlan], db: &mut Database, stats: &mut EvalStats, par: ParCtx) {
     for plan in plans {
         plan.ensure_total_indexes(db);
     }
     loop {
         stats.iterations += 1;
         let mut new_facts = Database::new();
-        for plan in plans {
-            stats.rule_firings += 1;
-            stats.full_firings += 1;
-            fire(plan, &plan.full, db, None, &mut new_facts, stats);
+        let jobs: Vec<(&RulePlan, &ConjunctionPlan)> =
+            plans.iter().map(|p| (*p, &p.full)).collect();
+        stats.rule_firings += jobs.len() as u64;
+        stats.full_firings += jobs.len() as u64;
+        let round_threads = fire_jobs(&jobs, db, None, db.len(), &mut new_facts, stats, par);
+        if round_threads >= 2 {
+            stats.parallel_rounds += 1;
         }
         if db.union_with(&new_facts) == 0 {
             break;
@@ -555,8 +694,56 @@ fn fix_naive(plans: &[&RulePlan], db: &mut Database, stats: &mut EvalStats) {
     }
 }
 
+/// Execute one round's firing jobs, fanning them out across worker
+/// threads when the thread budget and the round's driving work size
+/// allow. Each parallel job derives into its own candidate database and
+/// [`EvalStats`] shard; shards are merged **in plan order** on the
+/// coordinator, so every counter and the candidate set handed to
+/// [`DeltaDatabase::advance`] are identical to the sequential run's
+/// (candidates are sets, counters are sums — both order-independent).
+/// Jobs inside a fan-out run with a sequential context: one layer of
+/// parallelism at a time. Returns the maximum number of threads any part
+/// of the round engaged (1 = fully sequential).
+#[allow(clippy::too_many_arguments)]
+fn fire_jobs(
+    jobs: &[(&RulePlan, &ConjunctionPlan)],
+    total: &Database,
+    delta: Option<&Database>,
+    driving_rows: usize,
+    out: &mut Database,
+    stats: &mut EvalStats,
+    par: ParCtx,
+) -> usize {
+    if par.threads < 2 || jobs.len() < 2 || driving_rows < par.fanout_min_rows {
+        let mut used = 1;
+        for (plan, join) in jobs {
+            used = used.max(fire(plan, join, total, delta, out, stats, par));
+        }
+        return used;
+    }
+    let seq = par.sequential();
+    let results = threadpool::parallel_map(jobs.len(), par.threads, |j| {
+        let (plan, join) = jobs[j];
+        let mut shard_out = Database::new();
+        let mut shard = EvalStats::default();
+        fire(plan, join, total, delta, &mut shard_out, &mut shard, seq);
+        (shard_out, shard)
+    });
+    for (shard_out, shard) in &results {
+        out.union_with(shard_out);
+        stats.absorb(shard);
+    }
+    let engaged = par.threads.min(jobs.len());
+    stats.threads_used = stats.threads_used.max(engaged as u64);
+    engaged
+}
+
 /// Execute one join plan: for every complete match whose negated literals
-/// all fail against the total, ground the head into `out`.
+/// all fail against the total, ground the head into `out`. When the
+/// thread budget allows and the plan carries a parallel-eligible hash
+/// step, the probes are partitioned across threads
+/// ([`ConjunctionPlan::for_each_match_partitioned`] — callback order and
+/// counters stay bit-for-bit sequential). Returns the threads engaged.
 fn fire(
     plan: &RulePlan,
     join: &ConjunctionPlan,
@@ -564,7 +751,8 @@ fn fire(
     delta: Option<&Database>,
     out: &mut Database,
     stats: &mut EvalStats,
-) {
+    par: ParCtx,
+) -> usize {
     for step in join.steps() {
         match step.strategy {
             StepStrategy::IndexProbe => stats.probe_steps += 1,
@@ -574,12 +762,9 @@ fn fire(
     }
     let mut env = vec![None; plan.slots.len()];
     let mut derivations = 0u64;
-    join.for_each_match_counting(
-        total,
-        delta,
-        &mut env,
-        &mut stats.rows_examined,
-        &mut |env| {
+    let mut used = 1;
+    {
+        let mut on_match = |env: &[Option<Param>]| {
             let blocked = plan
                 .negatives
                 .iter()
@@ -588,9 +773,31 @@ fn fire(
                 derivations += 1;
                 out.insert_tuple(plan.head.pred, plan.head.ground(env));
             }
-        },
-    );
+        };
+        if par.threads >= 2 && join.parallel_eligible_at(par.probe_min_outer) {
+            used = join.for_each_match_partitioned(
+                total,
+                delta,
+                &mut env,
+                par.threads,
+                &mut stats.rows_examined,
+                &mut on_match,
+            );
+        } else {
+            join.for_each_match_counting(
+                total,
+                delta,
+                &mut env,
+                &mut stats.rows_examined,
+                &mut on_match,
+            );
+        }
+    }
     stats.derivations += derivations;
+    if used >= 2 {
+        stats.threads_used = stats.threads_used.max(used as u64);
+    }
+    used
 }
 
 #[cfg(test)]
@@ -983,6 +1190,8 @@ mod tests {
             tuples_overdeleted: 11,
             tuples_rederived: 12,
             support_checks: 13,
+            parallel_rounds: 14,
+            threads_used: 15,
         };
         let b = a;
         a.absorb(&b);
@@ -999,6 +1208,114 @@ mod tests {
         assert_eq!(a.tuples_overdeleted, 22);
         assert_eq!(a.tuples_rederived, 24);
         assert_eq!(a.support_checks, 26);
+        assert_eq!(a.parallel_rounds, 28);
+        // A high-water mark, not a sum: absorbing an equal run keeps it.
+        assert_eq!(a.threads_used, 15);
+        let wider = EvalStats {
+            threads_used: 40,
+            ..EvalStats::default()
+        };
+        a.absorb(&wider);
+        assert_eq!(a.threads_used, 40);
+    }
+
+    /// Options forcing every parallel path at `threads` workers: zero
+    /// work-size thresholds, so even toy programs fan out and partition.
+    fn par_opts(threads: usize) -> EvalOptions {
+        EvalOptions {
+            threads,
+            par_fanout_min_rows: 0,
+            par_probe_min_outer: 0,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// The counters that must be invariant across thread counts — i.e.
+    /// everything except the parallelism observables themselves.
+    fn scrubbed(mut s: EvalStats) -> EvalStats {
+        s.parallel_rounds = 0;
+        s.threads_used = 0;
+        s
+    }
+
+    #[test]
+    fn parallel_fanout_matches_sequential_counters_exactly() {
+        // chain(12) runs a 2-rule stratum with recursive delta rounds:
+        // with zeroed thresholds every round fans out. Model and every
+        // merged counter — including variants_skipped and rows_examined,
+        // tallied in thread-local shards — must equal the sequential
+        // run's exactly.
+        let p = chain(12);
+        let (seq_db, seq) = p.eval_opts(par_opts(1)).unwrap();
+        for threads in [2, 4, 8] {
+            let (par_db, par) = p.eval_opts(par_opts(threads)).unwrap();
+            assert_eq!(par_db, seq_db, "model diverged at {threads} threads");
+            assert_eq!(
+                scrubbed(par),
+                scrubbed(seq),
+                "counters diverged at {threads} threads"
+            );
+            assert!(par.parallel_rounds > 0, "fan-out must engage");
+            assert!(par.threads_used >= 2);
+        }
+        assert_eq!(seq.parallel_rounds, 0, "1 thread is the sequential path");
+        assert_eq!(seq.threads_used, 0);
+    }
+
+    #[test]
+    fn partitioned_probes_match_sequential_counters_exactly() {
+        // Skewed two-column join: the cost-based planner hashes `big`,
+        // and with a zero outer threshold the single-rule round (no
+        // fan-out possible) partitions the probe rows instead.
+        let mut src = String::new();
+        for i in 0..32 {
+            src.push_str(&format!("q(k{}, val{i})\nbig(k{}, val{i})\n", i % 4, i % 4));
+        }
+        src.push_str("forall x, y. q(x, y) & big(x, y) -> hit(x, y)\n");
+        let p = Program::from_text(&src).unwrap();
+        let (seq_db, seq) = p.eval_opts(par_opts(1)).unwrap();
+        assert!(seq.hash_steps > 0, "workload must exercise the hash path");
+        let (par_db, par) = p.eval_opts(par_opts(4)).unwrap();
+        assert_eq!(par_db, seq_db);
+        assert_eq!(scrubbed(par), scrubbed(seq));
+        assert!(par.threads_used >= 2, "partitioned probes must engage");
+    }
+
+    #[test]
+    fn default_thresholds_keep_tiny_fixpoints_sequential() {
+        // Even with a thread budget, a fixpoint below the work-size
+        // thresholds must not spawn: same counters, zero parallelism
+        // observables.
+        let p = chain(6);
+        let opts = EvalOptions {
+            threads: 4,
+            ..EvalOptions::default()
+        };
+        let (db, stats) = p.eval_opts(opts).unwrap();
+        let (seq_db, seq) = p.eval().unwrap();
+        assert_eq!(db, seq_db);
+        assert_eq!(stats.parallel_rounds, 0);
+        assert_eq!(stats.threads_used, 0);
+        assert_eq!(scrubbed(stats), scrubbed(seq));
+    }
+
+    #[test]
+    fn parallel_evaluation_respects_stratified_negation() {
+        // Strata must still evaluate in order under fan-out: the negated
+        // stratum reads a completed lower stratum.
+        let src = "node(a)
+             node(b)
+             node(c)
+             e(a, b)
+             forall x, y. e(x, y) -> reach(x, y)
+             forall x, y, z. reach(x, y) & e(y, z) -> reach(x, z)
+             forall x, y. node(x) & node(y) & ~reach(x, y) -> sep(x, y)";
+        let p = Program::from_text(src).unwrap();
+        let (seq_db, seq) = p.eval_opts(par_opts(1)).unwrap();
+        let (par_db, par) = p.eval_opts(par_opts(4)).unwrap();
+        assert_eq!(par_db, seq_db);
+        assert_eq!(scrubbed(par), scrubbed(seq));
+        assert!(par_db.contains(&atom("sep(b, a)")));
     }
 
     #[test]

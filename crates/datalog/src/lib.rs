@@ -26,7 +26,7 @@ pub mod program;
 pub mod sld;
 
 pub use completion::completion;
-pub use engine::{EvalStats, PlannerMode};
+pub use engine::{EvalOptions, EvalStats, PlannerMode, PAR_MIN_FANOUT_ROWS};
 pub use plan::RulePlan;
 pub use program::{DatalogError, Literal, Program, Rule};
 pub use sld::{SldEngine, SldOutcome};

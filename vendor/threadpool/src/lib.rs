@@ -1,0 +1,209 @@
+//! Minimal **scoped thread pool** for the epilog workspace.
+//!
+//! The build container has no route to a crates.io mirror (see
+//! `vendor/README.md`), so instead of `rayon` this shim provides the small
+//! surface the evaluators need, built directly on [`std::thread::scope`]:
+//!
+//! * [`scope`] — a rayon-style `scope(|s| ...)` that lets borrowing
+//!   closures run on other threads and joins them all before returning;
+//! * [`parallel_map`] — run `jobs` indexed closures on up to `threads`
+//!   workers with **static chunking** (worker `w` takes jobs
+//!   `w, w+threads, …`; no work stealing) and return the results in job
+//!   order, so callers can merge deterministically;
+//! * [`available`] / [`configured`] — the hardware parallelism and the
+//!   `EPILOG_THREADS` override that gates every parallel path in the
+//!   workspace.
+//!
+//! There is no persistent worker pool: threads are spawned per scope and
+//! joined at its end. Callers gate parallel entry on work-size thresholds,
+//! which amortizes the spawn cost and keeps tiny fixpoints on the
+//! sequential path. Worker panics are propagated to the caller
+//! ([`std::panic::resume_unwind`]) after the scope joins, so a failing
+//! assertion inside a job surfaces exactly like it would sequentially.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Environment variable that overrides the worker-thread budget.
+///
+/// * unset or unparseable — use [`available`] (all hardware threads);
+/// * `0` or `1` — force the sequential path everywhere;
+/// * `n ≥ 2` — allow up to `n` worker threads.
+pub const THREADS_ENV: &str = "EPILOG_THREADS";
+
+/// Number of hardware threads, at least 1.
+#[must_use]
+pub fn available() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Effective thread budget: the [`THREADS_ENV`] override when set
+/// (`0` is clamped to `1`, i.e. sequential), otherwise [`available`].
+#[must_use]
+pub fn configured() -> usize {
+    match std::env::var(THREADS_ENV) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => available(),
+        },
+        Err(_) => available(),
+    }
+}
+
+/// A scope handle passed to the closure given to [`scope`].
+///
+/// Wraps [`std::thread::Scope`]; spawned threads may borrow from the
+/// enclosing frame (`'env`) and are all joined before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker inside the scope and return its join handle.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(f)
+    }
+}
+
+/// Create a scope for spawning borrowing threads (rayon-style
+/// `scope(|s| ...)`). All threads spawned through the handle are joined
+/// before this function returns.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Run `run(0..jobs)` on up to `threads` workers and collect the results
+/// **in job order**.
+///
+/// Static chunking, no work stealing: worker `w` executes jobs
+/// `w, w + workers, w + 2·workers, …` where `workers = min(threads, jobs)`.
+/// With `threads <= 1` (or a single job) everything runs inline on the
+/// calling thread — no spawn, bit-for-bit the sequential loop.
+///
+/// A panicking job aborts the map: remaining workers finish their current
+/// jobs, then the panic is propagated to the caller.
+pub fn parallel_map<T, F>(jobs: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.min(jobs);
+    if workers <= 1 {
+        return (0..jobs).map(run).collect();
+    }
+    let run = &run;
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(jobs);
+    slots.resize_with(jobs, || None);
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                s.spawn(move || {
+                    let mut done = Vec::new();
+                    let mut j = w;
+                    while j < jobs {
+                        done.push((j, run(j)));
+                        j += workers;
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(done) => {
+                    for (j, v) in done {
+                        slots[j] = Some(v);
+                    }
+                }
+                Err(e) => panic = Some(e),
+            }
+        }
+    });
+    if let Some(e) = panic {
+        std::panic::resume_unwind(e);
+    }
+    slots
+        .into_iter()
+        .map(|v| v.expect("static chunking covers every job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn available_is_at_least_one() {
+        assert!(available() >= 1);
+        assert!(configured() >= 1);
+    }
+
+    #[test]
+    fn scope_joins_borrowing_threads() {
+        let data = [1u64, 2, 3, 4];
+        let sums: Vec<u64> = scope(|s| {
+            let lo = s.spawn(|| data[..2].iter().sum());
+            let hi = s.spawn(|| data[2..].iter().sum());
+            vec![lo.join().unwrap(), hi.join().unwrap()]
+        });
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_job_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = parallel_map(23, threads, |j| j * j);
+            assert_eq!(out, (0..23).map(|j| j * j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_every_job_once() {
+        let hits = AtomicUsize::new(0);
+        let out = parallel_map(100, 4, |j| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            j
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn sequential_budget_runs_inline() {
+        // With threads <= 1 no worker threads are spawned: the closure
+        // runs on the calling thread, observable via thread identity.
+        let caller = thread::current().id();
+        let ids = parallel_map(5, 1, |_| thread::current().id());
+        assert!(ids.iter().all(|id| *id == caller));
+    }
+
+    #[test]
+    fn more_jobs_than_threads_still_covered() {
+        let out = parallel_map(11, 3, |j| j + 1);
+        assert_eq!(out, (1..=11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_map(4, 2, |j| {
+                if j == 3 {
+                    panic!("boom");
+                }
+                j
+            })
+        });
+        assert!(r.is_err());
+    }
+}
