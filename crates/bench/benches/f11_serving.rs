@@ -1,0 +1,243 @@
+//! F11 — the serving layer: MVCC snapshot reads vs. the single-writer
+//! group-commit queue.
+//!
+//! Shape expectation: `read` and `read_during_burst` rows should
+//! coincide at every `n` — a snapshot is a pointer clone, so readers
+//! never feel an in-flight commit burst parked on the writer. The
+//! `commit_grouped` row does the same 16 commits as `commit_individual`
+//! on 2 fsyncs instead of 16 plus 2 queue round-trips instead of 16; the
+//! gap approaches the batch factor on real disks and shrinks toward the
+//! round-trip saving alone where fsync is nearly free (tmpfs).
+//! The mixed-traffic summary printed before the criterion tables gives
+//! the absolute numbers: commits/sec through the queue and p50/p99
+//! snapshot-read latency while those commits are in flight.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epilog_bench::workloads::{enrollment_batch, serving_registrar};
+use epilog_persist::{ServingDb, TxOp};
+use epilog_syntax::parse;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn fresh(tag: &str, n: usize) -> (std::path::PathBuf, ServingDb) {
+    let dir = std::env::temp_dir().join(format!("epilog-f11-{tag}-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = serving_registrar(&dir, n);
+    (dir, db)
+}
+
+/// One hire + matching fire: two commits that leave the state exactly
+/// where it started, so throughput loops don't grow the database.
+fn hire_fire(db: &ServingDb, i: usize) {
+    let hire: Vec<TxOp> = enrollment_batch(i, 1)
+        .into_iter()
+        .map(TxOp::Assert)
+        .collect();
+    let fire: Vec<TxOp> = enrollment_batch(i, 1)
+        .into_iter()
+        .map(TxOp::Retract)
+        .collect();
+    db.commit_wait(hire)
+        .expect("hire satisfies the constraints");
+    db.commit_wait(fire).expect("fire of a hire is clean");
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Mixed traffic, measured by hand: 4 reader threads sample snapshot
+/// reads while the main thread saturates the commit queue. Printed once,
+/// before the criterion tables, because criterion can't time two kinds
+/// of work against each other in one figure.
+fn mixed_traffic_summary() {
+    const READERS: usize = 4;
+    const READS_PER_READER: usize = 400;
+    let (dir, db) = fresh("mixed", 32);
+    let q = parse("exists y. K ss(e7, y)").unwrap();
+    let stop = AtomicBool::new(false);
+    let mut commits = 0u64;
+
+    let (lat, wall) = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut lat = Vec::with_capacity(READS_PER_READER);
+                    for _ in 0..READS_PER_READER {
+                        let t = Instant::now();
+                        let snap = db.snapshot();
+                        black_box(snap.db().ask(&q));
+                        lat.push(t.elapsed());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let start = Instant::now();
+        let mut i = 1000usize;
+        while !stop.load(Ordering::Relaxed) {
+            hire_fire(&db, i);
+            i += 1;
+            commits += 2;
+            if readers.iter().all(|r| r.is_finished()) {
+                stop.store(true, Ordering::Relaxed);
+            }
+        }
+        let wall = start.elapsed();
+        let mut lat: Vec<Duration> = readers
+            .into_iter()
+            .flat_map(|r| r.join().unwrap())
+            .collect();
+        lat.sort();
+        (lat, wall)
+    });
+
+    println!(
+        "f11 mixed traffic: {} commits in {:.2?} ({:.0} commits/sec) against {} concurrent reads",
+        commits,
+        wall,
+        commits as f64 / wall.as_secs_f64(),
+        lat.len(),
+    );
+    println!(
+        "f11 read latency under load: p50 {:.2?}  p99 {:.2?}  max {:.2?}",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.99),
+        percentile(&lat, 1.0),
+    );
+
+    db.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn bench(c: &mut Criterion) {
+    // Correctness gate: a pinned snapshot survives later commits, and a
+    // gated burst forms one batch on one fsync.
+    {
+        let (dir, db) = fresh("gate", 4);
+        let snap = db.snapshot();
+        let before = db.stats();
+        let gate = db.gate();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let ops = enrollment_batch(100 + i, 1)
+                    .into_iter()
+                    .map(TxOp::Assert)
+                    .collect();
+                db.commit(ops)
+            })
+            .collect();
+        gate.open();
+        for h in handles {
+            h.wait().expect("gated enrollments all commit");
+        }
+        let after = db.stats();
+        assert_eq!(after.commits - before.commits, 8);
+        assert_eq!(after.fsyncs - before.fsyncs, 1, "one sync for the burst");
+        assert_eq!(after.batches - before.batches, 1, "one batch for the burst");
+        let q = parse("K emp(e100)").unwrap();
+        assert_eq!(snap.db().ask(&q).to_string(), "no", "pinned snapshot");
+        assert_eq!(db.snapshot().db().ask(&q).to_string(), "yes");
+        db.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    mixed_traffic_summary();
+
+    let mut g = c.benchmark_group("f11_serving");
+    g.sample_size(10);
+
+    // Snapshot reads on an idle server...
+    for n in [16usize, 64] {
+        let (dir, db) = fresh("read", n);
+        let q = parse("exists y. K ss(e7, y)").unwrap();
+        g.bench_with_input(BenchmarkId::new("read", n), &n, |b, _| {
+            b.iter(|| black_box(db.snapshot().db().ask(&q)))
+        });
+        // ...and with a commit burst parked on the held writer gate: the
+        // queue is full of prepared work the writer cannot start, yet
+        // the rows should match the idle ones.
+        let gate = db.gate();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let ops = enrollment_batch(200 + i, 1)
+                    .into_iter()
+                    .map(TxOp::Assert)
+                    .collect();
+                db.commit(ops)
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("read_during_burst", n), &n, |b, _| {
+            b.iter(|| black_box(db.snapshot().db().ask(&q)))
+        });
+        gate.open();
+        for h in handles {
+            h.wait().expect("parked enrollments commit after the gate");
+        }
+        db.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Commit cost: one-at-a-time (one fsync each) vs. a gated group of 8
+    // (one fsync total). Both rows do 8 hire/fire pairs per iteration.
+    {
+        let (dir, db) = fresh("commit", 8);
+        g.bench_with_input(BenchmarkId::new("commit_individual", 8), &8, |b, _| {
+            b.iter(|| {
+                // Same state trajectory as the grouped row: 8 hires,
+                // then 8 fires — but one queue round-trip (and one
+                // fsync) per commit.
+                for phase in 0..2 {
+                    for i in 0..8 {
+                        let ops = enrollment_batch(300 + i, 1)
+                            .into_iter()
+                            .map(|w| {
+                                if phase == 0 {
+                                    TxOp::Assert(w)
+                                } else {
+                                    TxOp::Retract(w)
+                                }
+                            })
+                            .collect();
+                        db.commit_wait(ops).expect("individual hire/fire commits");
+                    }
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("commit_grouped", 8), &8, |b, _| {
+            b.iter(|| {
+                for phase in 0..2 {
+                    let gate = db.gate();
+                    let handles: Vec<_> = (0..8)
+                        .map(|i| {
+                            let ops = enrollment_batch(300 + i, 1)
+                                .into_iter()
+                                .map(|w| {
+                                    if phase == 0 {
+                                        TxOp::Assert(w)
+                                    } else {
+                                        TxOp::Retract(w)
+                                    }
+                                })
+                                .collect();
+                            db.commit(ops)
+                        })
+                        .collect();
+                    gate.open();
+                    for h in handles {
+                        h.wait().expect("grouped hire/fire commits");
+                    }
+                }
+            })
+        });
+        db.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

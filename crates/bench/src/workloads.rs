@@ -134,6 +134,34 @@ pub fn durable_registrar(
     db
 }
 
+/// The `f11_serving` workload: the registrar *served* from `dir` — a
+/// [`epilog_persist::ServingDb`] with the `emp ⊃ person` rule, the two
+/// §3 constraints, then `n` single-employee enrollments driven through
+/// the commit queue. Deterministic: the final state equals
+/// [`registrar_db`]`(n)` and the head LSN is `n + 2`.
+pub fn serving_registrar(dir: &std::path::Path, n: usize) -> epilog_persist::ServingDb {
+    let theory =
+        epilog_syntax::Theory::from_text("forall x. emp(x) -> person(x)").expect("static text");
+    let db =
+        epilog_persist::ServingDb::create(dir, theory, epilog_persist::ServeOptions::default())
+            .expect("fresh directory initializes");
+    db.add_constraint(epilog_syntax::parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+        .expect("fact-free registrar satisfies the emp constraint");
+    db.add_constraint(
+        epilog_syntax::parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+    )
+    .expect("fact-free registrar satisfies the FD constraint");
+    for i in 0..n {
+        let ops = enrollment_batch(i, 1)
+            .into_iter()
+            .map(epilog_persist::TxOp::Assert)
+            .collect();
+        db.commit_wait(ops)
+            .expect("enrollment satisfies the constraints");
+    }
+    db
+}
+
 /// A definite chain database `p(a0), a_i → a_{i+1}`-style facts for the
 /// all-answers figure: `n` facts, all certain answers.
 pub fn facts_db(n: usize) -> Theory {

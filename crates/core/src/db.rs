@@ -64,6 +64,13 @@ impl From<TheoryError> for DbError {
 /// maintained incrementally where possible. The one-shot
 /// [`EpistemicDb::assert`]/[`EpistemicDb::retract`] wrap single-operation
 /// transactions.
+///
+/// An `EpistemicDb` is `Clone + Sync`: queries take `&self`, so an
+/// immutable clone wrapped in an `Arc` is a consistent snapshot any
+/// number of reader threads can query concurrently (see
+/// [`crate::mvcc`]). Cloning is cheap relative to commits — the theory,
+/// model, and compiled plans are copied, none recomputed.
+#[derive(Clone)]
 pub struct EpistemicDb {
     pub(crate) prover: Prover,
     pub(crate) constraints: Vec<Formula>,

@@ -334,7 +334,7 @@ mod tests {
         let answers = all_answers(&p, &parse("K p(x) & K q(x)").unwrap()).unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0][0].name(), "b");
-        assert_eq!(*p.sat_calls.borrow(), 0, "no SAT call on a definite DB");
+        assert_eq!(p.sat_calls(), 0, "no SAT call on a definite DB");
     }
 
     #[test]
@@ -342,8 +342,8 @@ mod tests {
         let prover = Prover::new(Theory::from_text("p(a)\np(b)\np(c)").unwrap());
         let mut s = demo(&prover, &parse("K p(x)").unwrap()).unwrap();
         assert!(s.next().is_some());
-        let calls_after_one = *prover.sat_calls.borrow();
+        let calls_after_one = prover.sat_calls();
         let _rest: Vec<_> = s.collect();
-        assert!(*prover.sat_calls.borrow() > calls_after_one);
+        assert!(prover.sat_calls() > calls_after_one);
     }
 }

@@ -63,7 +63,7 @@ mod tests {
         assert!(p.atom_model().is_some());
         assert!(p.entails(&parse("t(a, c)").unwrap()));
         assert!(!p.entails(&parse("t(c, a)").unwrap()));
-        assert_eq!(*p.sat_calls.borrow(), 0);
+        assert_eq!(p.sat_calls(), 0);
     }
 
     #[test]

@@ -229,7 +229,7 @@ impl RuleGraph {
 }
 
 /// Incremental checker over a set of compiled constraints.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct IncrementalChecker {
     constraints: Vec<CompiledConstraint>,
 }

@@ -27,6 +27,10 @@
 //!   compiled semi-naive fixpoint) answers every ground-atom entailment
 //!   question without SAT — accelerating `demo`, `ask`, `closure` and the
 //!   incremental checker alike;
+//! * [`mvcc`] — snapshot publication for concurrent serving: immutable
+//!   [`CommittedState`]s behind an atomically swappable [`StateCell`],
+//!   so readers query a pinned state while the single writer prepares
+//!   the next one;
 //! * [`mod@transaction`] — the update surface: batched [`Transaction`]s
 //!   validated against compiled constraints and applied atomically, with
 //!   the attached least model maintained incrementally (the §8
@@ -41,6 +45,7 @@ pub mod demo;
 pub mod engine;
 pub mod incremental;
 pub mod instances;
+pub mod mvcc;
 pub mod optimize;
 pub mod transaction;
 
@@ -53,5 +58,6 @@ pub use engine::{definite_model, definite_program, prover_for};
 pub use epilog_semantics::Answer;
 pub use incremental::{CheckStats, CompiledConstraint, IncrementalChecker, RuleGraph};
 pub use instances::{admissible_wrt_f_sigma, instances, theorem_62_applies};
+pub use mvcc::{CommittedState, ReadHandle, StateCell};
 pub use optimize::{eliminate_redundant_conjuncts, valid_kfopce};
 pub use transaction::{CommitReport, ModelUpdate, PreparedCommit, Transaction};

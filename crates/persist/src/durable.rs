@@ -343,6 +343,13 @@ impl DurableDb {
         self.wal.sync().map_err(PersistError::Io)
     }
 
+    /// Number of committed records not yet covered by an fsync — the
+    /// loss window a crash (not a clean drop, which flushes) would
+    /// open under `FsyncPolicy::Batch`/`Never`.
+    pub fn pending_unsynced(&self) -> u32 {
+        self.wal.pending_unsynced()
+    }
+
     /// The wrapped in-memory database (also reachable through `Deref`).
     pub fn db(&self) -> &EpistemicDb {
         &self.db
@@ -366,6 +373,12 @@ impl DurableDb {
     /// Current log size in bytes.
     pub fn wal_bytes(&self) -> u64 {
         self.wal.len_bytes()
+    }
+
+    /// Decompose into `(db, wal, dir)` — the serving layer's writer
+    /// thread takes ownership of the pieces directly.
+    pub(crate) fn into_parts(self) -> (EpistemicDb, Wal, PathBuf) {
+        (self.db, self.wal, self.dir)
     }
 }
 

@@ -19,7 +19,21 @@
 //!   path — recovered state re-verifies constraints and rebuilds or
 //!   resumes the incremental model exactly as the live path does —
 //!   tolerating a torn log tail (truncate at the first corrupt record,
-//!   reported in the [`RecoveryReport`]).
+//!   reported in the [`RecoveryReport`]);
+//! * [`ServingDb`] — the concurrent serving layer: lock-free MVCC
+//!   snapshot reads (`epilog-core`'s `StateCell`) with a single writer
+//!   thread draining a bounded commit queue and batching many
+//!   transactions into one log write + one fsync (group commit).
+//!
+//! # Loss windows are crash-only
+//!
+//! Under [`FsyncPolicy::Batch`]`(n)` (and `Never`) up to `n` (resp.
+//! unboundedly many) acknowledged commits may await an fsync —
+//! [`DurableDb::pending_unsynced`] reports how many right now. Only a
+//! *crash* can lose them: dropping the database (or its [`Wal`]) flushes
+//! the window, so any clean shutdown — including a panic that unwinds —
+//! leaves the log complete. [`ServingDb`] acknowledges commits only
+//! after the batch fsync, so its callers never see the window at all.
 //!
 //! # Quickstart
 //!
@@ -55,6 +69,7 @@
 //! ```
 
 pub mod durable;
+pub mod serve;
 pub mod snapshot;
 pub mod wal;
 
@@ -80,6 +95,9 @@ pub(crate) fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
 
 pub use durable::{
     CompactStats, DurableDb, DurableTransaction, PersistError, RecoveryOptions, RecoveryReport,
+};
+pub use serve::{
+    CommitHandle, CommitReceipt, ServeError, ServeOptions, ServeStats, ServingDb, TxOp, WriterGate,
 };
 pub use snapshot::{Snapshot, SnapshotError};
 pub use wal::{FsyncPolicy, TornTail, Wal, WalOp, WalRecord, WalScan};

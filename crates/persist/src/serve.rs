@@ -1,0 +1,667 @@
+//! `ServingDb`: the concurrent serving layer — MVCC snapshot reads plus
+//! a single-writer thread doing durable group commit.
+//!
+//! # Architecture
+//!
+//! A knowledge base is queried far more often than it is revised, so the
+//! serving layer splits the two paths completely:
+//!
+//! * **Readers** call [`ServingDb::snapshot`] and get an
+//!   [`epilog_core::ReadHandle`] — an `Arc` clone of the immutable
+//!   committed state (theory, constraints, materialized model, compiled
+//!   plans). Queries run on the handle with no locks and no coordination
+//!   with commits in flight; a snapshot pins its state until dropped.
+//! * **The writer** is one thread (spawned through
+//!   `threadpool::spawn_named`) draining a bounded commit queue. It
+//!   owns the working [`EpistemicDb`] and the [`Wal`] outright, so
+//!   validation runs against the true head state with no locking at all.
+//!
+//! # Group commit
+//!
+//! The writer drains whatever has queued up (up to a batch cap) and
+//! processes the batch as one durability unit: each transaction is
+//! validated via [`Transaction::prepare`] and its effective delta
+//! appended to the log (rejected transactions are answered immediately
+//! and never logged), then the whole batch is forced with **one**
+//! `fdatasync`, the new state is published with a pointer swap, and only
+//! then are the callers' completion handles fed their [`CommitReceipt`]s
+//! — an acknowledged commit is both durable and visible to subsequent
+//! snapshots. This generalizes [`FsyncPolicy::Batch`]'s every-`n`
+//! amortization into real cross-transaction batching: under load, many
+//! transactions share each fsync ([`ServingDb::stats`] reports the
+//! ratio), while an idle writer degenerates to one fsync per commit —
+//! the same durability as [`FsyncPolicy::Always`] with none of the
+//! batch policies' crash-loss window.
+//!
+//! The on-disk format is unchanged: a directory served by `ServingDb`
+//! is a `DurableDb` directory, and either API can recover it.
+
+use crate::durable::{DurableDb, PersistError, RecoveryReport};
+use crate::wal::{FsyncPolicy, Wal, WalOp, WAL_FILE};
+use epilog_core::db::DbError;
+use epilog_core::{CommitReport, CommittedState, EpistemicDb, ReadHandle, StateCell, Transaction};
+use epilog_syntax::{Formula, Theory};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Tuning knobs for a [`ServingDb`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Commit-queue capacity; enqueueing callers block (backpressure)
+    /// when the writer falls this far behind.
+    pub queue_depth: usize,
+    /// Most transactions the writer folds into one durability unit
+    /// (one WAL sync + one publish).
+    pub max_batch: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            queue_depth: 128,
+            max_batch: 64,
+        }
+    }
+}
+
+/// Errors surfaced through a [`CommitHandle`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// The database refused the transaction (constraint violation,
+    /// ill-formed sentence, …); state and log are unchanged.
+    Db(DbError),
+    /// The log append or sync failed; the transaction was not applied.
+    Io(String),
+    /// The serving database shut down before answering.
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Db(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Closed => write!(f, "serving database is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One queued update operation.
+#[derive(Debug, Clone)]
+pub enum TxOp {
+    /// Add a sentence to the theory.
+    Assert(Formula),
+    /// Remove a sentence from the theory.
+    Retract(Formula),
+}
+
+/// What an acknowledged commit got: its WAL position and the usual
+/// commit report. By the time the handle yields a receipt the record is
+/// fsynced and the state published — a snapshot taken afterwards is
+/// guaranteed to reflect it.
+#[derive(Debug)]
+pub struct CommitReceipt {
+    /// LSN of the commit's log record (unchanged head LSN for no-ops).
+    pub lsn: u64,
+    /// The core engine's commit report (deltas, model update, checks).
+    pub report: CommitReport,
+}
+
+/// Completion handle for a queued commit.
+#[must_use = "a commit is not acknowledged until the handle is waited on"]
+pub struct CommitHandle {
+    rx: Receiver<Result<CommitReceipt, ServeError>>,
+}
+
+impl CommitHandle {
+    /// Block until the writer answers (durable + published, or
+    /// rejected).
+    pub fn wait(self) -> Result<CommitReceipt, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+}
+
+/// Holds the writer between batches — a deterministic way for benches
+/// and tests to force a group: take the gate, enqueue transactions,
+/// then [`WriterGate::open`]; everything enqueued meanwhile lands in
+/// one batch (up to [`ServeOptions::max_batch`]).
+#[must_use = "dropping the gate opens it immediately"]
+pub struct WriterGate {
+    _tx: SyncSender<()>,
+}
+
+impl WriterGate {
+    /// Release the writer.
+    pub fn open(self) {}
+}
+
+/// Writer-side counters, snapshotted by [`ServingDb::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Accepted (durable, published) transactions.
+    pub commits: u64,
+    /// Rejected transactions (constraint violations etc.).
+    pub rejected: u64,
+    /// Batches published.
+    pub batches: u64,
+    /// WAL syncs issued — `commits / fsyncs` is the group-commit
+    /// amortization ratio.
+    pub fsyncs: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    commits: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    fsyncs: AtomicU64,
+}
+
+enum Request {
+    Commit {
+        ops: Vec<TxOp>,
+        reply: SyncSender<Result<CommitReceipt, ServeError>>,
+    },
+    Constraint {
+        ic: Formula,
+        reply: SyncSender<Result<u64, ServeError>>,
+    },
+    Flush(SyncSender<u64>),
+    Gate(Receiver<()>),
+}
+
+/// A durable [`EpistemicDb`] served concurrently: any number of
+/// lock-free snapshot readers, one group-committing writer thread.
+///
+/// See the [module docs](self) for the architecture. All methods take
+/// `&self`; a `ServingDb` is typically wrapped in an `Arc` and shared
+/// across reader/session threads.
+pub struct ServingDb {
+    head: Arc<StateCell>,
+    queue: Option<SyncSender<Request>>,
+    writer: Option<JoinHandle<()>>,
+    metrics: Arc<Metrics>,
+    dir: PathBuf,
+}
+
+impl ServingDb {
+    /// Initialize a fresh durable database at `dir` and start serving
+    /// it. Fails like [`DurableDb::create`] if `dir` already holds one.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        theory: Theory,
+        opts: ServeOptions,
+    ) -> Result<ServingDb, PersistError> {
+        let durable = DurableDb::create(dir, theory, FsyncPolicy::Never)?;
+        Ok(ServingDb::start(durable, opts))
+    }
+
+    /// Recover the database at `dir` (snapshot + log replay) and start
+    /// serving it.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        opts: ServeOptions,
+    ) -> Result<(ServingDb, RecoveryReport), PersistError> {
+        let (durable, report) = DurableDb::recover(dir, FsyncPolicy::Never)?;
+        Ok((ServingDb::start(durable, opts), report))
+    }
+
+    /// Recover `dir` if it holds a database, otherwise create one with
+    /// `theory` — the server binary's entry point.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        theory: Theory,
+        opts: ServeOptions,
+    ) -> Result<(ServingDb, Option<RecoveryReport>), PersistError> {
+        if dir.as_ref().join(WAL_FILE).exists() {
+            let (db, report) = ServingDb::recover(dir, opts)?;
+            Ok((db, Some(report)))
+        } else {
+            Ok((ServingDb::create(dir, theory, opts)?, None))
+        }
+    }
+
+    /// Wrap an already-recovered [`DurableDb`] and start the writer.
+    /// The handed-in fsync policy is irrelevant from here on: the
+    /// writer syncs explicitly, once per batch.
+    pub fn start(durable: DurableDb, opts: ServeOptions) -> ServingDb {
+        let (db, wal, dir) = durable.into_parts();
+        let head = Arc::new(StateCell::new(db.clone(), wal.last_lsn()));
+        let metrics = Arc::new(Metrics::default());
+        let (tx, rx) = sync_channel(opts.queue_depth.max(1));
+        let writer = {
+            let head = Arc::clone(&head);
+            let metrics = Arc::clone(&metrics);
+            let max_batch = opts.max_batch.max(1);
+            threadpool::spawn_named("epilog-commit-writer", move || {
+                writer_loop(db, wal, &head, &rx, &metrics, max_batch)
+            })
+        };
+        ServingDb {
+            head,
+            queue: Some(tx),
+            writer: Some(writer),
+            metrics,
+            dir,
+        }
+    }
+
+    /// Pin the current committed state. Never blocks on the writer: the
+    /// head cell is locked only for the pointer swap itself.
+    pub fn snapshot(&self) -> ReadHandle {
+        self.head.snapshot()
+    }
+
+    /// LSN of the currently published state.
+    pub fn head_lsn(&self) -> u64 {
+        self.head.head_lsn()
+    }
+
+    /// The directory holding the log and snapshots.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Queue a transaction; blocks only if the commit queue is full.
+    /// The returned handle yields the receipt once the commit is
+    /// durable and published (or the rejection as soon as validation
+    /// fails).
+    pub fn commit(&self, ops: Vec<TxOp>) -> CommitHandle {
+        let (reply, rx) = sync_channel(1);
+        self.send(Request::Commit { ops, reply });
+        CommitHandle { rx }
+    }
+
+    /// [`ServingDb::commit`] and wait for the receipt.
+    pub fn commit_wait(&self, ops: Vec<TxOp>) -> Result<CommitReceipt, ServeError> {
+        self.commit(ops).wait()
+    }
+
+    /// Durably register an integrity constraint through the writer.
+    /// Returns its LSN.
+    pub fn add_constraint(&self, ic: Formula) -> Result<u64, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.send(Request::Constraint { ic, reply });
+        rx.recv().unwrap_or(Err(ServeError::Closed))
+    }
+
+    /// Force every acknowledged commit to stable storage and return the
+    /// head LSN. Acknowledged commits are already synced — this is a
+    /// barrier that drains the queue ahead of it.
+    pub fn flush(&self) -> Result<u64, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.send(Request::Flush(reply));
+        rx.recv().map_err(|_| ServeError::Closed)
+    }
+
+    /// Hold the writer between batches until the gate is opened — the
+    /// deterministic group-formation hook ([`WriterGate`]).
+    pub fn gate(&self) -> WriterGate {
+        let (tx, rx) = sync_channel(1);
+        self.send(Request::Gate(rx));
+        WriterGate { _tx: tx }
+    }
+
+    /// Snapshot of the writer's counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            commits: self.metrics.commits.load(Ordering::Relaxed),
+            rejected: self.metrics.rejected.load(Ordering::Relaxed),
+            batches: self.metrics.batches.load(Ordering::Relaxed),
+            fsyncs: self.metrics.fsyncs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: stop accepting work, let the writer drain and
+    /// acknowledge everything already queued, sync the log, and join
+    /// the thread.
+    pub fn shutdown(mut self) -> Result<(), PersistError> {
+        self.queue = None; // disconnects the channel; the writer drains then exits
+        match self.writer.take().map(JoinHandle::join) {
+            Some(Err(_)) => Err(PersistError::Corrupt(
+                "commit writer panicked; the log is still crash-consistent".into(),
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    fn send(&self, req: Request) {
+        // A disconnected queue (shutdown raced us) surfaces as Closed
+        // through the reply channel the request carried.
+        if let Some(q) = &self.queue {
+            let _ = q.send(req);
+        }
+    }
+}
+
+/// Dropping without [`ServingDb::shutdown`] still drains and joins the
+/// writer (and the [`Wal`]'s own `Drop` flushes), so no queued commit
+/// is silently discarded.
+impl Drop for ServingDb {
+    fn drop(&mut self) {
+        self.queue = None;
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+fn writer_loop(
+    mut working: EpistemicDb,
+    mut wal: Wal,
+    head: &StateCell,
+    rx: &Receiver<Request>,
+    metrics: &Metrics,
+    max_batch: usize,
+) {
+    // Exits when every ServingDb handle (and thus every sender) is gone
+    // and the queue is drained.
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+
+        let mut commit_acks = Vec::new();
+        let mut constraint_acks = Vec::new();
+        let mut flushes = Vec::new();
+        for req in batch {
+            match req {
+                Request::Commit { ops, reply } => {
+                    let mut txn: Transaction<'_> = working.transaction();
+                    for op in ops {
+                        txn = match op {
+                            TxOp::Assert(w) => txn.assert(w),
+                            TxOp::Retract(w) => txn.retract(w),
+                        };
+                    }
+                    match txn.prepare() {
+                        Err(e) => {
+                            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply.send(Err(ServeError::Db(e)));
+                        }
+                        Ok(p) if p.is_noop() => {
+                            // Nothing to log or publish: acknowledge at
+                            // the current position.
+                            let receipt = CommitReceipt {
+                                lsn: wal.last_lsn(),
+                                report: p.commit(),
+                            };
+                            let _ = reply.send(Ok(receipt));
+                        }
+                        Ok(p) => {
+                            let mut ops = Vec::with_capacity(p.removed().len() + p.added().len());
+                            ops.extend(p.removed().iter().cloned().map(WalOp::Retract));
+                            ops.extend(p.added().iter().cloned().map(WalOp::Assert));
+                            match wal.append(&ops) {
+                                Err(e) => {
+                                    // Log-before-apply: the prepared
+                                    // state is dropped unapplied.
+                                    let _ = reply.send(Err(ServeError::Io(e.to_string())));
+                                }
+                                Ok(lsn) => {
+                                    let report = p.commit();
+                                    commit_acks.push((reply, CommitReceipt { lsn, report }));
+                                }
+                            }
+                        }
+                    }
+                }
+                Request::Constraint { ic, reply } => {
+                    // Same compensation protocol as DurableDb: append,
+                    // apply, rewind the record if the state refuses it.
+                    let mark = wal.mark();
+                    match wal.append(&[WalOp::Constraint(ic.clone())]) {
+                        Err(e) => {
+                            let _ = reply.send(Err(ServeError::Io(e.to_string())));
+                        }
+                        Ok(lsn) => match working.add_constraint(ic) {
+                            Ok(()) => constraint_acks.push((reply, lsn)),
+                            Err(e) => {
+                                metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                                let ack = match wal.rewind(mark.0, mark.1) {
+                                    Ok(()) => ServeError::Db(e),
+                                    Err(io) => ServeError::Io(io.to_string()),
+                                };
+                                let _ = reply.send(Err(ack));
+                            }
+                        },
+                    }
+                }
+                Request::Flush(reply) => flushes.push(reply),
+                // Hold here; opening (or dropping) the gate unblocks.
+                Request::Gate(gate) => {
+                    let _ = gate.recv();
+                }
+            }
+        }
+
+        let accepted = commit_acks.len() + constraint_acks.len();
+        if accepted > 0 || !flushes.is_empty() {
+            // One fdatasync covers the whole batch. A failed sync means
+            // durability can no longer be promised for state already
+            // applied to the working database; following the
+            // no-fsync-retry doctrine, fail loudly instead of serving
+            // acknowledgments the disk may not honor.
+            wal.sync()
+                .expect("WAL fsync failed; cannot acknowledge commits");
+            metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        if accepted > 0 {
+            // Publish after durability, acknowledge after publication:
+            // an acknowledged commit is visible to every later snapshot.
+            head.publish(Arc::new(CommittedState::new(
+                working.clone(),
+                wal.last_lsn(),
+            )));
+            metrics.batches.fetch_add(1, Ordering::Relaxed);
+            metrics
+                .commits
+                .fetch_add(commit_acks.len() as u64, Ordering::Relaxed);
+        }
+        for (reply, receipt) in commit_acks {
+            let _ = reply.send(Ok(receipt));
+        }
+        for (reply, lsn) in constraint_acks {
+            let _ = reply.send(Ok(lsn));
+        }
+        let lsn = wal.last_lsn();
+        for reply in flushes {
+            let _ = reply.send(lsn);
+        }
+    }
+    let _ = wal.sync();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_core::Answer;
+    use epilog_syntax::parse;
+
+    fn dir() -> PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static N: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "epilog-serve-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn f(src: &str) -> Formula {
+        parse(src).unwrap()
+    }
+
+    fn registrar(d: &Path) -> ServingDb {
+        let theory = Theory::from_text("forall x. emp(x) -> person(x)").unwrap();
+        let db = ServingDb::create(d, theory, ServeOptions::default()).unwrap();
+        db.add_constraint(f("forall x. K emp(x) -> exists y. K ss(x, y)"))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn acknowledged_commits_are_visible_and_old_snapshots_pinned() {
+        let d = dir();
+        let db = registrar(&d);
+        let before = db.snapshot();
+        let receipt = db
+            .commit_wait(vec![
+                TxOp::Assert(f("ss(Mary, n1)")),
+                TxOp::Assert(f("emp(Mary)")),
+            ])
+            .unwrap();
+        assert_eq!(receipt.report.asserted, 2);
+        let after = db.snapshot();
+        assert!(after.lsn() >= receipt.lsn);
+        let q = parse("K person(Mary)").unwrap();
+        assert_eq!(before.ask(&q), Answer::No, "pinned snapshot");
+        assert_eq!(after.ask(&q), Answer::Yes, "ack implies visibility");
+        db.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn rejected_commits_leave_no_trace() {
+        let d = dir();
+        let db = registrar(&d);
+        let err = db
+            .commit_wait(vec![TxOp::Assert(f("emp(Joe)"))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Db(DbError::ConstraintViolated(_))
+        ));
+        assert_eq!(db.head_lsn(), 1, "only the constraint record exists");
+        assert_eq!(db.stats().rejected, 1);
+        db.shutdown().unwrap();
+        // Nothing of the rejected commit reached the log.
+        let scan = Wal::scan_file(d.join(WAL_FILE)).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn gated_burst_forms_one_batch_with_one_fsync() {
+        let d = dir();
+        let db = registrar(&d);
+        let base = db.stats();
+        let gate = db.gate();
+        let handles: Vec<CommitHandle> = (0..8)
+            .map(|i| {
+                db.commit(vec![
+                    TxOp::Assert(f(&format!("ss(E{i}, n{i})"))),
+                    TxOp::Assert(f(&format!("emp(E{i})"))),
+                ])
+            })
+            .collect();
+        gate.open();
+        for h in handles {
+            let _ = h.wait().unwrap();
+        }
+        let s = db.stats();
+        assert_eq!(s.commits - base.commits, 8);
+        assert_eq!(s.batches - base.batches, 1, "one group");
+        assert_eq!(s.fsyncs - base.fsyncs, 1, "one fsync for 8 commits");
+        let snap = db.snapshot();
+        assert_eq!(snap.ask(&parse("K emp(E7)").unwrap()), Answer::Yes);
+        db.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn rejection_inside_a_batch_spares_the_others() {
+        let d = dir();
+        let db = registrar(&d);
+        let gate = db.gate();
+        let ok1 = db.commit(vec![
+            TxOp::Assert(f("ss(Sue, n2)")),
+            TxOp::Assert(f("emp(Sue)")),
+        ]);
+        let bad = db.commit(vec![TxOp::Assert(f("emp(Joe)"))]); // no ss number
+        let ok2 = db.commit(vec![
+            TxOp::Assert(f("ss(Ann, n3)")),
+            TxOp::Assert(f("emp(Ann)")),
+        ]);
+        gate.open();
+        assert!(ok1.wait().is_ok());
+        assert!(matches!(bad.wait(), Err(ServeError::Db(_))));
+        assert!(ok2.wait().is_ok());
+        let snap = db.snapshot();
+        assert_eq!(snap.ask(&parse("K emp(Sue)").unwrap()), Answer::Yes);
+        assert_eq!(snap.ask(&parse("K emp(Joe)").unwrap()), Answer::No);
+        assert_eq!(snap.ask(&parse("K emp(Ann)").unwrap()), Answer::Yes);
+        db.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn shutdown_flushes_and_recovery_restores_the_served_state() {
+        let d = dir();
+        let db = registrar(&d);
+        // Enqueue without waiting, then shut down immediately: the
+        // graceful path must still drain, sync, and apply everything.
+        let pending: Vec<CommitHandle> = (0..5)
+            .map(|i| {
+                db.commit(vec![
+                    TxOp::Assert(f(&format!("ss(W{i}, m{i})"))),
+                    TxOp::Assert(f(&format!("emp(W{i})"))),
+                ])
+            })
+            .collect();
+        let last = pending.into_iter().last().unwrap().wait().unwrap();
+        db.shutdown().unwrap();
+
+        let (db2, report) = ServingDb::recover(&d, ServeOptions::default()).unwrap();
+        assert!(report.torn_tail.is_none());
+        assert_eq!(report.last_lsn, last.lsn);
+        let snap = db2.snapshot();
+        assert_eq!(snap.lsn(), last.lsn);
+        for i in 0..5 {
+            let q = parse(&format!("K person(W{i})")).unwrap();
+            assert_eq!(snap.ask(&q), Answer::Yes);
+        }
+        db2.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn noop_commit_acks_without_logging() {
+        let d = dir();
+        let db = registrar(&d);
+        let r = db.commit_wait(vec![]).unwrap();
+        assert_eq!(r.lsn, 1);
+        assert_eq!(db.stats().commits, 0, "no-ops are not group members");
+        db.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn flush_is_a_queue_barrier() {
+        let d = dir();
+        let db = registrar(&d);
+        let gate = db.gate();
+        let h = db.commit(vec![
+            TxOp::Assert(f("ss(Zoe, n9)")),
+            TxOp::Assert(f("emp(Zoe)")),
+        ]);
+        gate.open();
+        let lsn = db.flush().unwrap();
+        // The flush was queued after the commit, so its LSN covers it.
+        assert_eq!(lsn, h.wait().unwrap().lsn);
+        db.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}

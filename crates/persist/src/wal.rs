@@ -40,16 +40,29 @@ use std::path::{Path, PathBuf};
 pub const WAL_FILE: &str = "wal.log";
 
 /// When appended records are forced to stable storage.
+///
+/// # The loss window is crash-only
+///
+/// Under [`Batch`](FsyncPolicy::Batch) and [`Never`](FsyncPolicy::Never)
+/// some committed records may sit in OS caches, unsynced — at most the
+/// last `n` under `Batch(n)`, unboundedly many under `Never`
+/// ([`Wal::pending_unsynced`] reports the live count). That window can
+/// only be lost to a **crash** (power cut, `kill -9`): a clean shutdown
+/// flushes it, because dropping a [`Wal`] syncs any pending records (as
+/// does dropping the `DurableDb` that owns it). Either way the log stays
+/// crash-*consistent* — recovery truncates at the first torn record and
+/// everything before it is intact by checksum.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsyncPolicy {
     /// `fsync` after every append: a reported commit is durable. Slowest.
     Always,
-    /// `fsync` every `n` appends: bounds the loss window to the last `n`
-    /// transactions while amortizing the sync cost.
+    /// `fsync` every `n` appends: bounds the crash-loss window to the
+    /// last `n` transactions while amortizing the sync cost.
     Batch(u32),
-    /// Never `fsync` explicitly; the OS flushes when it pleases. Fastest,
-    /// and still crash-*consistent* (the torn-tail scan handles any
-    /// prefix the OS persisted) — just not crash-*durable*.
+    /// Never `fsync` on append; the OS flushes when it pleases (and
+    /// [`Wal::sync`] forces it — the group-commit writer uses exactly
+    /// this, one explicit sync per batch). Fastest, and still
+    /// crash-*consistent* — just not crash-*durable*.
     Never,
 }
 
@@ -327,10 +340,10 @@ impl Wal {
         self.next_lsn += 1;
         self.len_bytes += bytes.len() as u64;
         self.records += 1;
+        self.unsynced += 1;
         match self.policy {
             FsyncPolicy::Always => self.sync()?,
             FsyncPolicy::Batch(n) => {
-                self.unsynced += 1;
                 if self.unsynced >= n.max(1) {
                     self.sync()?;
                 }
@@ -345,6 +358,15 @@ impl Wal {
         self.file.sync_data()?;
         self.unsynced = 0;
         Ok(())
+    }
+
+    /// Number of appended records not yet covered by an fsync — the
+    /// crash-loss window right now. Always 0 under
+    /// [`FsyncPolicy::Always`]; at most `n-1` under `Batch(n)` (an
+    /// append that reaches `n` syncs); unbounded under `Never` until
+    /// [`Wal::sync`] is called.
+    pub fn pending_unsynced(&self) -> u32 {
+        self.unsynced
     }
 
     /// Drop every record with `lsn <= through` (they are covered by a
@@ -418,11 +440,24 @@ impl Wal {
         self.records -= self.next_lsn - next_lsn;
         self.len_bytes = len;
         self.next_lsn = next_lsn;
+        self.unsynced = 0;
         Ok(())
     }
 
     pub(crate) fn mark(&self) -> (u64, u64) {
         (self.len_bytes, self.next_lsn)
+    }
+}
+
+/// A cleanly dropped log leaves no loss window: any records appended
+/// since the last fsync are flushed on `Drop`. A flush failure here is
+/// swallowed (there is no way to report it from a destructor) — callers
+/// that need the error should call [`Wal::sync`] explicitly first.
+impl Drop for Wal {
+    fn drop(&mut self) {
+        if self.unsynced > 0 {
+            let _ = self.file.sync_data();
+        }
     }
 }
 
@@ -544,6 +579,53 @@ mod tests {
         let scan = Wal::scan_file(&path).unwrap();
         assert_eq!(scan.records.len(), 2);
         assert_eq!(scan.last_lsn(), 2);
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn pending_unsynced_tracks_the_loss_window() {
+        let d = dir();
+        let path = d.join(WAL_FILE);
+        let mut wal = Wal::create(&path, FsyncPolicy::Batch(3)).unwrap();
+        assert_eq!(wal.pending_unsynced(), 0);
+        let _ = wal.append(&[WalOp::Assert(f("p(a)"))]).unwrap();
+        let _ = wal.append(&[WalOp::Assert(f("p(b)"))]).unwrap();
+        assert_eq!(wal.pending_unsynced(), 2, "below the batch threshold");
+        let _ = wal.append(&[WalOp::Assert(f("p(c)"))]).unwrap();
+        assert_eq!(wal.pending_unsynced(), 0, "the n-th append syncs");
+
+        // Always keeps the window permanently closed; Never only counts.
+        let mut always = Wal::create(d.join("a.log"), FsyncPolicy::Always).unwrap();
+        let _ = always.append(&[WalOp::Assert(f("p(a)"))]).unwrap();
+        assert_eq!(always.pending_unsynced(), 0);
+        let mut never = Wal::create(d.join("n.log"), FsyncPolicy::Never).unwrap();
+        for i in 0..5 {
+            let _ = never
+                .append(&[WalOp::Assert(f(&format!("p(a{i})")))])
+                .unwrap();
+        }
+        assert_eq!(never.pending_unsynced(), 5);
+        never.sync().unwrap();
+        assert_eq!(never.pending_unsynced(), 0);
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn drop_flushes_pending_records() {
+        // Batch(100) with 1 append: the record sits unsynced until the
+        // Wal is dropped, after which the file must scan complete. (The
+        // scan would *usually* see it even without the drop-flush — the
+        // data is in OS caches — so also assert the accounting that the
+        // window was open.)
+        let d = dir();
+        let path = d.join(WAL_FILE);
+        let mut wal = Wal::create(&path, FsyncPolicy::Batch(100)).unwrap();
+        let _ = wal.append(&[WalOp::Assert(f("p(a)"))]).unwrap();
+        assert_eq!(wal.pending_unsynced(), 1, "window open before drop");
+        drop(wal);
+        let scan = Wal::scan_file(&path).unwrap();
+        assert!(scan.torn.is_none());
+        assert_eq!(scan.last_lsn(), 1);
         std::fs::remove_dir_all(d).unwrap();
     }
 

@@ -204,10 +204,10 @@ mod tests {
         let p = Prover::new(Theory::from_text("p(a)\np(b)\np(c)").unwrap());
         let mut it = AnswerIter::new(&p, &parse("p(x)").unwrap());
         let first = it.next().unwrap();
-        let calls_after_first = *p.sat_calls.borrow();
+        let calls_after_first = p.sat_calls();
         assert_eq!(names(&first), vec!["a"]);
         let second = it.next().unwrap();
         assert_eq!(names(&second), vec!["b"]);
-        assert!(*p.sat_calls.borrow() > calls_after_first);
+        assert!(p.sat_calls() > calls_after_first);
     }
 }

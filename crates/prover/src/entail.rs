@@ -10,8 +10,9 @@ use crate::ground::GroundContext;
 use epilog_sat::{tseitin, Cnf, SatResult, Solver};
 use epilog_storage::Database;
 use epilog_syntax::{is_first_order, transform, Formula, Param, Theory};
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// How the finite grounding universe is chosen.
 #[derive(Debug, Clone, Copy)]
@@ -32,15 +33,33 @@ impl Default for UniversePolicy {
 ///
 /// Entailment results are memoized per goal sentence — the `demo`
 /// evaluator asks the same ground questions repeatedly while backtracking.
+///
+/// A `Prover` is `Sync`: queries take `&self`, and the memo and SAT-call
+/// counter live behind a `Mutex`/atomic so an immutable committed state
+/// can be shared across reader threads (the MVCC serving layer). Two
+/// threads racing on the same uncached goal both compute it and insert
+/// the same answer; the lock is never held across a SAT call.
 pub struct Prover {
     theory: Theory,
     witnesses: Vec<Param>,
-    memo: RefCell<HashMap<Formula, bool>>,
+    memo: Mutex<HashMap<Formula, bool>>,
     /// A materialized least model answering ground-atom goals without SAT
     /// (see [`Prover::with_atom_model`]).
     atom_model: Option<Database>,
-    /// Count of SAT-solver invocations (exposed for benches/tests).
-    pub sat_calls: RefCell<u64>,
+    /// Count of SAT-solver invocations (see [`Prover::sat_calls`]).
+    sat_calls: AtomicU64,
+}
+
+impl Clone for Prover {
+    fn clone(&self) -> Self {
+        Prover {
+            theory: self.theory.clone(),
+            witnesses: self.witnesses.clone(),
+            memo: Mutex::new(self.memo.lock().unwrap().clone()),
+            atom_model: self.atom_model.clone(),
+            sat_calls: AtomicU64::new(self.sat_calls.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Prover {
@@ -64,9 +83,9 @@ impl Prover {
         Prover {
             theory,
             witnesses,
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
             atom_model: None,
-            sat_calls: RefCell::new(0),
+            sat_calls: AtomicU64::new(0),
         }
     }
 
@@ -104,9 +123,9 @@ impl Prover {
         Prover {
             theory,
             witnesses: self.witnesses.clone(),
-            memo: RefCell::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
             atom_model: model,
-            sat_calls: RefCell::new(0),
+            sat_calls: AtomicU64::new(0),
         }
     }
 
@@ -170,16 +189,16 @@ impl Prover {
                 return model.contains(a);
             }
         }
-        if let Some(&cached) = self.memo.borrow().get(g) {
+        if let Some(&cached) = self.memo.lock().unwrap().get(g) {
             return cached;
         }
         let result = self.entails_uncached(g);
-        self.memo.borrow_mut().insert(g.clone(), result);
+        self.memo.lock().unwrap().insert(g.clone(), result);
         result
     }
 
     fn entails_uncached(&self, g: &Formula) -> bool {
-        *self.sat_calls.borrow_mut() += 1;
+        self.sat_calls.fetch_add(1, Ordering::Relaxed);
         let universe = self.universe_for(g);
         let mut ctx = GroundContext::new(universe);
         let mut cnf = Cnf::new();
@@ -199,7 +218,17 @@ impl Prover {
 
     /// Number of memoized entailment results (diagnostics).
     pub fn memo_len(&self) -> usize {
-        self.memo.borrow().len()
+        self.memo.lock().unwrap().len()
+    }
+
+    /// Number of SAT-solver invocations so far (benches/tests).
+    pub fn sat_calls(&self) -> u64 {
+        self.sat_calls.load(Ordering::Relaxed)
+    }
+
+    /// Reset the SAT-call counter (benches).
+    pub fn reset_sat_calls(&self) {
+        self.sat_calls.store(0, Ordering::Relaxed);
     }
 }
 
@@ -330,7 +359,7 @@ mod tests {
         let q = parse("Teach(John, Math)").unwrap();
         assert!(p.entails(&q));
         assert!(p.entails(&q));
-        assert_eq!(*p.sat_calls.borrow(), 1, "second call must hit the memo");
+        assert_eq!(p.sat_calls(), 1, "second call must hit the memo");
     }
 
     #[test]
@@ -347,13 +376,13 @@ mod tests {
         assert!(entails(&p, "person(Mary)"));
         assert!(!entails(&p, "person(Sue)"));
         assert_eq!(
-            *p.sat_calls.borrow(),
+            p.sat_calls(),
             0,
             "ground atoms must bypass the SAT pipeline"
         );
         // Non-atomic goals still go through grounding + SAT.
         assert!(entails(&p, "exists x. person(x)"));
-        assert_eq!(*p.sat_calls.borrow(), 1);
+        assert_eq!(p.sat_calls(), 1);
     }
 
     #[test]
@@ -372,7 +401,7 @@ mod tests {
         }
         let new = old.updated(theory, Some(model));
         assert!(entails(&new, "emp(Sue)"));
-        assert_eq!(*new.sat_calls.borrow(), 0, "model answers ground atoms");
+        assert_eq!(new.sat_calls(), 0, "model answers ground atoms");
         // The memo did not leak across the update.
         assert_eq!(new.memo_len(), 0);
         assert!(entails(&new, "exists x. emp(x)"));

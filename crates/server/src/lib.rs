@@ -1,0 +1,486 @@
+//! # epilog-server — serving the epistemic database over TCP
+//!
+//! A thin network skin over the concurrent serving layer: reads are
+//! answered from lock-free MVCC snapshots
+//! ([`ServingDb::snapshot`]), writes are queued to the single
+//! group-committing writer thread. Each accepted connection gets its
+//! own session thread (spawned through `threadpool::spawn_named`), so
+//! a slow client never blocks another — and no session ever blocks a
+//! commit, because sessions share nothing but the `Arc`-swapped head
+//! state and the commit queue.
+//!
+//! # Wire protocol
+//!
+//! Line-oriented UTF-8 text over TCP (`std::net`), one request per
+//! line, answered with one `ok …`/`err …` line (plus `row` lines for
+//! `demo`, announced by a count). Sentences use the `epilog-syntax`
+//! grammar; responses that reflect committed state carry the snapshot
+//! or commit LSN after an `@`.
+//!
+//! | request | response |
+//! |---|---|
+//! | `ask <sentence>` | `ok yes\|no\|unknown @<lsn>` |
+//! | `demo <sentence>` | `ok rows <n> @<lsn>`, then `n` × `row <params>` |
+//! | `begin` | `ok begin` |
+//! | `assert <sentence>` | in txn `ok queued <n>`; else `ok committed @<lsn> +<a> -<r>` |
+//! | `retract <sentence>` | likewise |
+//! | `commit` | `ok committed @<lsn> +<a> -<r>` or `err rejected: …` |
+//! | `rollback` | `ok rollback <n>` |
+//! | `constraint <sentence>` | `ok constraint @<lsn>` or `err rejected: …` |
+//! | `flush` | `ok flushed @<lsn>` |
+//! | `stats` | `ok stats commits=… rejected=… batches=… fsyncs=…` |
+//! | `quit` | `ok bye`, connection closes |
+//! | `shutdown` | `ok shutting-down`, server drains and exits |
+//!
+//! A one-shot `assert`/`retract` outside `begin…commit` is a
+//! single-operation transaction: validated, group-committed, and
+//! acknowledged durable exactly like a batch.
+
+use epilog_persist::{PersistError, ServeError, ServeStats, ServingDb, TxOp};
+use epilog_syntax::parse;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One client connection's state: the shared database plus the
+/// session's open transaction, if any.
+struct Session<'a> {
+    db: &'a ServingDb,
+    txn: Option<Vec<TxOp>>,
+}
+
+/// What a protocol line asks the connection loop to do after replying.
+enum Disposition {
+    Continue,
+    Close,
+    ShutdownServer,
+}
+
+impl<'a> Session<'a> {
+    fn new(db: &'a ServingDb) -> Session<'a> {
+        Session { db, txn: None }
+    }
+
+    /// Answer one request line. The response is one or more complete
+    /// lines without a trailing newline.
+    fn handle(&mut self, line: &str) -> (String, Disposition) {
+        let line = line.trim();
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        let reply = match verb {
+            "" => Ok(String::new()),
+            "ask" => self.ask(rest),
+            "demo" => self.demo(rest),
+            "begin" => self.begin(),
+            "assert" => self.op(rest, TxOp::Assert),
+            "retract" => self.op(rest, TxOp::Retract),
+            "commit" => self.commit(),
+            "rollback" => self.rollback(),
+            "constraint" => self.constraint(rest),
+            "flush" => self.flush(),
+            "stats" => Ok(stats_line(self.db.stats())),
+            "quit" => return ("ok bye".into(), Disposition::Close),
+            "shutdown" => return ("ok shutting-down".into(), Disposition::ShutdownServer),
+            _ => Err(format!("unknown request {verb:?}")),
+        };
+        match reply {
+            Ok(s) if s.is_empty() => ("ok".into(), Disposition::Continue),
+            Ok(s) => (s, Disposition::Continue),
+            Err(e) => (format!("err {e}"), Disposition::Continue),
+        }
+    }
+
+    fn ask(&self, src: &str) -> Result<String, String> {
+        let q = parse(src).map_err(|e| format!("parse: {e}"))?;
+        let snap = self.db.snapshot();
+        let verdict = match snap.ask(&q) {
+            epilog_core::Answer::Yes => "yes",
+            epilog_core::Answer::No => "no",
+            epilog_core::Answer::Unknown => "unknown",
+        };
+        Ok(format!("ok {verdict} @{}", snap.lsn()))
+    }
+
+    fn demo(&self, src: &str) -> Result<String, String> {
+        let q = parse(src).map_err(|e| format!("parse: {e}"))?;
+        let snap = self.db.snapshot();
+        let rows = snap.demo_all(&q).map_err(|e| e.to_string())?;
+        let mut out = format!("ok rows {} @{}", rows.len(), snap.lsn());
+        for row in rows {
+            out.push_str("\nrow");
+            for p in row {
+                out.push(' ');
+                out.push_str(&p.to_string());
+            }
+        }
+        Ok(out)
+    }
+
+    fn begin(&mut self) -> Result<String, String> {
+        if self.txn.is_some() {
+            return Err("transaction already open".into());
+        }
+        self.txn = Some(Vec::new());
+        Ok("ok begin".into())
+    }
+
+    fn op(
+        &mut self,
+        src: &str,
+        wrap: impl Fn(epilog_syntax::Formula) -> TxOp,
+    ) -> Result<String, String> {
+        let w = parse(src).map_err(|e| format!("parse: {e}"))?;
+        match &mut self.txn {
+            Some(ops) => {
+                ops.push(wrap(w));
+                Ok(format!("ok queued {}", ops.len()))
+            }
+            None => commit_ops(self.db, vec![wrap(w)]),
+        }
+    }
+
+    fn commit(&mut self) -> Result<String, String> {
+        let ops = self.txn.take().ok_or("no open transaction")?;
+        commit_ops(self.db, ops)
+    }
+
+    fn rollback(&mut self) -> Result<String, String> {
+        let ops = self.txn.take().ok_or("no open transaction")?;
+        Ok(format!("ok rollback {}", ops.len()))
+    }
+
+    fn constraint(&self, src: &str) -> Result<String, String> {
+        let ic = parse(src).map_err(|e| format!("parse: {e}"))?;
+        match self.db.add_constraint(ic) {
+            Ok(lsn) => Ok(format!("ok constraint @{lsn}")),
+            Err(e) => Err(format!("rejected: {e}")),
+        }
+    }
+
+    fn flush(&self) -> Result<String, String> {
+        self.db
+            .flush()
+            .map(|lsn| format!("ok flushed @{lsn}"))
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn commit_ops(db: &ServingDb, ops: Vec<TxOp>) -> Result<String, String> {
+    match db.commit_wait(ops) {
+        Ok(r) => Ok(format!(
+            "ok committed @{} +{} -{}",
+            r.lsn, r.report.asserted, r.report.retracted
+        )),
+        Err(ServeError::Db(e)) => Err(format!("rejected: {e}")),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn stats_line(s: ServeStats) -> String {
+    format!(
+        "ok stats commits={} rejected={} batches={} fsyncs={}",
+        s.commits, s.rejected, s.batches, s.fsyncs
+    )
+}
+
+struct Inner {
+    db: ServingDb,
+    stop: AtomicBool,
+    // Set when a session sends `shutdown`; Server::wait blocks on it.
+    wanted: Mutex<bool>,
+    bell: Condvar,
+    sessions: Mutex<Vec<(JoinHandle<()>, TcpStream)>>,
+}
+
+impl Inner {
+    fn request_shutdown(&self) {
+        *self.wanted.lock().unwrap() = true;
+        self.bell.notify_all();
+    }
+}
+
+/// A running TCP server over one [`ServingDb`].
+///
+/// Start with [`Server::start`], connect with [`Client`] (or any
+/// line-oriented TCP client), stop with [`Server::shutdown`] — which
+/// drains the commit queue before returning, so an `ok committed`
+/// answered to any client is on disk.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serve `db` until [`Server::shutdown`].
+    pub fn start(db: ServingDb, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            db,
+            stop: AtomicBool::new(false),
+            wanted: Mutex::new(false),
+            bell: Condvar::new(),
+            sessions: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            threadpool::spawn_named("epilog-accept", move || accept_loop(&listener, &inner))
+        };
+        Ok(Server {
+            inner,
+            accept: Some(accept),
+            addr,
+        })
+    }
+
+    /// The bound address (with the OS-chosen port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served database's writer counters.
+    pub fn stats(&self) -> ServeStats {
+        self.inner.db.stats()
+    }
+
+    /// Block until some client sends `shutdown` (the binary's main
+    /// thread parks here).
+    pub fn wait_for_shutdown_request(&self) {
+        let mut wanted = self.inner.wanted.lock().unwrap();
+        while !*wanted {
+            wanted = self.inner.bell.wait(wanted).unwrap();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, close live sessions, join
+    /// every thread, then drain and sync the commit queue. Returns the
+    /// final writer counters.
+    pub fn shutdown(mut self) -> Result<ServeStats, PersistError> {
+        let inner = &self.inner;
+        inner.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let sessions = std::mem::take(&mut *inner.sessions.lock().unwrap());
+        for (handle, stream) in sessions {
+            let _ = stream.shutdown(Shutdown::Both);
+            let _ = handle.join();
+        }
+        let stats = inner.db.stats();
+        let inner = Arc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| unreachable!("all session threads joined; no Inner clones remain"));
+        inner.db.shutdown()?;
+        Ok(stats)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        if inner.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(peer) = stream.try_clone() else {
+            continue;
+        };
+        let handle = {
+            let inner = Arc::clone(inner);
+            threadpool::spawn_named("epilog-session", move || session_loop(stream, &inner))
+        };
+        inner.sessions.lock().unwrap().push((handle, peer));
+    }
+}
+
+fn session_loop(stream: TcpStream, inner: &Inner) {
+    // Readers and the writer queue are shared through `inner`; the
+    // transaction buffer is this session's alone.
+    let mut session = Session::new(&inner.db);
+    let Ok(read) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read);
+    let mut write = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let (reply, disposition) = session.handle(&line);
+        if write.write_all(reply.as_bytes()).is_err() || write.write_all(b"\n").is_err() {
+            break;
+        }
+        let _ = write.flush();
+        match disposition {
+            Disposition::Continue => {}
+            Disposition::Close => break,
+            Disposition::ShutdownServer => {
+                inner.request_shutdown();
+                break;
+            }
+        }
+    }
+}
+
+/// A minimal blocking client for the line protocol — what the example,
+/// the soak test, and scripted sessions use.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one request line and read the one-line response.
+    pub fn request(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        self.read_line()
+    }
+
+    /// Read one more response line (the `row` lines after a `demo`).
+    pub fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// `demo` convenience: returns the answer rows as vectors of
+    /// parameter names.
+    pub fn demo(&mut self, sentence: &str) -> io::Result<Vec<Vec<String>>> {
+        let head = self.request(&format!("demo {sentence}"))?;
+        let n: usize = head
+            .strip_prefix("ok rows ")
+            .and_then(|r| r.split(' ').next())
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, head.clone()))?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = self.read_line()?;
+            let row = line
+                .strip_prefix("row")
+                .unwrap_or(&line)
+                .split_whitespace()
+                .map(str::to_string)
+                .collect();
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epilog_syntax::Theory;
+    use std::path::PathBuf;
+
+    fn dir() -> PathBuf {
+        use std::sync::atomic::AtomicU32;
+        static N: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "epilog-server-test-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn serve(d: &std::path::Path) -> Server {
+        let theory = Theory::from_text("forall x. emp(x) -> person(x)").unwrap();
+        let db = ServingDb::create(d, theory, Default::default()).unwrap();
+        Server::start(db, "127.0.0.1:0").unwrap()
+    }
+
+    #[test]
+    fn protocol_round_trip_over_tcp() {
+        let d = dir();
+        let server = serve(&d);
+        let mut c = Client::connect(server.local_addr()).unwrap();
+
+        assert_eq!(
+            c.request("constraint forall x. K emp(x) -> exists y. K ss(x, y)")
+                .unwrap(),
+            "ok constraint @1"
+        );
+        assert_eq!(c.request("ask K person(Mary)").unwrap(), "ok no @1");
+
+        // A transaction: out-of-order ops are fine, validated at commit.
+        assert_eq!(c.request("begin").unwrap(), "ok begin");
+        assert_eq!(c.request("assert emp(Mary)").unwrap(), "ok queued 1");
+        assert_eq!(c.request("assert ss(Mary, n1)").unwrap(), "ok queued 2");
+        assert_eq!(c.request("commit").unwrap(), "ok committed @2 +2 -0");
+        assert_eq!(c.request("ask K person(Mary)").unwrap(), "ok yes @2");
+
+        // Constraint rejection: no ss number for Joe.
+        let r = c.request("assert emp(Joe)").unwrap();
+        assert!(r.starts_with("err rejected:"), "got {r}");
+        assert_eq!(c.request("ask K emp(Joe)").unwrap(), "ok no @2");
+
+        // demo returns the known employees.
+        let rows = c.demo("exists x. K emp(x)").unwrap();
+        assert_eq!(rows, vec![Vec::<String>::new()]);
+        let rows = c.demo("K emp(x)").unwrap();
+        assert_eq!(rows, vec![vec!["Mary".to_string()]]);
+
+        // Parse errors and unknown verbs answer err without closing.
+        assert!(c.request("ask ((").unwrap().starts_with("err parse:"));
+        assert!(c.request("frobnicate").unwrap().starts_with("err unknown"));
+        assert_eq!(c.request("rollback").unwrap(), "err no open transaction");
+
+        let stats = c.request("stats").unwrap();
+        assert!(stats.starts_with("ok stats commits=1 "), "got {stats}");
+        assert_eq!(c.request("quit").unwrap(), "ok bye");
+
+        // Two clients see the same committed state.
+        let mut c2 = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c2.request("ask K person(Mary)").unwrap(), "ok yes @2");
+
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.commits, 1);
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn shutdown_request_unparks_the_waiter() {
+        let d = dir();
+        let server = serve(&d);
+        let addr = server.local_addr();
+        let poker = threadpool::spawn_named("epilog-test-poker", move || {
+            let mut c = Client::connect(addr).unwrap();
+            assert_eq!(c.request("shutdown").unwrap(), "ok shutting-down");
+        });
+        server.wait_for_shutdown_request();
+        poker.join().unwrap();
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+}

@@ -64,10 +64,10 @@ fn main() {
     // Fresh databases per run so the prover's memo table cannot blur the
     // comparison.
     let full = db.demo_all(&query).unwrap();
-    let calls_full = *db.prover().sat_calls.borrow();
+    let calls_full = db.prover().sat_calls();
     let db2 = EpistemicDb::from_text(&src).unwrap();
     let opt = db2.demo_all(&optimized).unwrap();
-    let calls_opt = *db2.prover().sat_calls.borrow();
+    let calls_opt = db2.prover().sat_calls();
     assert_eq!(full, opt, "Corollary 4.2: same answers");
     println!(
         "\n  answers agree ({} tuples); prover calls {} -> {} ({}% saved)\n",

@@ -38,7 +38,8 @@
 //! | [`datalog`] | Datalog engine with stratified negation; Clark completion |
 //! | [`semantics`] | worlds, KFOPCE truth, the brute-force oracle, circumscription |
 //! | [`core`] | the `demo` evaluator, queries, integrity constraints, closure |
-//! | [`persist`] | durability: write-ahead log, snapshots, crash recovery |
+//! | [`persist`] | durability: write-ahead log, snapshots, crash recovery — and the MVCC group-commit serving layer |
+//! | [`server`] | TCP line-protocol sessions over snapshot reads and queued commits |
 
 pub use epilog_core as core;
 pub use epilog_datalog as datalog;
@@ -46,6 +47,7 @@ pub use epilog_persist as persist;
 pub use epilog_prover as prover;
 pub use epilog_sat as sat;
 pub use epilog_semantics as semantics;
+pub use epilog_server as server;
 pub use epilog_storage as storage;
 pub use epilog_syntax as syntax;
 
@@ -55,7 +57,11 @@ pub mod prelude {
         all_answers, ask, demo, demo_sentence, ic_satisfaction, Answer, ClosedDb, CommitReport,
         DemoOutcome, EpistemicDb, IcDefinition, IcReport, ModelUpdate, Transaction,
     };
-    pub use epilog_persist::{DurableDb, FsyncPolicy, PersistError, RecoveryReport};
+    pub use epilog_core::{CommittedState, ReadHandle, StateCell};
+    pub use epilog_persist::{
+        CommitReceipt, DurableDb, FsyncPolicy, PersistError, RecoveryReport, ServeError,
+        ServeOptions, ServingDb, TxOp,
+    };
     pub use epilog_prover::Prover;
     pub use epilog_syntax::{
         admissibility, is_admissible, is_safe, is_subjective, parse, parse_theory, Formula, Param,

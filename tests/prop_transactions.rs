@@ -245,6 +245,82 @@ proptest! {
         prop_assert!(db.satisfies_constraints());
     }
 
+    /// MVCC snapshot consistency: handles pinned before/during/after a
+    /// stream of commits are immutable — at the end of the run each
+    /// still holds exactly the rebuild oracle's state at its commit
+    /// LSN, no matter how many later states were published over it.
+    #[test]
+    fn snapshots_are_immutable_and_match_the_rebuild_oracle((mask, raw) in batches()) {
+        use epilog::core::CommittedState;
+        use std::sync::Arc;
+
+        let mut src = String::new();
+        for (i, rule) in RULES.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                src.push_str(rule);
+                src.push('\n');
+            }
+        }
+        let mut db = EpistemicDb::from_text(&src).unwrap();
+        for ic in constraints() {
+            db.add_constraint(ic).unwrap();
+        }
+        let mut shadow = db.theory().clone();
+        let cell = StateCell::new(db.clone(), 0);
+
+        fn sentence_set(t: &Theory) -> Vec<String> {
+            let mut v: Vec<String> = t.sentences().iter().map(|w| w.to_string()).collect();
+            v.sort();
+            v
+        }
+
+        // Every handle ever taken, with the oracle's sentence set at
+        // its LSN (captured at snapshot time).
+        let mut pinned: Vec<(ReadHandle, u64, Vec<String>)> = Vec::new();
+        let mut lsn = 0u64;
+        pinned.push((cell.snapshot(), lsn, sentence_set(&shadow)));
+
+        for raw_batch in &raw {
+            let batch: Vec<(bool, Formula)> =
+                raw_batch.iter().map(|op| op_formula(*op)).collect();
+            let mut txn = db.transaction();
+            for (is_assert, w) in &batch {
+                txn = if *is_assert {
+                    txn.assert(w.clone())
+                } else {
+                    txn.retract(w.clone())
+                };
+            }
+            match (txn.commit(), oracle_commit(&shadow, &batch)) {
+                (Ok(_), Some(accepted)) => {
+                    shadow = accepted;
+                    lsn += 1;
+                    cell.publish(Arc::new(CommittedState::new(db.clone(), lsn)));
+                }
+                (Err(_), None) => {}
+                (got, want) => prop_assert!(
+                    false,
+                    "verdict mismatch: commit accepted={} oracle accepted={}",
+                    got.is_ok(),
+                    want.is_some()
+                ),
+            }
+            pinned.push((cell.snapshot(), lsn, sentence_set(&shadow)));
+        }
+
+        prop_assert_eq!(cell.head_lsn(), lsn);
+        for (handle, at_lsn, expected) in &pinned {
+            prop_assert_eq!(
+                handle.lsn(), *at_lsn,
+                "a snapshot's LSN stamp must not drift"
+            );
+            prop_assert_eq!(
+                &sentence_set(handle.theory()), expected,
+                "snapshot at LSN {} no longer equals the oracle there", at_lsn
+            );
+        }
+    }
+
     /// The one-shot wrappers stay faithful to their transactional core:
     /// `retract` of an absent sentence reports `false` and changes
     /// nothing; `assert` of a present sentence changes nothing.

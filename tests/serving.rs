@@ -1,0 +1,229 @@
+//! Multi-threaded soak test for the serving layer: N reader threads
+//! `ask` against live snapshots while the main thread drives a
+//! randomized commit stream through the single-writer queue.
+//!
+//! What it proves:
+//!
+//! * **No torn reads** — every `(lsn, answers)` sample a reader ever
+//!   records equals the sequential-replay oracle's answers at exactly
+//!   that LSN. A reader can observe an old state, never a mixed one.
+//! * **Snapshot monotonicity** — successive snapshots taken by one
+//!   reader never go backwards in LSN.
+//! * **Serial equivalence** — the final recovered database equals the
+//!   sequential replay of the accepted commits, in receipt-LSN order.
+//!
+//! The commit stream is seeded (deterministic op sequence; only the
+//! batching and interleaving vary between runs). `EPILOG_SOAK_COMMITS`
+//! scales the stream length (default 96) for the nightly deep-fuzz CI
+//! leg, and the `EPILOG_THREADS` matrix exercises the engine's internal
+//! parallelism underneath the concurrent readers.
+
+use epilog::prelude::*;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+const PEOPLE: usize = 6;
+const READERS: usize = 4;
+
+fn person(i: usize) -> String {
+    format!("E{i}")
+}
+
+fn number(i: usize) -> String {
+    format!("N{i}")
+}
+
+/// One transaction from the randomized stream.
+fn pick_ops(roll: u64) -> Vec<TxOp> {
+    let i = (roll >> 8) as usize % PEOPLE;
+    match roll % 4 {
+        // Hire: employee + matching ss number, satisfies both ICs.
+        0 => vec![
+            TxOp::Assert(parse(&format!("emp({})", person(i))).unwrap()),
+            TxOp::Assert(parse(&format!("ss({}, {})", person(i), number(i))).unwrap()),
+        ],
+        // Fire: retract both (a no-op commit when Ei isn't employed).
+        1 => vec![
+            TxOp::Retract(parse(&format!("emp({})", person(i))).unwrap()),
+            TxOp::Retract(parse(&format!("ss({}, {})", person(i), number(i))).unwrap()),
+        ],
+        // Always-invalid: an employee with no ss number ever.
+        2 => vec![TxOp::Assert(parse("emp(Ghost)").unwrap())],
+        // Renumber: violates ss-uniqueness iff Ei currently has a number.
+        _ => vec![TxOp::Assert(
+            parse(&format!("ss({}, {})", person(i), number((i + 1) % PEOPLE))).unwrap(),
+        )],
+    }
+}
+
+fn queries() -> Vec<Formula> {
+    vec![
+        parse("K emp(E0)").unwrap(),
+        parse("exists y. K ss(E1, y)").unwrap(),
+        parse("K person(E2)").unwrap(),
+        parse("K emp(Ghost)").unwrap(),
+    ]
+}
+
+fn answers(db: &EpistemicDb, qs: &[Formula]) -> Vec<Answer> {
+    qs.iter().map(|q| db.ask(q)).collect()
+}
+
+fn sentence_set(t: &epilog::syntax::Theory) -> Vec<String> {
+    let mut v: Vec<String> = t.sentences().iter().map(|w| w.to_string()).collect();
+    v.sort();
+    v
+}
+
+fn soak(dir: &std::path::Path, total_commits: u64) {
+    const BASE: &str = "forall x. emp(x) -> person(x)";
+    let ics = [
+        "forall x. K emp(x) -> exists y. K ss(x, y)",
+        "forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z",
+    ];
+
+    let db = ServingDb::create(
+        dir,
+        epilog::syntax::Theory::from_text(BASE).unwrap(),
+        ServeOptions {
+            max_batch: 8,
+            ..ServeOptions::default()
+        },
+    )
+    .unwrap();
+    for ic in ics {
+        db.add_constraint(parse(ic).unwrap()).unwrap();
+    }
+    let base_lsn = db.head_lsn();
+
+    let qs = queries();
+    let stop = AtomicBool::new(false);
+    // Accepted commits, with receipt LSN, in queue order.
+    let mut accepted: Vec<(u64, Vec<TxOp>)> = Vec::new();
+    let mut rejected = 0u64;
+    let mut effective = 0u64; // accepted commits with a non-empty delta
+
+    let samples: Vec<Vec<(u64, Vec<Answer>)>> = std::thread::scope(|s| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut got: Vec<(u64, Vec<Answer>)> = Vec::new();
+                    let mut prev = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = db.snapshot();
+                        assert!(
+                            snap.lsn() >= prev,
+                            "snapshot LSN went backwards: {} after {}",
+                            snap.lsn(),
+                            prev
+                        );
+                        prev = snap.lsn();
+                        got.push((snap.lsn(), answers(snap.db(), &qs)));
+                    }
+                    got
+                })
+            })
+            .collect();
+
+        // Drive the commit stream: issue a small pipelined chunk of
+        // transactions, then collect all their receipts.
+        let mut lcg = 0x9e3779b97f4a7c15u64;
+        let mut issued = 0u64;
+        while issued < total_commits {
+            let chunk = 1 + (lcg % 4).min(total_commits - issued - 1);
+            let mut inflight = Vec::new();
+            for _ in 0..chunk {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let ops = pick_ops(lcg >> 16);
+                inflight.push((ops.clone(), db.commit(ops)));
+                issued += 1;
+            }
+            for (ops, handle) in inflight {
+                match handle.wait() {
+                    Ok(receipt) => {
+                        if receipt.report.asserted + receipt.report.retracted > 0 {
+                            effective += 1;
+                        }
+                        accepted.push((receipt.lsn, ops));
+                    }
+                    Err(ServeError::Db(_)) => rejected += 1,
+                    Err(e) => panic!("unexpected serve error: {e}"),
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        readers.into_iter().map(|r| r.join().unwrap()).collect()
+    });
+
+    assert!(
+        !accepted.is_empty() && rejected > 0,
+        "the stream should exercise both outcomes: {} accepted, {rejected} rejected",
+        accepted.len()
+    );
+
+    // ----- Sequential-replay oracle -------------------------------------
+    let mut oracle = EpistemicDb::from_text(BASE).unwrap();
+    for ic in ics {
+        oracle.add_constraint(parse(ic).unwrap()).unwrap();
+    }
+    let mut per_lsn: HashMap<u64, Vec<Answer>> = HashMap::new();
+    per_lsn.insert(base_lsn, answers(&oracle, &qs));
+    accepted.sort_by_key(|(lsn, _)| *lsn);
+    for (lsn, ops) in &accepted {
+        let mut txn = oracle.transaction();
+        for op in ops {
+            txn = match op {
+                TxOp::Assert(w) => txn.assert(w.clone()),
+                TxOp::Retract(w) => txn.retract(w.clone()),
+            };
+        }
+        let _ = txn
+            .commit()
+            .expect("a commit the server accepted must replay cleanly");
+        per_lsn.insert(*lsn, answers(&oracle, &qs));
+    }
+
+    // ----- No torn reads: every sample matches the oracle at its LSN ----
+    let mut checked = 0usize;
+    for reader in &samples {
+        for (lsn, got) in reader {
+            let want = per_lsn
+                .get(lsn)
+                .unwrap_or_else(|| panic!("reader observed LSN {lsn} that was never published"));
+            assert_eq!(got, want, "torn read at LSN {lsn}");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "readers never sampled anything");
+
+    // ----- Serial equivalence of the durable state ----------------------
+    let final_lsn = db.head_lsn();
+    let stats = db.stats();
+    assert_eq!(stats.commits, effective, "no-op commits are not logged");
+    assert_eq!(stats.rejected, rejected);
+    db.shutdown().unwrap();
+    let (recovered, report) = DurableDb::recover(dir, FsyncPolicy::Always).unwrap();
+    assert_eq!(report.last_lsn, final_lsn);
+    assert_eq!(
+        sentence_set(recovered.db().theory()),
+        sentence_set(oracle.theory())
+    );
+    assert_eq!(
+        answers(recovered.db(), &qs),
+        *per_lsn.get(&final_lsn).unwrap()
+    );
+}
+
+#[test]
+fn concurrent_readers_see_only_published_states() {
+    let commits = std::env::var("EPILOG_SOAK_COMMITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96u64);
+    let dir = std::env::temp_dir().join(format!("epilog-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    soak(&dir, commits);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -81,6 +81,27 @@ where
     thread::scope(|s| f(&Scope { inner: s }))
 }
 
+/// Spawn a named long-lived service thread (detached join handle).
+///
+/// The serving layer's counterpart to [`scope`]: where evaluators fan
+/// out borrowing workers and join them before returning, a commit
+/// writer or network session lives past its spawning frame, so the
+/// closure is `'static` and the caller keeps the [`thread::JoinHandle`].
+/// The name shows up in panic messages and debuggers.
+///
+/// # Panics
+/// Panics if the OS refuses to spawn a thread.
+pub fn spawn_named<F, T>(name: &str, f: F) -> thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .unwrap_or_else(|e| panic!("failed to spawn thread `{name}`: {e}"))
+}
+
 /// Run `run(0..jobs)` on up to `threads` workers and collect the results
 /// **in job order**.
 ///
@@ -192,6 +213,14 @@ mod tests {
     fn more_jobs_than_threads_still_covered() {
         let out = parallel_map(11, 3, |j| j + 1);
         assert_eq!(out, (1..=11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawn_named_names_the_thread() {
+        let h = spawn_named("epilog-test-service", || {
+            thread::current().name().map(str::to_string)
+        });
+        assert_eq!(h.join().unwrap().as_deref(), Some("epilog-test-service"));
     }
 
     #[test]
