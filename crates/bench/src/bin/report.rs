@@ -6,14 +6,17 @@
 //! measured output, and exits nonzero on any mismatch.
 
 use epilog_bench::workloads::{
-    durable_registrar, enrollment_batch, join_heavy_program, order_sensitive_program, registrar_db,
-    scaling_program, section1_queries, serving_registrar, teach_db, withdrawal_batch,
+    dense_closure_program, dense_closure_text, durable_registrar, enrollment_batch,
+    join_heavy_program, order_sensitive_program, registrar_db, scaling_program, section1_queries,
+    serving_registrar, teach_db, withdrawal_batch,
 };
 use epilog_core::closure::cwa_demo;
 use epilog_core::{
-    ask, demo_sentence, ic_satisfaction, prover_for, IcDefinition, IcReport, ModelUpdate,
+    ask, demo_sentence, ic_satisfaction, prover_for, DbError, EpistemicDb, IcDefinition, IcReport,
+    ModelUpdate,
 };
-use epilog_datalog::{EvalOptions, PlannerMode, PAR_MIN_FANOUT_ROWS};
+use epilog_datalog::provenance::params_of;
+use epilog_datalog::{EvalOptions, PlannerMode, RulePlan, SupportTable, PAR_MIN_FANOUT_ROWS};
 use epilog_prover::Prover;
 use epilog_semantics::{minimal_worlds, ModelSet};
 use epilog_storage::PAR_MIN_PROBE_OUTER;
@@ -897,6 +900,228 @@ fn main() {
         );
         drop(rec);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    println!("\nF12 — provenance (derivation tracking, why/why-not, support-accelerated DRed)");
+    {
+        // Tracking is invisible on the F6 scaling workload — identical
+        // model, identical pre-existing counters — and every tuple of the
+        // least model affords a proof that replays down to EDB facts.
+        for n in [8usize, 16, 32] {
+            let prog = scaling_program(n, 3);
+            let (plain_db, plain) = prog.eval().unwrap();
+            let mut table = SupportTable::new();
+            let (traced_db, traced) = prog
+                .eval_traced(EvalOptions::default(), &mut table)
+                .unwrap();
+            let mut scrubbed = traced;
+            scrubbed.supports_recorded = 0;
+            scrubbed.support_hits = 0;
+            check(
+                &format!("n={n} tracked fixpoint: same model, same counters"),
+                "yes",
+                if traced_db == plain_db && scrubbed == plain {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+            let replays_all = traced_db.atoms().all(|atom| {
+                let tuple = params_of(&atom).expect("model atoms are ground");
+                table
+                    .why(&prog.edb, atom.pred, &tuple)
+                    .is_some_and(|p| p.atom() == &atom && p.replays(&prog))
+            });
+            check(
+                &format!("n={n} every model tuple has a replayable proof"),
+                "yes",
+                if traced.supports_recorded > 0
+                    && table.consistent_with(&traced_db, prog.rules.len())
+                    && replays_all
+                {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        }
+
+        // The retract workload: drop one edge from a dense 6-node closure
+        // graph. Over-deleted tuples nearly all survive through
+        // alternative derivations, so the recorded supports skip
+        // re-derivation probes the probe-only path must run.
+        {
+            let m = 6;
+            let full = dense_closure_program(m, None);
+            let post = dense_closure_program(m, Some((0, 1)));
+            let removed = epilog_datalog::Program::from_text("e(n0, n1)").unwrap().edb;
+            let mut table = SupportTable::new();
+            let (model, _) = full
+                .eval_traced(EvalOptions::default(), &mut table)
+                .unwrap();
+            let plans: Vec<RulePlan> = post
+                .rules
+                .iter()
+                .map(|r| RulePlan::compile_with_stats(r, Some(&model)))
+                .collect();
+            let (plain_db, plain) = post
+                .eval_decremental_with(&plans, model.clone(), &removed)
+                .unwrap();
+            let (traced_db, traced) = post
+                .eval_decremental_traced(&plans, model, &removed, &mut table)
+                .unwrap();
+            let (oracle, _) = post.eval().unwrap();
+            check(
+                &format!("m={m} DRed models identical (supports = probe-only = scratch)"),
+                "yes",
+                if traced_db == plain_db && traced_db == oracle {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+            check(
+                &format!(
+                    "m={m} DRed support_checks with supports {} < without {}",
+                    traced.support_checks, plain.support_checks
+                ),
+                "fewer",
+                if traced.support_checks < plain.support_checks {
+                    "fewer"
+                } else {
+                    "NOT-fewer"
+                },
+            );
+            check(
+                &format!("m={m} every skipped probe is a recorded support hit"),
+                "yes",
+                if traced.support_hits > 0
+                    && traced.support_hits + traced.support_checks == plain.support_checks
+                    && traced.tuples_rederived == plain.tuples_rederived
+                {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        }
+
+        // End-to-end through the epistemic layer: the same retraction as
+        // paired commits, provenance on vs off — identical models, fewer
+        // probes, and `why` still explains the survivor afterwards.
+        {
+            let mut traced_db = EpistemicDb::from_text(&dense_closure_text(5, None)).unwrap();
+            let mut plain_db = EpistemicDb::from_text(&dense_closure_text(5, None)).unwrap();
+            let on = traced_db.enable_provenance();
+            let traced_report = traced_db
+                .transaction()
+                .retract(parse("e(n0, n1)").unwrap())
+                .commit()
+                .unwrap();
+            let plain_report = plain_db
+                .transaction()
+                .retract(parse("e(n0, n1)").unwrap())
+                .commit()
+                .unwrap();
+            match (&traced_report.model, &plain_report.model) {
+                (
+                    ModelUpdate::Incremental { stats: ts, .. },
+                    ModelUpdate::Incremental { stats: ps, .. },
+                ) => {
+                    check(
+                        &format!(
+                            "retract commit support_checks tracked {} < untracked {}",
+                            ts.support_checks, ps.support_checks
+                        ),
+                        "fewer",
+                        if on
+                            && ts.support_checks < ps.support_checks
+                            && traced_db.prover().atom_model() == plain_db.prover().atom_model()
+                        {
+                            "fewer"
+                        } else {
+                            "NOT-fewer"
+                        },
+                    );
+                }
+                other => check(
+                    "retract commit path",
+                    "incremental/incremental",
+                    &format!("{other:?}"),
+                ),
+            }
+            let q = parse("t(n0, n1)").unwrap();
+            let epilog_syntax::Formula::Atom(a) = q else {
+                unreachable!("ground atom")
+            };
+            check(
+                "why t(n0, n1) after retracting its edge: alternative path",
+                "yes",
+                if traced_db.why(&a).is_some_and(|p| p.height() >= 2) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        }
+
+        // A rejected commit explains itself: the violated constraint plus
+        // ground witnesses, each carrying its own derivation.
+        {
+            let mut db = registrar_db(8);
+            let on = db.enable_provenance();
+            let err = db
+                .transaction()
+                .assert(parse("emp(nobody)").unwrap())
+                .commit()
+                .unwrap_err();
+            let explained = match err {
+                DbError::ConstraintViolated(rej) => {
+                    !rej.witnesses.is_empty()
+                        && rej.witnesses.len() == rej.proofs.len()
+                        && rej
+                            .proofs
+                            .iter()
+                            .zip(&rej.witnesses)
+                            .all(|(p, w)| p.atom() == w)
+                }
+                _ => false,
+            };
+            check(
+                "rejected commit carries constraint + witnesses + proofs",
+                "yes",
+                if on && explained { "yes" } else { "no" },
+            );
+        }
+
+        // Wall-clock: sink overhead on the n=48 scaling fixpoint.
+        // Best-of-7 minima against the 15% target, with a small absolute
+        // floor so the row is stable on any host.
+        {
+            let prog = scaling_program(48, 3);
+            let plain = best_of(7, || {
+                let start = std::time::Instant::now();
+                let _ = prog.eval().unwrap();
+                start.elapsed()
+            });
+            let traced = best_of(7, || {
+                let start = std::time::Instant::now();
+                let mut table = SupportTable::new();
+                let _ = prog
+                    .eval_traced(EvalOptions::default(), &mut table)
+                    .unwrap();
+                start.elapsed()
+            });
+            check(
+                "n=48 tracking overhead within 15% (+2ms floor)",
+                "yes",
+                if traced <= plain * 23 / 20 + std::time::Duration::from_millis(2) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+        }
     }
 
     let failures = FAILURES.load(Ordering::Relaxed);

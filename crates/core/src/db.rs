@@ -9,13 +9,68 @@ use crate::closure::ClosedDb;
 use crate::constraints::{ic_satisfaction, IcDefinition, IcReport};
 use crate::demo;
 use crate::engine::prover_for;
-use crate::incremental::{IncrementalChecker, RuleGraph};
+use crate::incremental::{CompiledConstraint, IncrementalChecker, RuleGraph};
 use crate::transaction::Transaction;
+use epilog_datalog::{ProofTree, SupportTable};
 use epilog_prover::Prover;
 use epilog_semantics::Answer;
+use epilog_syntax::formula::Atom;
 use epilog_syntax::theory::TheoryError;
 use epilog_syntax::{Admissibility, Formula, Param, Theory};
 use std::fmt;
+
+/// The structured explanation of a constraint rejection: which constraint
+/// the update would violate, the ground tuples witnessing the violation
+/// (an instantiation of the constraint's positive `K`-literals that makes
+/// the violation body certain in the candidate state), and — when
+/// provenance is enabled ([`EpistemicDb::enable_provenance`]) — a
+/// derivation [`ProofTree`] for each witness that the support table can
+/// explain.
+#[derive(Debug, Clone)]
+pub struct Rejection {
+    /// The violated constraint, as registered.
+    pub constraint: Formula,
+    /// Ground witness tuples that trigger the violation in the rejected
+    /// candidate state. Best-effort: empty when no instantiation of the
+    /// constraint's positive patterns over the candidate's certain atoms
+    /// reproduces the violation (e.g. a disjunctive theory made a trigger
+    /// atom certain without any atom witnessing it).
+    pub witnesses: Vec<Atom>,
+    /// Proof trees for the witnesses the support table can explain (EDB
+    /// witnesses appear as [`ProofTree::Fact`] leaves). Empty when
+    /// provenance is disabled.
+    pub proofs: Vec<ProofTree>,
+}
+
+impl Rejection {
+    /// Build the explanation for a violated constraint against the
+    /// (rejected) candidate state. `table` is the candidate's maintained
+    /// support table when provenance is enabled.
+    pub(crate) fn explain(
+        ic: &Formula,
+        prover: &Prover,
+        table: Option<&SupportTable>,
+    ) -> Box<Rejection> {
+        let witnesses = CompiledConstraint::compile(ic)
+            .map(|c| c.violation_witnesses(prover))
+            .unwrap_or_default();
+        let proofs = match (table, crate::engine::definite_program(prover.theory())) {
+            (Some(t), Some(prog)) => witnesses
+                .iter()
+                .filter_map(|w| {
+                    let tuple = epilog_datalog::provenance::params_of(w)?;
+                    t.why(&prog.edb, w.pred, &tuple)
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        Box::new(Rejection {
+            constraint: ic.clone(),
+            witnesses,
+            proofs,
+        })
+    }
+}
 
 /// Errors from [`EpistemicDb`] operations.
 #[derive(Debug)]
@@ -23,9 +78,10 @@ pub enum DbError {
     /// The sentence was not a valid database sentence.
     Theory(TheoryError),
     /// An update was rejected because it would violate an integrity
-    /// constraint; the offending constraint is returned and the database
-    /// is unchanged.
-    ConstraintViolated(Formula),
+    /// constraint; the [`Rejection`] carries the offending constraint
+    /// plus its ground witnesses (and proof trees, when provenance is
+    /// enabled) and the database is unchanged.
+    ConstraintViolated(Box<Rejection>),
     /// A query outside the admissible fragment was given to `demo`.
     NotAdmissible(Admissibility),
     /// A constraint must be a sentence.
@@ -36,8 +92,23 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::Theory(e) => write!(f, "{e}"),
-            DbError::ConstraintViolated(ic) => {
-                write!(f, "update rejected: constraint `{ic}` would be violated")
+            DbError::ConstraintViolated(r) => {
+                write!(
+                    f,
+                    "update rejected: constraint `{}` would be violated",
+                    r.constraint
+                )?;
+                if !r.witnesses.is_empty() {
+                    write!(f, " (witnesses: ")?;
+                    for (i, w) in r.witnesses.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{w}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
             }
             DbError::NotAdmissible(a) => write!(f, "query not admissible: {a}"),
             DbError::OpenConstraint(ic) => {
@@ -101,6 +172,13 @@ pub struct EpistemicDb {
     /// How many times the staleness trigger has recompiled the cached
     /// plans (observable via [`EpistemicDb::plan_recosts`]).
     pub(crate) plan_recosts: u64,
+    /// The provenance side table: one [`epilog_datalog::Support`] list per
+    /// derived tuple of the attached least model, recorded by the traced
+    /// fixpoints and maintained incrementally across commits alongside the
+    /// cached plans. `None` until [`EpistemicDb::enable_provenance`] —
+    /// tracking is strictly opt-in and commits on a provenance-off db run
+    /// the untraced fixpoints unchanged.
+    pub(crate) support_table: Option<SupportTable>,
 }
 
 impl EpistemicDb {
@@ -120,6 +198,7 @@ impl EpistemicDb {
             rule_plans,
             plans_model_size,
             plan_recosts: 0,
+            support_table: None,
         }
     }
 
@@ -190,6 +269,7 @@ impl EpistemicDb {
             rule_plans,
             plans_model_size,
             plan_recosts: 0,
+            support_table: None,
         }
     }
 
@@ -211,6 +291,86 @@ impl EpistemicDb {
     /// The registered integrity constraints.
     pub fn constraints(&self) -> &[Formula] {
         &self.constraints
+    }
+
+    // ----- provenance -----------------------------------------------------
+
+    /// Turn on derivation tracking: re-run the definite fixpoint once with
+    /// a [`epilog_datalog::ProvenanceSink`] attached, recording one
+    /// `Support { rule_idx, parents }` per derived tuple of the least
+    /// model. From then on every ground-atom commit maintains the table
+    /// incrementally (the growth fixpoint appends supports; the DRed
+    /// deletion fixpoint consumes them, skipping re-derivation probes for
+    /// tuples whose recorded alternative support survives) and
+    /// rule-changing commits rebuild it. Returns `false` — provenance
+    /// stays off — when the theory is not a definite program (there is no
+    /// bottom-up derivation to record); a later commit that leaves the
+    /// definite fragment also switches it back off. Idempotent.
+    pub fn enable_provenance(&mut self) -> bool {
+        if self.support_table.is_some() {
+            return true;
+        }
+        let Some(prog) = crate::engine::definite_program(self.prover.theory()) else {
+            return false;
+        };
+        let mut table = SupportTable::new();
+        if prog
+            .eval_traced(epilog_datalog::EvalOptions::default(), &mut table)
+            .is_err()
+        {
+            return false;
+        }
+        self.support_table = Some(table);
+        true
+    }
+
+    /// Whether derivation tracking is currently on.
+    pub fn provenance_enabled(&self) -> bool {
+        self.support_table.is_some()
+    }
+
+    /// Size of the provenance side table as `(atoms, supports)`: how many
+    /// derived tuples have at least one recorded support, and how many
+    /// supports are recorded in total. `(0, 0)` when provenance is off.
+    pub fn provenance_size(&self) -> (usize, usize) {
+        self.support_table
+            .as_ref()
+            .map_or((0, 0), |t| (t.num_atoms(), t.num_supports()))
+    }
+
+    /// Explain a ground atom of the least model: a minimal-height
+    /// [`ProofTree`] walking recorded supports down to EDB facts. `None`
+    /// when provenance is off, the atom is not ground, or the atom is not
+    /// in the model (the *why-not* answer: nothing derives it).
+    pub fn why(&self, atom: &Atom) -> Option<ProofTree> {
+        let table = self.support_table.as_ref()?;
+        let tuple = epilog_datalog::provenance::params_of(atom)?;
+        let prog = crate::engine::definite_program(self.prover.theory())?;
+        table.why(&prog.edb, atom.pred, &tuple)
+    }
+
+    /// The raw support table, for the persistence layer to serialize.
+    pub fn support_table(&self) -> Option<&SupportTable> {
+        self.support_table.as_ref()
+    }
+
+    /// Install a support table **without** re-deriving it — for trusted
+    /// callers restoring a previously recorded state (the persistence
+    /// layer loading a snapshot's `[supports]` section). The caller
+    /// asserts the table is exactly what the traced fixpoint would record
+    /// for the current theory; debug builds verify consistency.
+    pub fn adopt_provenance(&mut self, table: SupportTable) {
+        debug_assert!(
+            {
+                let prog = crate::engine::definite_program(self.prover.theory());
+                match (&prog, self.prover.atom_model()) {
+                    (Some(p), Some(m)) => table.consistent_with(m, p.rules.len()),
+                    _ => false,
+                }
+            },
+            "adopted support table is inconsistent with the attached model"
+        );
+        self.support_table = Some(table);
     }
 
     // ----- queries --------------------------------------------------------
@@ -249,7 +409,11 @@ impl EpistemicDb {
             return Err(DbError::OpenConstraint(ic));
         }
         if ic_satisfaction(&self.prover, &ic, IcDefinition::Epistemic) != IcReport::Satisfied {
-            return Err(DbError::ConstraintViolated(ic));
+            return Err(DbError::ConstraintViolated(Rejection::explain(
+                &ic,
+                &self.prover,
+                self.support_table.as_ref(),
+            )));
         }
         self.constraints.push(ic);
         self.checker = IncrementalChecker::new(&self.constraints).ok();

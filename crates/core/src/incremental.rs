@@ -173,6 +173,74 @@ impl CompiledConstraint {
         }
         out
     }
+
+    /// Ground witness tuples for a **violated** constraint: the first
+    /// instantiation of the positive `K`-patterns over the prover's
+    /// certain atoms under which the (remaining) violation body is
+    /// certain — the minimal facts responsible, in the sense of
+    /// consistency-based belief change. Candidate atoms come from the
+    /// attached least model when there is one, else from the theory's
+    /// ground-atom sentences; best-effort, so a violation only visible
+    /// through disjunctive reasoning yields an empty witness list.
+    pub fn violation_witnesses(&self, prover: &Prover) -> Vec<Atom> {
+        let candidates: Vec<Atom> = match prover.atom_model() {
+            Some(m) => m.atoms().collect(),
+            None => prover
+                .theory()
+                .sentences()
+                .iter()
+                .filter_map(|s| match s {
+                    Formula::Atom(a) if a.is_ground() => Some(a.clone()),
+                    _ => None,
+                })
+                .collect(),
+        };
+        let mut binding = HashMap::new();
+        let mut picked = Vec::new();
+        if self.witness_search(prover, &candidates, 0, &mut binding, &mut picked) {
+            picked
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Depth-first search over pattern instantiations; on success `picked`
+    /// holds one ground atom per positive pattern, in pattern order.
+    fn witness_search(
+        &self,
+        prover: &Prover,
+        candidates: &[Atom],
+        idx: usize,
+        binding: &mut HashMap<Var, Param>,
+        picked: &mut Vec<Atom>,
+    ) -> bool {
+        if idx == self.positive_patterns.len() {
+            let map: HashMap<Var, Term> =
+                binding.iter().map(|(v, p)| (*v, Term::Param(*p))).collect();
+            let mut w = self.body.subst(&map);
+            for v in self.vars.iter().rev() {
+                if !binding.contains_key(v) {
+                    w = Formula::exists(*v, w);
+                }
+            }
+            return certain(prover, &w);
+        }
+        let pattern = &self.positive_patterns[idx];
+        for atom in candidates.iter().filter(|a| a.pred == pattern.pred) {
+            let Some(fresh) = match_pattern_extending(pattern, atom, binding) else {
+                continue;
+            };
+            picked.push(atom.clone());
+            if self.witness_search(prover, candidates, idx + 1, binding, picked) {
+                return true;
+            }
+            picked.pop();
+            for v in &fresh {
+                binding.remove(v);
+            }
+        }
+        false
+    }
 }
 
 /// How the constraints of one update were verified — the per-phase
@@ -497,6 +565,41 @@ fn collect_bare_atoms(w: &Formula, out: &mut Vec<Atom>) {
         }
         _ => {}
     }
+}
+
+/// Like [`match_pattern`], but *extending* a shared binding in place (for
+/// the multi-pattern witness search, where later patterns must agree with
+/// variables the earlier ones bound). Returns the variables this match
+/// freshly bound — the caller's undo list — or `None` on mismatch, with
+/// `binding` restored.
+fn match_pattern_extending(
+    pattern: &Atom,
+    fact: &Atom,
+    binding: &mut HashMap<Var, Param>,
+) -> Option<Vec<Var>> {
+    debug_assert_eq!(pattern.pred, fact.pred);
+    let mut fresh = Vec::new();
+    for (t, f) in pattern.terms.iter().zip(&fact.terms) {
+        let fp = f.as_param().expect("candidate atoms are ground");
+        let ok = match t {
+            Term::Param(p) => *p == fp,
+            Term::Var(v) => match binding.get(v) {
+                Some(prev) => *prev == fp,
+                None => {
+                    binding.insert(*v, fp);
+                    fresh.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in &fresh {
+                binding.remove(v);
+            }
+            return None;
+        }
+    }
+    Some(fresh)
 }
 
 /// Match a pattern atom against a ground fact, binding pattern variables.

@@ -52,9 +52,10 @@ pub mod transaction;
 pub use ask::ask;
 pub use closure::ClosedDb;
 pub use constraints::{ic_satisfaction, IcDefinition, IcReport};
-pub use db::EpistemicDb;
+pub use db::{DbError, EpistemicDb, Rejection};
 pub use demo::{all_answers, demo, demo_sentence, DemoOutcome, DemoStream};
 pub use engine::{definite_model, definite_program, prover_for};
+pub use epilog_datalog::{ProofTree, SupportTable};
 pub use epilog_semantics::Answer;
 pub use incremental::{CheckStats, CompiledConstraint, IncrementalChecker, RuleGraph};
 pub use instances::{admissible_wrt_f_sigma, instances, theorem_62_applies};

@@ -37,10 +37,10 @@
 //! thin wrappers over single-operation transactions.
 
 use crate::constraints::{ic_satisfaction, IcDefinition, IcReport};
-use crate::db::{DbError, EpistemicDb};
+use crate::db::{DbError, EpistemicDb, Rejection};
 use crate::engine::{definite_program, prover_for};
 use crate::incremental::{CheckStats, RuleGraph};
-use epilog_datalog::EvalStats;
+use epilog_datalog::{EvalStats, SupportTable};
 use epilog_prover::Prover;
 use epilog_storage::Database;
 use epilog_syntax::theory::TheoryError;
@@ -274,6 +274,7 @@ impl<'db> Transaction<'db> {
                 report: CommitReport::unchanged(),
                 added,
                 removed,
+                support_update: None,
             });
         }
 
@@ -299,6 +300,13 @@ impl<'db> Transaction<'db> {
         // incremental path, `None` when the model was rebuilt and no
         // per-tuple delta exists.
         let mut removed_model_atoms: Option<Vec<epilog_syntax::formula::Atom>> = None;
+        // The candidate's support table, decided alongside the model:
+        // `None` leaves the db's table untouched (provenance off, or a
+        // no-op), `Some(Some(t))` installs the maintained/rebuilt table on
+        // commit, `Some(None)` switches provenance off (the theory left
+        // the definite fragment).
+        let mut support_update: Option<Option<SupportTable>> = None;
+        let tracing = db.support_table.is_some();
         let (candidate, model_update): (Prover, ModelUpdate) = 'prover: {
             if facts_only {
                 if let (Some(old_model), Some(prog)) =
@@ -322,23 +330,43 @@ impl<'db> Transaction<'db> {
                     // compiles anything (`stats.plans_compiled == 0`).
                     // The compiling fallbacks only cover a db whose cache
                     // is unexpectedly cold.
+                    //
+                    // With provenance on, the traced fixpoints maintain a
+                    // clone of the support table in the same pass: DRed
+                    // consumes recorded supports (skipping re-derivation
+                    // probes where an alternative support survives) and
+                    // purges the net-removed atoms, the growth fixpoint
+                    // appends supports for its insertions.
+                    let mut traced_table = (tracing && db.rule_plans.is_some())
+                        .then(|| db.support_table.clone().expect("tracing implies a table"));
                     let shrunk = if removed_facts.is_empty() {
                         Ok((old_model.clone(), EvalStats::default()))
                     } else {
-                        match &db.rule_plans {
-                            Some(plans) => {
+                        match (&db.rule_plans, traced_table.as_mut()) {
+                            (Some(plans), Some(table)) => prog.eval_decremental_traced(
+                                plans,
+                                old_model.clone(),
+                                &removed_facts,
+                                table,
+                            ),
+                            (Some(plans), None) => {
                                 prog.eval_decremental_with(plans, old_model.clone(), &removed_facts)
                             }
-                            None => prog.eval_decremental(old_model.clone(), &removed_facts),
+                            (None, _) => prog.eval_decremental(old_model.clone(), &removed_facts),
                         }
                     };
                     let maintained = shrunk.and_then(|(model, mut stats)| {
                         if new_facts.is_empty() {
                             return Ok((model, stats));
                         }
-                        let resumed = match &db.rule_plans {
-                            Some(plans) => prog.eval_incremental_with(plans, model, &new_facts),
-                            None => prog.eval_incremental(model, &new_facts),
+                        let resumed = match (&db.rule_plans, traced_table.as_mut()) {
+                            (Some(plans), Some(table)) => {
+                                prog.eval_incremental_traced(plans, model, &new_facts, table)
+                            }
+                            (Some(plans), None) => {
+                                prog.eval_incremental_with(plans, model, &new_facts)
+                            }
+                            (None, _) => prog.eval_incremental(model, &new_facts),
                         };
                         resumed.map(|(model, grown)| {
                             stats.absorb(&grown);
@@ -346,6 +374,22 @@ impl<'db> Transaction<'db> {
                         })
                     });
                     if let Ok((model, stats)) = maintained {
+                        if tracing {
+                            support_update = Some(match traced_table {
+                                Some(table) => Some(table),
+                                // Cold plan cache: the untraced fallback
+                                // ran, so re-record from scratch.
+                                None => {
+                                    let mut table = SupportTable::new();
+                                    prog.eval_traced(
+                                        epilog_datalog::EvalOptions::default(),
+                                        &mut table,
+                                    )
+                                    .ok()
+                                    .map(|_| table)
+                                }
+                            });
+                        }
                         // `gone` is the exact model diff: everything the
                         // deletion fixpoint removed and the insertion
                         // fixpoint did not re-add.
@@ -374,6 +418,22 @@ impl<'db> Transaction<'db> {
             } else {
                 ModelUpdate::NotDefinite
             };
+            if tracing {
+                // Rule-changing commits invalidate every recorded support
+                // (rule indices shift, derivations change): re-record from
+                // scratch against the candidate program. A theory that
+                // left the definite fragment has no bottom-up derivations
+                // to record — provenance switches off.
+                support_update = Some(match definite_program(rebuilt.theory()) {
+                    Some(prog) => {
+                        let mut table = SupportTable::new();
+                        prog.eval_traced(epilog_datalog::EvalOptions::default(), &mut table)
+                            .ok()
+                            .map(|_| table)
+                    }
+                    None => None,
+                });
+            }
             (rebuilt, update)
         };
 
@@ -408,7 +468,15 @@ impl<'db> Transaction<'db> {
                     &db.rule_graph,
                     &mut checks,
                 ) {
-                    return Err(DbError::ConstraintViolated(c.original.clone()));
+                    let table = support_update
+                        .as_ref()
+                        .and_then(|t| t.as_ref())
+                        .or(db.support_table.as_ref());
+                    return Err(DbError::ConstraintViolated(Rejection::explain(
+                        &c.original,
+                        &candidate,
+                        table,
+                    )));
                 }
             }
             _ => {
@@ -417,7 +485,13 @@ impl<'db> Transaction<'db> {
                     if ic_satisfaction(&candidate, ic, IcDefinition::Epistemic)
                         != IcReport::Satisfied
                     {
-                        return Err(DbError::ConstraintViolated(ic.clone()));
+                        let table = support_update
+                            .as_ref()
+                            .and_then(|t| t.as_ref())
+                            .or(db.support_table.as_ref());
+                        return Err(DbError::ConstraintViolated(Rejection::explain(
+                            ic, &candidate, table,
+                        )));
                     }
                 }
             }
@@ -440,6 +514,7 @@ impl<'db> Transaction<'db> {
             },
             added,
             removed,
+            support_update,
         })
     }
 }
@@ -458,6 +533,9 @@ pub struct PreparedCommit<'db> {
     report: CommitReport,
     added: Vec<Formula>,
     removed: Vec<Formula>,
+    /// The candidate's support table (see `prepare`): `None` leaves the
+    /// db's table untouched, `Some(t)` installs `t` on commit.
+    support_update: Option<Option<SupportTable>>,
 }
 
 impl PreparedCommit<'_> {
@@ -490,6 +568,9 @@ impl PreparedCommit<'_> {
     pub fn commit(self) -> CommitReport {
         if let Some(candidate) = self.candidate {
             self.db.prover = candidate;
+            if let Some(table) = self.support_update {
+                self.db.support_table = table;
+            }
             if self.rules_changed {
                 // Both caches derive from the rule-shaped sentences only:
                 // rebuild them here, once, and every following ground-atom

@@ -14,8 +14,11 @@
 
 use crate::plan::RulePlan;
 use crate::program::{DatalogError, Program};
-use epilog_storage::{ConjunctionPlan, Database, DeltaDatabase, StepStrategy, PAR_MIN_PROBE_OUTER};
-use epilog_syntax::Param;
+use crate::provenance::{ProvenanceSink, SupportTable};
+use epilog_storage::{
+    ConjunctionPlan, Database, DeltaDatabase, StepStrategy, Tuple, PAR_MIN_PROBE_OUTER,
+};
+use epilog_syntax::{Param, Pred};
 
 /// Default minimum number of driving rows — the delta of a semi-naive
 /// round, or the stable total seeding a full first round — before fanning
@@ -94,6 +97,16 @@ pub struct EvalStats {
     /// tuple per candidate rule head, until one succeeds. These run the
     /// prebound `RulePlan::support` plan, never a full firing.
     pub support_checks: u64,
+    /// Provenance: novel [`Support`](crate::provenance::Support) records
+    /// a traced run retained after deduplication. Always 0 on the
+    /// untraced entry points — the observable proof that tracking is off.
+    pub supports_recorded: u64,
+    /// DRed phase 3 with a support table
+    /// ([`Program::eval_decremental_traced`]): over-deleted tuples whose
+    /// recorded alternative support had no over-deleted parent, seeding
+    /// re-derivation **without** running the support plan. Each hit is a
+    /// [`EvalStats::support_checks`] probe saved.
+    pub support_hits: u64,
     /// Fixpoint rounds whose firing jobs ran on ≥ 2 worker threads
     /// (rule-variant fan-out or partitioned hash probes). Zero whenever
     /// the thread budget is 1 or every round stayed under the work-size
@@ -124,6 +137,8 @@ impl EvalStats {
         self.tuples_overdeleted += other.tuples_overdeleted;
         self.tuples_rederived += other.tuples_rederived;
         self.support_checks += other.support_checks;
+        self.supports_recorded += other.supports_recorded;
+        self.support_hits += other.support_hits;
         self.parallel_rounds += other.parallel_rounds;
         self.threads_used = self.threads_used.max(other.threads_used);
     }
@@ -241,7 +256,31 @@ impl Program {
     /// thresholds, which the parallel differential tests use to compare
     /// thread counts in-process without touching the environment.
     pub fn eval_opts(&self, opts: EvalOptions) -> Result<(Database, EvalStats), DatalogError> {
-        self.run(opts)
+        self.run(opts, None)
+    }
+
+    /// [`Program::eval_opts`] with **provenance tracking**: every head
+    /// derivation of the fixpoint records a
+    /// [`Support`](crate::provenance::Support) — the firing rule and the
+    /// ground positive body tuples it matched — into `table`. The model
+    /// and every pre-existing [`EvalStats`] counter are identical to the
+    /// untraced run's (recording happens inside the same match callbacks;
+    /// parallel shards buffer their own records and merge in plan order).
+    ///
+    /// Semi-naive evaluation fires every ground rule instantiation whose
+    /// body first becomes true, so for a **definite** program the table
+    /// affords a proof tree ([`SupportTable::why`]) for every derived
+    /// tuple of the least model. With stratified negation the recorded
+    /// parents are the positive premises only.
+    pub fn eval_traced(
+        &self,
+        opts: EvalOptions,
+        table: &mut SupportTable,
+    ) -> Result<(Database, EvalStats), DatalogError> {
+        let mut sink = ProvenanceSink::new();
+        let (db, mut stats) = self.run(opts, Some(&mut sink))?;
+        stats.supports_recorded += table.absorb(sink);
+        Ok((db, stats))
     }
 
     /// Resume the least-model fixpoint of a **definite** (negation-free)
@@ -306,17 +345,60 @@ impl Program {
             prog.edb.union_with(new_facts);
             return prog.eval();
         }
+        self.incremental_impl(plans, model, new_facts, None)
+    }
+
+    /// [`Program::eval_incremental_with`] with provenance: every firing
+    /// of the resumed fixpoint records its
+    /// [`Support`](crate::provenance::Support) into `table`, which must
+    /// already hold the supports of `model`. Falls back to a full traced
+    /// evaluation — rebuilding `table` from scratch — when the program
+    /// has negated body literals, exactly like the untraced entry point.
+    pub fn eval_incremental_traced(
+        &self,
+        plans: &[RulePlan],
+        model: Database,
+        new_facts: &Database,
+        table: &mut SupportTable,
+    ) -> Result<(Database, EvalStats), DatalogError> {
+        if self.has_negation() {
+            drop(model);
+            let mut prog = self.clone();
+            prog.edb.union_with(new_facts);
+            *table = SupportTable::new();
+            return prog.eval_traced(EvalOptions::default(), table);
+        }
+        let mut sink = ProvenanceSink::new();
+        let (db, mut stats) = self.incremental_impl(plans, model, new_facts, Some(&mut sink))?;
+        stats.supports_recorded += table.absorb(sink);
+        Ok((db, stats))
+    }
+
+    fn incremental_impl(
+        &self,
+        plans: &[RulePlan],
+        model: Database,
+        new_facts: &Database,
+        sink: Option<&mut ProvenanceSink>,
+    ) -> Result<(Database, EvalStats), DatalogError> {
         debug_assert_eq!(plans.len(), self.rules.len(), "one plan per rule");
         let mut stats = EvalStats::default();
-        let plan_refs: Vec<&RulePlan> = plans.iter().collect();
+        let plan_refs: Vec<(usize, &RulePlan)> = plans.iter().enumerate().collect();
         let mut ddb = DeltaDatabase::resume(model, new_facts);
         {
             let (total, _) = ddb.parts_mut();
-            for plan in &plan_refs {
+            for (_, plan) in &plan_refs {
                 plan.ensure_total_indexes(total);
             }
         }
-        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats, ParCtx::auto());
+        seminaive_rounds(
+            &plan_refs,
+            &mut ddb,
+            false,
+            &mut stats,
+            sink,
+            ParCtx::auto(),
+        );
         let mut db = ddb.into_total();
         db.prune_empty();
         Ok((db, stats))
@@ -385,14 +467,51 @@ impl Program {
             drop(model);
             return self.eval();
         }
+        self.decremental_impl(plans, model, removed_facts, None)
+    }
+
+    /// [`Program::eval_decremental_with`] both **consuming and
+    /// maintaining** a support table. Phase 3 consults the recorded
+    /// supports first: an over-deleted tuple with a support whose parents
+    /// all escaped over-deletion is known to survive without running its
+    /// support probe (`support_hits` counts the saved `support_checks`).
+    /// Probe fallbacks record the derivation they find, phase 4 records
+    /// its re-derivations, and supports deriving — or depending on — a
+    /// net-removed atom are purged, so `table` leaves holding exactly the
+    /// supports of the returned model. Falls back to a full traced
+    /// evaluation (rebuilding `table`) on programs with negation.
+    pub fn eval_decremental_traced(
+        &self,
+        plans: &[RulePlan],
+        model: Database,
+        removed_facts: &Database,
+        table: &mut SupportTable,
+    ) -> Result<(Database, EvalStats), DatalogError> {
+        if self.has_negation() {
+            drop(model);
+            *table = SupportTable::new();
+            return self.eval_traced(EvalOptions::default(), table);
+        }
+        self.decremental_impl(plans, model, removed_facts, Some(table))
+    }
+
+    fn decremental_impl(
+        &self,
+        plans: &[RulePlan],
+        model: Database,
+        removed_facts: &Database,
+        mut table: Option<&mut SupportTable>,
+    ) -> Result<(Database, EvalStats), DatalogError> {
         debug_assert_eq!(plans.len(), self.rules.len(), "one plan per rule");
         let mut stats = EvalStats::default();
         let mut model = model;
         let par = ParCtx::auto();
-        let plan_refs: Vec<&RulePlan> = plans.iter().collect();
+        let plan_refs: Vec<(usize, &RulePlan)> = plans.iter().enumerate().collect();
 
         // Phase 1 — over-delete. Seed with the removed facts actually in
-        // the model; absent retracts delete nothing.
+        // the model; absent retracts delete nothing. Over-deletion
+        // firings are *removals*, never derivations — nothing here is
+        // recorded as provenance.
         let mut seed = Database::new();
         for (pred, rel) in removed_facts.relations() {
             for t in rel.iter() {
@@ -404,7 +523,7 @@ impl Program {
         if seed.is_empty() {
             return Ok((model, stats));
         }
-        for plan in &plan_refs {
+        for (_, plan) in &plan_refs {
             plan.ensure_total_indexes(&mut model);
         }
         let mut deleted = DeltaDatabase::new(Database::new());
@@ -415,21 +534,21 @@ impl Program {
                 // Delta-side index warm-up; the deleted split is disjoint
                 // from `model`, so both borrows are independent.
                 let (_, delta) = deleted.parts_mut();
-                for plan in &plan_refs {
+                for (_, plan) in &plan_refs {
                     for (_, variant) in &plan.variants {
                         variant.ensure_indexes(&mut model, Some(delta));
                     }
                 }
             }
             let mut next = Database::new();
-            let mut jobs: Vec<(&RulePlan, &ConjunctionPlan)> = Vec::new();
-            for plan in &plan_refs {
+            let mut jobs: Vec<(usize, &RulePlan, &ConjunctionPlan)> = Vec::new();
+            for (idx, plan) in &plan_refs {
                 for (pred, variant) in &plan.variants {
                     if deleted.delta().relation(*pred).is_none_or(|r| r.is_empty()) {
                         stats.variants_skipped += 1;
                         continue;
                     }
-                    jobs.push((plan, variant));
+                    jobs.push((*idx, plan, variant));
                 }
             }
             stats.rule_firings += jobs.len() as u64;
@@ -440,6 +559,7 @@ impl Program {
                 deleted.delta().len(),
                 &mut next,
                 &mut stats,
+                None,
                 par,
             );
             if round_threads >= 2 {
@@ -461,11 +581,14 @@ impl Program {
         }
 
         // Phase 3 — find the survivors: extensional membership in the
-        // post-retraction EDB, or an alternative derivation from the
-        // pruned model via the prebound support plan.
-        for plan in &plan_refs {
+        // post-retraction EDB, a recorded support disjoint from the
+        // over-deleted set (every such parent is still in the pruned
+        // model, so the body match is known without probing), or an
+        // alternative derivation found by the prebound support plan.
+        for (_, plan) in &plan_refs {
             plan.ensure_support_indexes(&mut model);
         }
+        let over_ids = table.as_ref().map(|t| t.ids_in(&deleted));
         let mut seeds = Database::new();
         for (pred, rel) in deleted.relations() {
             for t in rel.iter() {
@@ -473,7 +596,14 @@ impl Program {
                     seeds.insert_tuple(pred, t.clone());
                     continue;
                 }
-                for plan in &plan_refs {
+                if let (Some(tab), Some(over)) = (table.as_deref(), over_ids.as_ref()) {
+                    if tab.has_surviving_support(pred, t, over) {
+                        stats.support_hits += 1;
+                        seeds.insert_tuple(pred, t.clone());
+                        continue;
+                    }
+                }
+                for (idx, plan) in &plan_refs {
                     if plan.head.pred != pred {
                         continue;
                     }
@@ -482,15 +612,34 @@ impl Program {
                         continue;
                     }
                     stats.support_checks += 1;
-                    let mut found = false;
+                    let mut witness: Option<Vec<(Pred, Tuple)>> = None;
                     plan.support.for_each_match_counting(
                         &model,
                         None,
                         &mut env,
                         &mut stats.rows_examined,
-                        &mut |_| found = true,
+                        &mut |env| {
+                            if witness.is_none() {
+                                // Ground the support plan's positive body
+                                // — the parents of the found derivation.
+                                witness = Some(
+                                    plan.support
+                                        .steps()
+                                        .iter()
+                                        .map(|s| (s.template.pred, s.template.ground(env)))
+                                        .collect(),
+                                );
+                            }
+                        },
                     );
-                    if found {
+                    if let Some(parents) = witness {
+                        // The probe found a live derivation from the
+                        // pruned model — record it so the next deletion
+                        // can skip this probe.
+                        if let Some(tab) = table.as_deref_mut() {
+                            stats.supports_recorded +=
+                                tab.record(pred, t, *idx as u32, &parents) as u64;
+                        }
                         seeds.insert_tuple(pred, t.clone());
                         break;
                     }
@@ -501,20 +650,36 @@ impl Program {
         // Phase 4 — propagate the survivors with the ordinary insertion
         // fixpoint. Everything it adds back was over-deleted (the model
         // was closed before the prune), so it reuses the delta variants.
+        let mut sink = table.is_some().then(ProvenanceSink::new);
         let mut ddb = DeltaDatabase::resume(model, &seeds);
         {
             let (total, _) = ddb.parts_mut();
-            for plan in &plan_refs {
+            for (_, plan) in &plan_refs {
                 plan.ensure_total_indexes(total);
             }
         }
-        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats, par);
+        seminaive_rounds(&plan_refs, &mut ddb, false, &mut stats, sink.as_mut(), par);
         let mut db = ddb.into_total();
         stats.tuples_rederived = deleted
             .relations()
             .map(|(pred, rel)| rel.iter().filter(|t| db.contains_tuple(pred, t)).count() as u64)
             .sum();
         db.prune_empty();
+        if let (Some(tab), Some(sink)) = (table, sink) {
+            // Net-removed atoms — over-deleted and not re-derived — take
+            // their supports, and every support depending on them, out of
+            // the table before the re-derivation records come in.
+            let mut gone = Database::new();
+            for (pred, rel) in deleted.relations() {
+                for t in rel.iter() {
+                    if !db.contains_tuple(pred, t) {
+                        gone.insert_tuple(pred, t.clone());
+                    }
+                }
+            }
+            tab.purge(&gone);
+            stats.supports_recorded += tab.absorb(sink);
+        }
         Ok((db, stats))
     }
 
@@ -524,7 +689,11 @@ impl Program {
             .any(|r| r.body.iter().any(|l| !l.positive))
     }
 
-    fn run(&self, opts: EvalOptions) -> Result<(Database, EvalStats), DatalogError> {
+    fn run(
+        &self,
+        opts: EvalOptions,
+        mut sink: Option<&mut ProvenanceSink>,
+    ) -> Result<(Database, EvalStats), DatalogError> {
         let strata = self.stratify()?;
         let max_stratum = strata.values().copied().max().unwrap_or(0);
         let mut db = self.edb.clone();
@@ -549,18 +718,21 @@ impl Program {
         stats.plans_compiled = plans.len() as u64;
 
         for level in 0..=max_stratum {
-            let level_plans: Vec<&RulePlan> = plans
+            // Each plan keeps its **global** rule index — the identity a
+            // provenance record names — independent of stratum grouping.
+            let level_plans: Vec<(usize, &RulePlan)> = plans
                 .iter()
-                .filter(|(l, _)| *l == level)
-                .map(|(_, p)| p)
+                .enumerate()
+                .filter(|(_, (l, _))| *l == level)
+                .map(|(i, (_, p))| (i, p))
                 .collect();
             if level_plans.is_empty() {
                 continue;
             }
             if opts.seminaive {
-                db = fix_seminaive(&level_plans, db, &mut stats, par);
+                db = fix_seminaive(&level_plans, db, &mut stats, sink.as_deref_mut(), par);
             } else {
-                fix_naive(&level_plans, &mut db, &mut stats, par);
+                fix_naive(&level_plans, &mut db, &mut stats, sink.as_deref_mut(), par);
             }
         }
         // Index warm-up may have created empty relations for body
@@ -572,9 +744,10 @@ impl Program {
 
 /// Semi-naive fixpoint of one stratum over a stable/delta split.
 fn fix_seminaive(
-    plans: &[&RulePlan],
+    plans: &[(usize, &RulePlan)],
     db: Database,
     stats: &mut EvalStats,
+    sink: Option<&mut ProvenanceSink>,
     par: ParCtx,
 ) -> Database {
     let mut ddb = DeltaDatabase::new(db);
@@ -582,11 +755,11 @@ fn fix_seminaive(
     // them fresh as `advance` inserts each round's facts.
     {
         let (total, _) = ddb.parts_mut();
-        for plan in plans {
+        for (_, plan) in plans {
             plan.ensure_total_indexes(total);
         }
     }
-    seminaive_rounds(plans, &mut ddb, true, stats, par);
+    seminaive_rounds(plans, &mut ddb, true, stats, sink, par);
     ddb.into_total()
 }
 
@@ -596,10 +769,11 @@ fn fix_seminaive(
 /// it, the caller pre-seeded the delta ([`DeltaDatabase::resume`]) and
 /// only delta variants ever run.
 fn seminaive_rounds(
-    plans: &[&RulePlan],
+    plans: &[(usize, &RulePlan)],
     ddb: &mut DeltaDatabase,
     full_first_round: bool,
     stats: &mut EvalStats,
+    mut sink: Option<&mut ProvenanceSink>,
     par: ParCtx,
 ) {
     let mut first_round = full_first_round;
@@ -612,8 +786,8 @@ fn seminaive_rounds(
             // rule runs its full plan once; the stable total is the
             // driving work size.
             first_round = false;
-            let jobs: Vec<(&RulePlan, &ConjunctionPlan)> =
-                plans.iter().map(|p| (*p, &p.full)).collect();
+            let jobs: Vec<(usize, &RulePlan, &ConjunctionPlan)> =
+                plans.iter().map(|(i, p)| (*i, *p, &p.full)).collect();
             stats.rule_firings += jobs.len() as u64;
             stats.full_firings += jobs.len() as u64;
             round_threads = fire_jobs(
@@ -623,6 +797,7 @@ fn seminaive_rounds(
                 ddb.total().len(),
                 &mut new_facts,
                 stats,
+                sink.as_deref_mut(),
                 par,
             );
         } else {
@@ -631,7 +806,7 @@ fn seminaive_rounds(
             // indexes.
             {
                 let (total, delta) = ddb.parts_mut();
-                for plan in plans {
+                for (_, plan) in plans {
                     for (_, variant) in &plan.variants {
                         variant.ensure_indexes(total, Some(delta));
                     }
@@ -640,8 +815,8 @@ fn seminaive_rounds(
             // The skip/run decision is made up front on the coordinator —
             // deterministic regardless of how the surviving jobs are
             // scheduled below.
-            let mut jobs: Vec<(&RulePlan, &ConjunctionPlan)> = Vec::new();
-            for plan in plans {
+            let mut jobs: Vec<(usize, &RulePlan, &ConjunctionPlan)> = Vec::new();
+            for (idx, plan) in plans {
                 for (pred, variant) in &plan.variants {
                     if ddb.delta().relation(*pred).is_none_or(|r| r.is_empty()) {
                         // Nothing new for this literal: the variant is
@@ -649,7 +824,7 @@ fn seminaive_rounds(
                         stats.variants_skipped += 1;
                         continue;
                     }
-                    jobs.push((plan, variant));
+                    jobs.push((*idx, plan, variant));
                 }
             }
             stats.rule_firings += jobs.len() as u64;
@@ -660,6 +835,7 @@ fn seminaive_rounds(
                 ddb.delta().len(),
                 &mut new_facts,
                 stats,
+                sink.as_deref_mut(),
                 par,
             );
         }
@@ -673,18 +849,33 @@ fn seminaive_rounds(
 }
 
 /// Naive fixpoint of one stratum: every rule's full plan, every round.
-fn fix_naive(plans: &[&RulePlan], db: &mut Database, stats: &mut EvalStats, par: ParCtx) {
-    for plan in plans {
+fn fix_naive(
+    plans: &[(usize, &RulePlan)],
+    db: &mut Database,
+    stats: &mut EvalStats,
+    mut sink: Option<&mut ProvenanceSink>,
+    par: ParCtx,
+) {
+    for (_, plan) in plans {
         plan.ensure_total_indexes(db);
     }
     loop {
         stats.iterations += 1;
         let mut new_facts = Database::new();
-        let jobs: Vec<(&RulePlan, &ConjunctionPlan)> =
-            plans.iter().map(|p| (*p, &p.full)).collect();
+        let jobs: Vec<(usize, &RulePlan, &ConjunctionPlan)> =
+            plans.iter().map(|(i, p)| (*i, *p, &p.full)).collect();
         stats.rule_firings += jobs.len() as u64;
         stats.full_firings += jobs.len() as u64;
-        let round_threads = fire_jobs(&jobs, db, None, db.len(), &mut new_facts, stats, par);
+        let round_threads = fire_jobs(
+            &jobs,
+            db,
+            None,
+            db.len(),
+            &mut new_facts,
+            stats,
+            sink.as_deref_mut(),
+            par,
+        );
         if round_threads >= 2 {
             stats.parallel_rounds += 1;
         }
@@ -706,32 +897,61 @@ fn fix_naive(plans: &[&RulePlan], db: &mut Database, stats: &mut EvalStats, par:
 /// of the round engaged (1 = fully sequential).
 #[allow(clippy::too_many_arguments)]
 fn fire_jobs(
-    jobs: &[(&RulePlan, &ConjunctionPlan)],
+    jobs: &[(usize, &RulePlan, &ConjunctionPlan)],
     total: &Database,
     delta: Option<&Database>,
     driving_rows: usize,
     out: &mut Database,
     stats: &mut EvalStats,
+    mut sink: Option<&mut ProvenanceSink>,
     par: ParCtx,
 ) -> usize {
     if par.threads < 2 || jobs.len() < 2 || driving_rows < par.fanout_min_rows {
         let mut used = 1;
-        for (plan, join) in jobs {
-            used = used.max(fire(plan, join, total, delta, out, stats, par));
+        for (idx, plan, join) in jobs {
+            used = used.max(fire(
+                *idx,
+                plan,
+                join,
+                total,
+                delta,
+                out,
+                stats,
+                sink.as_deref_mut(),
+                par,
+            ));
         }
         return used;
     }
     let seq = par.sequential();
+    let tracing = sink.is_some();
     let results = threadpool::parallel_map(jobs.len(), par.threads, |j| {
-        let (plan, join) = jobs[j];
+        let (idx, plan, join) = jobs[j];
         let mut shard_out = Database::new();
         let mut shard = EvalStats::default();
-        fire(plan, join, total, delta, &mut shard_out, &mut shard, seq);
-        (shard_out, shard)
+        // Tracing shards buffer their own records; the coordinator
+        // concatenates them in plan order below, so the sink contents are
+        // independent of scheduling.
+        let mut shard_sink = tracing.then(ProvenanceSink::new);
+        fire(
+            idx,
+            plan,
+            join,
+            total,
+            delta,
+            &mut shard_out,
+            &mut shard,
+            shard_sink.as_mut(),
+            seq,
+        );
+        (shard_out, shard, shard_sink)
     });
-    for (shard_out, shard) in &results {
-        out.union_with(shard_out);
-        stats.absorb(shard);
+    for (shard_out, shard, shard_sink) in results {
+        out.union_with(&shard_out);
+        stats.absorb(&shard);
+        if let (Some(sink), Some(shard_sink)) = (sink.as_deref_mut(), shard_sink) {
+            sink.extend_from(&shard_sink);
+        }
     }
     let engaged = par.threads.min(jobs.len());
     stats.threads_used = stats.threads_used.max(engaged as u64);
@@ -744,13 +964,16 @@ fn fire_jobs(
 /// step, the probes are partitioned across threads
 /// ([`ConjunctionPlan::for_each_match_partitioned`] — callback order and
 /// counters stay bit-for-bit sequential). Returns the threads engaged.
+#[allow(clippy::too_many_arguments)]
 fn fire(
+    rule_idx: usize,
     plan: &RulePlan,
     join: &ConjunctionPlan,
     total: &Database,
     delta: Option<&Database>,
     out: &mut Database,
     stats: &mut EvalStats,
+    mut sink: Option<&mut ProvenanceSink>,
     par: ParCtx,
 ) -> usize {
     for step in join.steps() {
@@ -771,7 +994,16 @@ fn fire(
                 .any(|n| total.contains_tuple(n.pred, &n.ground(env)));
             if !blocked {
                 derivations += 1;
-                out.insert_tuple(plan.head.pred, plan.head.ground(env));
+                let head = plan.head.ground(env);
+                if let Some(sink) = sink.as_deref_mut() {
+                    let start = sink.begin_record();
+                    sink.push_tuple(plan.head.pred, &head);
+                    for step in join.steps() {
+                        sink.push_template(&step.template, env);
+                    }
+                    sink.finish_record(rule_idx as u32, start);
+                }
+                out.insert_tuple(plan.head.pred, head);
             }
         };
         if par.threads >= 2 && join.parallel_eligible_at(par.probe_min_outer) {
@@ -1190,8 +1422,10 @@ mod tests {
             tuples_overdeleted: 11,
             tuples_rederived: 12,
             support_checks: 13,
-            parallel_rounds: 14,
-            threads_used: 15,
+            supports_recorded: 14,
+            support_hits: 15,
+            parallel_rounds: 16,
+            threads_used: 17,
         };
         let b = a;
         a.absorb(&b);
@@ -1208,9 +1442,11 @@ mod tests {
         assert_eq!(a.tuples_overdeleted, 22);
         assert_eq!(a.tuples_rederived, 24);
         assert_eq!(a.support_checks, 26);
-        assert_eq!(a.parallel_rounds, 28);
+        assert_eq!(a.supports_recorded, 28);
+        assert_eq!(a.support_hits, 30);
+        assert_eq!(a.parallel_rounds, 32);
         // A high-water mark, not a sum: absorbing an equal run keeps it.
-        assert_eq!(a.threads_used, 15);
+        assert_eq!(a.threads_used, 17);
         let wider = EvalStats {
             threads_used: 40,
             ..EvalStats::default()
@@ -1406,5 +1642,149 @@ mod tests {
         // formula with free var; from_sentences sees a non-ground atom rule
         // with empty body → unsafe.
         assert!(err.is_err());
+    }
+
+    use crate::provenance::{params_of, SupportTable};
+
+    /// Zero the provenance counters — the only ones a traced run is
+    /// allowed to move relative to its untraced twin.
+    fn scrub_prov(mut s: EvalStats) -> EvalStats {
+        s.supports_recorded = 0;
+        s.support_hits = 0;
+        s
+    }
+
+    #[test]
+    fn traced_eval_matches_untraced_and_proves_every_idb_tuple() {
+        let p = chain(8);
+        let (plain_db, plain) = p.eval().unwrap();
+        let mut table = SupportTable::new();
+        let (traced_db, traced) = p.eval_traced(EvalOptions::default(), &mut table).unwrap();
+        assert_eq!(traced_db, plain_db);
+        assert_eq!(scrub_prov(traced), plain, "tracking must not change work");
+        assert!(traced.supports_recorded > 0);
+        assert_eq!(plain.supports_recorded, 0, "untraced runs record nothing");
+        assert!(table.consistent_with(&traced_db, p.rules.len()));
+        for a in traced_db.atoms() {
+            let t = params_of(&a).unwrap();
+            let tree = table
+                .why(&p.edb, a.pred, &t)
+                .unwrap_or_else(|| panic!("no proof for {a}"));
+            assert!(tree.replays(&p), "proof of {a} must replay");
+        }
+    }
+
+    #[test]
+    fn traced_table_is_deterministic_across_thread_counts() {
+        let p = chain(12);
+        let mut seq_table = SupportTable::new();
+        let (seq_db, _) = p.eval_traced(par_opts(1), &mut seq_table).unwrap();
+        for threads in [2, 4] {
+            let mut par_table = SupportTable::new();
+            let (par_db, par) = p.eval_traced(par_opts(threads), &mut par_table).unwrap();
+            assert_eq!(par_db, seq_db);
+            assert!(par.parallel_rounds > 0, "fan-out must engage");
+            assert_eq!(
+                par_table, seq_table,
+                "shard merge order must make the table scheduling-independent"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_incremental_extends_the_table() {
+        let before = chain(4);
+        let mut table = SupportTable::new();
+        let (model, _) = before
+            .eval_traced(EvalOptions::default(), &mut table)
+            .unwrap();
+        let after = chain(6);
+        let mut new_facts = epilog_storage::Database::new();
+        for i in 4..6 {
+            new_facts.insert(&atom(&format!("e(n{i}, n{})", i + 1)));
+        }
+        let plans: Vec<RulePlan> = after
+            .rules
+            .iter()
+            .map(|r| RulePlan::compile_with_stats(r, Some(&model)))
+            .collect();
+        let (inc, stats) = after
+            .eval_incremental_traced(&plans, model, &new_facts, &mut table)
+            .unwrap();
+        let (scratch, _) = after.eval().unwrap();
+        assert_eq!(inc, scratch);
+        assert!(stats.supports_recorded > 0);
+        assert!(table.consistent_with(&inc, after.rules.len()));
+        for a in inc.atoms() {
+            let t = params_of(&a).unwrap();
+            let tree = table.why(&after.edb, a.pred, &t).unwrap();
+            assert!(
+                tree.replays(&after),
+                "proof of {a} must replay after resume"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_decremental_skips_probes_and_purges() {
+        // Two parallel edges a→b (the alternative-support workload): the
+        // recorded e2 support lets t(a, b) survive without a probe.
+        let before = Program::from_text(
+            "e(a, b)
+             e2(a, b)
+             e(b, c)
+             forall x, y. e(x, y) -> t(x, y)
+             forall x, y. e2(x, y) -> t(x, y)
+             forall x, y, z. e(x, y) & t(y, z) -> t(x, z)",
+        )
+        .unwrap();
+        let mut table = SupportTable::new();
+        let (model, _) = before
+            .eval_traced(EvalOptions::default(), &mut table)
+            .unwrap();
+        let mut removed = epilog_storage::Database::new();
+        removed.insert(&atom("e(a, b)"));
+        let after = Program::from_text(
+            "e2(a, b)
+             e(b, c)
+             forall x, y. e(x, y) -> t(x, y)
+             forall x, y. e2(x, y) -> t(x, y)
+             forall x, y, z. e(x, y) & t(y, z) -> t(x, z)",
+        )
+        .unwrap();
+        let plans: Vec<RulePlan> = after
+            .rules
+            .iter()
+            .map(|r| RulePlan::compile_with_stats(r, Some(&model)))
+            .collect();
+        let (plain_db, plain) = after
+            .eval_decremental_with(&plans, model.clone(), &removed)
+            .unwrap();
+        let (traced_db, traced) = after
+            .eval_decremental_traced(&plans, model, &removed, &mut table)
+            .unwrap();
+        assert_eq!(traced_db, plain_db, "supports must not change the model");
+        assert_eq!(traced.tuples_rederived, plain.tuples_rederived);
+        assert!(traced.support_hits > 0, "t(a, b) survives on record alone");
+        assert!(
+            traced.support_checks < plain.support_checks,
+            "every hit is a probe saved: {} vs {}",
+            traced.support_checks,
+            plain.support_checks
+        );
+        // The table is purged down to the shrunken model and stays
+        // proof-complete for it.
+        assert!(table.consistent_with(&traced_db, after.rules.len()));
+        for a in traced_db.atoms() {
+            let t = params_of(&a).unwrap();
+            assert!(
+                table.why(&after.edb, a.pred, &t).is_some(),
+                "{a} must stay provable after deletion"
+            );
+        }
+        assert!(
+            !traced_db.contains(&atom("t(a, c)")),
+            "a→…→c needed e(a, b)"
+        );
     }
 }

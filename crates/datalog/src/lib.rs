@@ -23,10 +23,12 @@ pub mod completion;
 pub mod engine;
 pub mod plan;
 pub mod program;
+pub mod provenance;
 pub mod sld;
 
 pub use completion::completion;
 pub use engine::{EvalOptions, EvalStats, PlannerMode, PAR_MIN_FANOUT_ROWS};
 pub use plan::RulePlan;
 pub use program::{DatalogError, Literal, Program, Rule};
+pub use provenance::{ProofTree, ProvenanceSink, Support, SupportTable};
 pub use sld::{SldEngine, SldOutcome};

@@ -57,6 +57,13 @@ pub struct ServeOptions {
     /// Most transactions the writer folds into one durability unit
     /// (one WAL sync + one publish).
     pub max_batch: usize,
+    /// Enable derivation tracking on the served database: the writer
+    /// maintains a provenance support table across commits, snapshots
+    /// expose [`EpistemicDb::why`] proof trees, and constraint
+    /// rejections carry ground witnesses with derivations. No-op when
+    /// the theory is not a definite program. Off by default — untraced
+    /// fixpoints pay nothing for the feature.
+    pub provenance: bool,
 }
 
 impl Default for ServeOptions {
@@ -64,6 +71,7 @@ impl Default for ServeOptions {
         ServeOptions {
             queue_depth: 128,
             max_batch: 64,
+            provenance: false,
         }
     }
 }
@@ -72,8 +80,10 @@ impl Default for ServeOptions {
 #[derive(Debug)]
 pub enum ServeError {
     /// The database refused the transaction (constraint violation,
-    /// ill-formed sentence, …); state and log are unchanged.
-    Db(DbError),
+    /// ill-formed sentence, …); state and log are unchanged. Carries
+    /// the head LSN at rejection time, so a rejection can be reported
+    /// against the exact state it was validated on.
+    Db(DbError, u64),
     /// The log append or sync failed; the transaction was not applied.
     Io(String),
     /// The serving database shut down before answering.
@@ -83,7 +93,7 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Db(e) => write!(f, "{e}"),
+            ServeError::Db(e, _) => write!(f, "{e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Closed => write!(f, "serving database is shut down"),
         }
@@ -231,7 +241,14 @@ impl ServingDb {
     /// The handed-in fsync policy is irrelevant from here on: the
     /// writer syncs explicitly, once per batch.
     pub fn start(durable: DurableDb, opts: ServeOptions) -> ServingDb {
-        let (db, wal, dir) = durable.into_parts();
+        let (mut db, wal, dir) = durable.into_parts();
+        if opts.provenance {
+            // Trace before the first publication so even the initial
+            // snapshot answers `why`. Recovery may already have adopted
+            // a table from the snapshot's `[supports]` section; this is
+            // then an idempotent no-op.
+            db.enable_provenance();
+        }
         let head = Arc::new(StateCell::new(db.clone(), wal.last_lsn()));
         let metrics = Arc::new(Metrics::default());
         let (tx, rx) = sync_channel(opts.queue_depth.max(1));
@@ -387,7 +404,7 @@ fn writer_loop(
                     match txn.prepare() {
                         Err(e) => {
                             metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                            let _ = reply.send(Err(ServeError::Db(e)));
+                            let _ = reply.send(Err(ServeError::Db(e, wal.last_lsn())));
                         }
                         Ok(p) if p.is_noop() => {
                             // Nothing to log or publish: acknowledge at
@@ -429,7 +446,7 @@ fn writer_loop(
                             Err(e) => {
                                 metrics.rejected.fetch_add(1, Ordering::Relaxed);
                                 let ack = match wal.rewind(mark.0, mark.1) {
-                                    Ok(()) => ServeError::Db(e),
+                                    Ok(()) => ServeError::Db(e, wal.last_lsn()),
                                     Err(io) => ServeError::Io(io.to_string()),
                                 };
                                 let _ = reply.send(Err(ack));
@@ -542,7 +559,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            ServeError::Db(DbError::ConstraintViolated(_))
+            ServeError::Db(DbError::ConstraintViolated(_), _)
         ));
         assert_eq!(db.head_lsn(), 1, "only the constraint record exists");
         assert_eq!(db.stats().rejected, 1);
@@ -597,7 +614,7 @@ mod tests {
         ]);
         gate.open();
         assert!(ok1.wait().is_ok());
-        assert!(matches!(bad.wait(), Err(ServeError::Db(_))));
+        assert!(matches!(bad.wait(), Err(ServeError::Db(..))));
         assert!(ok2.wait().is_ok());
         let snap = db.snapshot();
         assert_eq!(snap.ask(&parse("K emp(Sue)").unwrap()), Answer::Yes);
@@ -633,6 +650,53 @@ mod tests {
             let q = parse(&format!("K person(W{i})")).unwrap();
             assert_eq!(snap.ask(&q), Answer::Yes);
         }
+        db2.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn provenance_option_traces_commits_and_stamps_rejections() {
+        let d = dir();
+        let theory = Theory::from_text(
+            "edge(a, b)\nforall x. forall y. edge(x, y) -> path(x, y)\n\
+             forall x. forall y. forall z. edge(x, y) & path(y, z) -> path(x, z)",
+        )
+        .unwrap();
+        let opts = ServeOptions {
+            provenance: true,
+            ..Default::default()
+        };
+        let db = ServingDb::create(&d, theory, opts).unwrap();
+        assert!(db.snapshot().provenance_enabled());
+        db.commit_wait(vec![TxOp::Assert(f("edge(b, c)"))]).unwrap();
+        let snap = db.snapshot();
+        let q = match f("path(a, c)") {
+            Formula::Atom(a) => a,
+            other => panic!("expected atom, got {other}"),
+        };
+        let proof = snap.why(&q).expect("transitive tuple has a proof");
+        assert!(proof.height() >= 2, "needs the recursive rule");
+
+        db.add_constraint(f("forall x. ~K path(x, x)")).unwrap();
+        let head = db.head_lsn();
+        let err = db
+            .commit_wait(vec![TxOp::Assert(f("edge(c, a)"))])
+            .unwrap_err();
+        match err {
+            ServeError::Db(DbError::ConstraintViolated(rej), lsn) => {
+                assert_eq!(lsn, head, "rejection stamped with the head LSN");
+                assert!(!rej.witnesses.is_empty(), "ground witness extracted");
+                assert!(!rej.proofs.is_empty(), "witness carries a proof tree");
+            }
+            other => panic!("expected a stamped constraint rejection, got {other:?}"),
+        }
+        db.shutdown().unwrap();
+
+        // Recovery re-enables provenance from the snapshot marker (and
+        // the option keeps it on for the working database regardless).
+        let (db2, _) = ServingDb::recover(&d, opts).unwrap();
+        assert!(db2.snapshot().provenance_enabled());
+        assert!(db2.snapshot().why(&q).is_some());
         db2.shutdown().unwrap();
         std::fs::remove_dir_all(d).unwrap();
     }

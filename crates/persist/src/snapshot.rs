@@ -13,6 +13,8 @@
 //! <sentence per line>
 //! [model]\n            (only for definite theories, when requested)
 //! <ground atom per line>
+//! [supports]\n         (only when provenance is enabled on the db)
+//! <rule_idx>|<head atom>|<parent atom>|…
 //! ```
 //!
 //! Sentences are serialized with the `epilog-syntax` pretty-printer and
@@ -20,6 +22,13 @@
 //! The optional `[model]` section is the materialized least model of a
 //! definite theory; restoring it skips the fixpoint recomputation at
 //! recovery (debug builds re-derive and verify it).
+//!
+//! The optional `[supports]` section is the provenance side table: one
+//! line per recorded support, `|`-separated (atom text never contains
+//! `|`), parents possibly empty for body-less rules. The **marker's
+//! presence** — even over zero lines — means provenance was enabled when
+//! the snapshot was taken, so restore re-enables it; its absence restores
+//! a provenance-off database.
 
 use crate::fnv1a64;
 use epilog_core::EpistemicDb;
@@ -69,6 +78,10 @@ pub struct Snapshot {
     pub constraints: Vec<Formula>,
     /// The materialized least model (definite theories only), sorted.
     pub model: Option<Vec<Atom>>,
+    /// The provenance support table as `(head, rule_idx, parents)`
+    /// entries, sorted; `Some` (possibly empty) exactly when provenance
+    /// was enabled on the captured database.
+    pub supports: Option<Vec<(Atom, u32, Vec<Atom>)>>,
 }
 
 impl Snapshot {
@@ -83,11 +96,23 @@ impl Snapshot {
         } else {
             None
         };
+        let supports = db.support_table().map(|t| {
+            let mut entries: Vec<(Atom, u32, Vec<Atom>)> = t.entries().collect();
+            entries.sort_by_cached_key(|(head, rule, parents)| {
+                (
+                    head.to_string(),
+                    *rule,
+                    parents.iter().map(Atom::to_string).collect::<Vec<_>>(),
+                )
+            });
+            entries
+        });
         Snapshot {
             lsn,
             sentences: db.theory().sentences().to_vec(),
             constraints: db.constraints().to_vec(),
             model,
+            supports,
         }
     }
 
@@ -113,6 +138,19 @@ impl Snapshot {
             payload.push_str("[model]\n");
             for a in model {
                 payload.push_str(&a.to_string());
+                payload.push('\n');
+            }
+        }
+        if let Some(supports) = &self.supports {
+            payload.push_str("[supports]\n");
+            for (head, rule, parents) in supports {
+                payload.push_str(&rule.to_string());
+                payload.push('|');
+                payload.push_str(&head.to_string());
+                for p in parents {
+                    payload.push('|');
+                    payload.push_str(&p.to_string());
+                }
                 payload.push('\n');
             }
         }
@@ -172,11 +210,23 @@ impl Snapshot {
         let mut sentences = Vec::new();
         let mut constraints = Vec::new();
         let mut model: Option<Vec<Atom>> = None;
+        let mut supports: Option<Vec<(Atom, u32, Vec<Atom>)>> = None;
         enum Section {
             None,
             Theory,
             Constraints,
             Model,
+            Supports,
+        }
+        fn ground_atom(text: &str) -> Result<Atom, SnapshotError> {
+            let w = parse(text)
+                .map_err(|e| SnapshotError::Corrupt(format!("unparseable line {text:?}: {e}")))?;
+            match w {
+                Formula::Atom(a) if a.is_ground() => Ok(a),
+                other => Err(SnapshotError::Corrupt(format!(
+                    "expected a ground atom, got: {other}"
+                ))),
+            }
         }
         let mut section = Section::None;
         for line in payload.lines() {
@@ -187,30 +237,45 @@ impl Snapshot {
                     section = Section::Model;
                     model = Some(Vec::new());
                 }
-                _ => {
-                    let w = parse(line).map_err(|e| {
-                        SnapshotError::Corrupt(format!("unparseable line {line:?}: {e}"))
-                    })?;
-                    match section {
-                        Section::None => {
-                            return Err(SnapshotError::Corrupt(format!(
-                                "content before any section marker: {line:?}"
-                            )))
-                        }
-                        Section::Theory => sentences.push(w),
-                        Section::Constraints => constraints.push(w),
-                        Section::Model => match w {
-                            Formula::Atom(a) if a.is_ground() => {
-                                model.as_mut().expect("section set").push(a)
-                            }
-                            other => {
-                                return Err(SnapshotError::Corrupt(format!(
-                                    "non-ground-atom in model section: {other}"
-                                )))
-                            }
-                        },
-                    }
+                "[supports]" => {
+                    section = Section::Supports;
+                    supports = Some(Vec::new());
                 }
+                _ => match section {
+                    Section::None => {
+                        return Err(SnapshotError::Corrupt(format!(
+                            "content before any section marker: {line:?}"
+                        )))
+                    }
+                    Section::Theory | Section::Constraints => {
+                        let w = parse(line).map_err(|e| {
+                            SnapshotError::Corrupt(format!("unparseable line {line:?}: {e}"))
+                        })?;
+                        match section {
+                            Section::Theory => sentences.push(w),
+                            _ => constraints.push(w),
+                        }
+                    }
+                    Section::Model => model
+                        .as_mut()
+                        .expect("section set")
+                        .push(ground_atom(line)?),
+                    Section::Supports => {
+                        let mut fields = line.split('|');
+                        let rule: u32 =
+                            fields.next().and_then(|s| s.parse().ok()).ok_or_else(|| {
+                                SnapshotError::Corrupt(format!("bad support rule idx: {line:?}"))
+                            })?;
+                        let head = ground_atom(fields.next().ok_or_else(|| {
+                            SnapshotError::Corrupt(format!("support line missing head: {line:?}"))
+                        })?)?;
+                        let parents = fields.map(ground_atom).collect::<Result<Vec<_>, _>>()?;
+                        supports
+                            .as_mut()
+                            .expect("section set")
+                            .push((head, rule, parents));
+                    }
+                },
             }
         }
         Ok(Snapshot {
@@ -218,6 +283,7 @@ impl Snapshot {
             sentences,
             constraints,
             model,
+            supports,
         })
     }
 
@@ -268,6 +334,34 @@ impl Snapshot {
             db.adopt_constraint(ic.clone())
                 .map_err(|e| SnapshotError::Corrupt(format!("invalid constraint: {e}")))?;
         }
+        if let Some(entries) = &self.supports {
+            if model_restored {
+                let mut table = epilog_core::SupportTable::new();
+                for (head, rule, parents) in entries {
+                    let tuple = epilog_datalog::provenance::params_of(head).ok_or_else(|| {
+                        SnapshotError::Corrupt(format!("non-constant support head: {head}"))
+                    })?;
+                    let parents = parents
+                        .iter()
+                        .map(|p| {
+                            epilog_datalog::provenance::params_of(p)
+                                .map(|t| (p.pred, t))
+                                .ok_or_else(|| {
+                                    SnapshotError::Corrupt(format!(
+                                        "non-constant support parent: {p}"
+                                    ))
+                                })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    table.record(head.pred, &tuple, *rule, &parents);
+                }
+                db.adopt_provenance(table);
+            } else {
+                // No materialized model to attach the table to — re-derive
+                // it so the marker's "provenance was on" promise still holds.
+                db.enable_provenance();
+            }
+        }
         Ok((db, model_restored))
     }
 }
@@ -314,6 +408,47 @@ mod tests {
         assert_eq!(restored.theory(), db.theory());
         assert_eq!(restored.constraints(), db.constraints());
         assert_eq!(restored.prover().atom_model(), db.prover().atom_model());
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn provenance_table_roundtrips_and_reenables() {
+        let d = dir();
+        let mut db = EpistemicDb::from_text(
+            "edge(a, b)\nedge(b, c)\nforall x. forall y. edge(x, y) -> path(x, y)\n\
+             forall x. forall y. forall z. edge(x, y) & path(y, z) -> path(x, z)",
+        )
+        .unwrap();
+        assert!(db.enable_provenance());
+        let (atoms, supports) = db.provenance_size();
+        assert!(atoms > 0 && supports > 0);
+        let snap = Snapshot::of(&db, 9, true);
+        assert!(snap.supports.as_ref().is_some_and(|s| !s.is_empty()));
+        let path = snap.write(&d).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        assert_eq!(loaded.supports, snap.supports);
+        let (restored, model_restored) = loaded.restore().unwrap();
+        assert!(model_restored);
+        assert!(restored.provenance_enabled());
+        assert_eq!(restored.provenance_size(), db.provenance_size());
+        let q: Atom = match parse("path(a, c)").unwrap() {
+            Formula::Atom(a) => a,
+            other => panic!("expected atom, got {other}"),
+        };
+        let proof = restored.why(&q).expect("derived tuple has a proof");
+        assert!(proof.height() >= 2, "path(a,c) needs the recursive rule");
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn provenance_off_snapshots_restore_provenance_off() {
+        let d = dir();
+        let db = sample_db();
+        let path = Snapshot::of(&db, 2, true).write(&d).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        assert!(loaded.supports.is_none());
+        let (restored, _) = loaded.restore().unwrap();
+        assert!(!restored.provenance_enabled());
         std::fs::remove_dir_all(d).unwrap();
     }
 

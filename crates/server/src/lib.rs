@@ -21,20 +21,28 @@
 //! |---|---|
 //! | `ask <sentence>` | `ok yes\|no\|unknown @<lsn>` |
 //! | `demo <sentence>` | `ok rows <n> @<lsn>`, then `n` × `row <params>` |
+//! | `why <atom>` | `ok why <n> @<lsn>`, then `n` × `row <proof line>`; `ok why none @<lsn>` when underivable |
 //! | `begin` | `ok begin` |
 //! | `assert <sentence>` | in txn `ok queued <n>`; else `ok committed @<lsn> +<a> -<r>` |
 //! | `retract <sentence>` | likewise |
-//! | `commit` | `ok committed @<lsn> +<a> -<r>` or `err rejected: …` |
+//! | `commit` | `ok committed @<lsn> +<a> -<r>` or `err rejected: … @<lsn>` |
 //! | `rollback` | `ok rollback <n>` |
-//! | `constraint <sentence>` | `ok constraint @<lsn>` or `err rejected: …` |
+//! | `constraint <sentence>` | `ok constraint @<lsn>` or `err rejected: … @<lsn>` |
 //! | `flush` | `ok flushed @<lsn>` |
-//! | `stats` | `ok stats commits=… rejected=… batches=… fsyncs=…` |
+//! | `stats` | `ok stats commits=… rejected=… batches=… fsyncs=… plan_recosts=… prov_atoms=… prov_supports=…` |
 //! | `quit` | `ok bye`, connection closes |
 //! | `shutdown` | `ok shutting-down`, server drains and exits |
 //!
 //! A one-shot `assert`/`retract` outside `begin…commit` is a
 //! single-operation transaction: validated, group-committed, and
 //! acknowledged durable exactly like a batch.
+//!
+//! `why` answers from the provenance support table (serve the database
+//! with [`epilog_persist::ServeOptions::provenance`] on): each `row`
+//! line is one indented step of the derivation, down to EDB facts. A
+//! rejected commit's `err rejected:` line states the violated
+//! constraint and its ground witnesses, stamped with the LSN of the
+//! state it was validated against.
 
 use epilog_persist::{PersistError, ServeError, ServeStats, ServingDb, TxOp};
 use epilog_syntax::parse;
@@ -75,6 +83,7 @@ impl<'a> Session<'a> {
             "" => Ok(String::new()),
             "ask" => self.ask(rest),
             "demo" => self.demo(rest),
+            "why" => self.why(rest),
             "begin" => self.begin(),
             "assert" => self.op(rest, TxOp::Assert),
             "retract" => self.op(rest, TxOp::Retract),
@@ -82,7 +91,7 @@ impl<'a> Session<'a> {
             "rollback" => self.rollback(),
             "constraint" => self.constraint(rest),
             "flush" => self.flush(),
-            "stats" => Ok(stats_line(self.db.stats())),
+            "stats" => Ok(stats_line(self.db)),
             "quit" => return ("ok bye".into(), Disposition::Close),
             "shutdown" => return ("ok shutting-down".into(), Disposition::ShutdownServer),
             _ => Err(format!("unknown request {verb:?}")),
@@ -118,6 +127,32 @@ impl<'a> Session<'a> {
             }
         }
         Ok(out)
+    }
+
+    fn why(&self, src: &str) -> Result<String, String> {
+        let q = parse(src).map_err(|e| format!("parse: {e}"))?;
+        let epilog_syntax::Formula::Atom(atom) = q else {
+            return Err(format!("why needs a ground atom, got {q}"));
+        };
+        if !atom.is_ground() {
+            return Err(format!("why needs a ground atom, got {atom}"));
+        }
+        let snap = self.db.snapshot();
+        if !snap.provenance_enabled() {
+            return Err("provenance is not enabled on this server".into());
+        }
+        match snap.why(&atom) {
+            Some(proof) => {
+                let lines = proof.render();
+                let mut out = format!("ok why {} @{}", lines.len(), snap.lsn());
+                for l in lines {
+                    out.push_str("\nrow ");
+                    out.push_str(&l);
+                }
+                Ok(out)
+            }
+            None => Ok(format!("ok why none @{}", snap.lsn())),
+        }
     }
 
     fn begin(&mut self) -> Result<String, String> {
@@ -157,6 +192,7 @@ impl<'a> Session<'a> {
         let ic = parse(src).map_err(|e| format!("parse: {e}"))?;
         match self.db.add_constraint(ic) {
             Ok(lsn) => Ok(format!("ok constraint @{lsn}")),
+            Err(ServeError::Db(e, lsn)) => Err(format!("rejected: {e} @{lsn}")),
             Err(e) => Err(format!("rejected: {e}")),
         }
     }
@@ -175,15 +211,24 @@ fn commit_ops(db: &ServingDb, ops: Vec<TxOp>) -> Result<String, String> {
             "ok committed @{} +{} -{}",
             r.lsn, r.report.asserted, r.report.retracted
         )),
-        Err(ServeError::Db(e)) => Err(format!("rejected: {e}")),
+        Err(ServeError::Db(e, lsn)) => Err(format!("rejected: {e} @{lsn}")),
         Err(e) => Err(e.to_string()),
     }
 }
 
-fn stats_line(s: ServeStats) -> String {
+fn stats_line(db: &ServingDb) -> String {
+    let s = db.stats();
+    let snap = db.snapshot();
+    let (prov_atoms, prov_supports) = snap.provenance_size();
     format!(
-        "ok stats commits={} rejected={} batches={} fsyncs={}",
-        s.commits, s.rejected, s.batches, s.fsyncs
+        "ok stats commits={} rejected={} batches={} fsyncs={} plan_recosts={} prov_atoms={} prov_supports={}",
+        s.commits,
+        s.rejected,
+        s.batches,
+        s.fsyncs,
+        snap.plan_recosts(),
+        prov_atoms,
+        prov_supports
     )
 }
 
@@ -466,6 +511,61 @@ mod tests {
 
         let stats = server.shutdown().unwrap();
         assert_eq!(stats.commits, 1);
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn why_and_stamped_rejections_over_tcp() {
+        let d = dir();
+        let theory = Theory::from_text(
+            "edge(a, b)\nedge(b, c)\nforall x. forall y. edge(x, y) -> path(x, y)\n\
+             forall x. forall y. forall z. edge(x, y) & path(y, z) -> path(x, z)",
+        )
+        .unwrap();
+        let opts = epilog_persist::ServeOptions {
+            provenance: true,
+            ..Default::default()
+        };
+        let db = ServingDb::create(&d, theory, opts).unwrap();
+        let server = Server::start(db, "127.0.0.1:0").unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+
+        let head = c.request("why path(a, c)").unwrap();
+        assert!(head.starts_with("ok why "), "got {head}");
+        let n: usize = head
+            .strip_prefix("ok why ")
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(n >= 3, "conclusion plus two premises at least, got {n}");
+        for _ in 0..n {
+            let row = c.read_line().unwrap();
+            assert!(row.starts_with("row "), "got {row}");
+        }
+
+        assert_eq!(c.request("why path(c, a)").unwrap(), "ok why none @0");
+        assert!(c.request("why K edge(a, b)").unwrap().starts_with("err"));
+
+        // Rejections carry the violated constraint, its ground
+        // witnesses, and the LSN of the state they were checked on.
+        assert_eq!(
+            c.request("constraint forall x. ~K path(x, x)").unwrap(),
+            "ok constraint @1"
+        );
+        let r = c.request("assert edge(c, a)").unwrap();
+        assert!(r.starts_with("err rejected:"), "got {r}");
+        assert!(r.ends_with("@1"), "got {r}");
+        assert!(r.contains("witnesses"), "got {r}");
+
+        let stats = c.request("stats").unwrap();
+        assert!(
+            stats.contains("plan_recosts=") && stats.contains("prov_atoms="),
+            "got {stats}"
+        );
+        server.shutdown().unwrap();
         std::fs::remove_dir_all(d).unwrap();
     }
 

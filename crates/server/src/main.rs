@@ -2,7 +2,7 @@
 //! directory over TCP.
 //!
 //! ```text
-//! epilog-server [--addr HOST:PORT] [--dir PATH] [--theory FILE]
+//! epilog-server [--addr HOST:PORT] [--dir PATH] [--theory FILE] [--provenance]
 //! ```
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7171`; use port 0
@@ -11,6 +11,9 @@
 //!   if it already holds a log, initialized otherwise.
 //! * `--theory` — initial theory file for a *fresh* directory (ignored
 //!   when recovering; the log is the source of truth).
+//! * `--provenance` — track derivations: enables the `why <atom>`
+//!   request and witness explanations on rejected commits (definite
+//!   theories only; costs extra memory and commit work).
 //!
 //! The process runs until a client sends `shutdown`, then drains the
 //! commit queue, syncs the log, and exits.
@@ -24,6 +27,7 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut dir = "./epilog-data".to_string();
     let mut theory_path: Option<String> = None;
+    let mut provenance = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -37,8 +41,11 @@ fn main() -> ExitCode {
             "--addr" => addr = take("--addr"),
             "--dir" => dir = take("--dir"),
             "--theory" => theory_path = Some(take("--theory")),
+            "--provenance" => provenance = true,
             "--help" | "-h" => {
-                println!("usage: epilog-server [--addr HOST:PORT] [--dir PATH] [--theory FILE]");
+                println!(
+                    "usage: epilog-server [--addr HOST:PORT] [--dir PATH] [--theory FILE] [--provenance]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -68,7 +75,11 @@ fn main() -> ExitCode {
         }
     };
 
-    let (db, recovery) = match ServingDb::open(&dir, theory, ServeOptions::default()) {
+    let opts = ServeOptions {
+        provenance,
+        ..ServeOptions::default()
+    };
+    let (db, recovery) = match ServingDb::open(&dir, theory, opts) {
         Ok(x) => x,
         Err(e) => {
             eprintln!("cannot open {dir}: {e}");

@@ -157,6 +157,19 @@ impl AtomTemplate {
             })
             .collect()
     }
+
+    /// [`AtomTemplate::ground`] appended to a shared buffer — the traced
+    /// evaluation's allocation-free recording path.
+    ///
+    /// # Panics
+    /// Panics when a slot the template mentions is unbound (ruled out for
+    /// rule heads and negated literals by Datalog safety).
+    pub fn ground_into(&self, env: &[Option<Param>], out: &mut Vec<Param>) {
+        out.extend(self.args.iter().map(|a| match a {
+            PatTerm::Const(p) => *p,
+            PatTerm::Slot(s) => env[*s].expect("unbound slot in ground template"),
+        }));
+    }
 }
 
 /// How one join step enumerates its candidate tuples.

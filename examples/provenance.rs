@@ -1,0 +1,101 @@
+//! Provenance: derivation tracking, `why` explanations, and
+//! self-explaining constraint rejections.
+//!
+//! The engine's fixpoint can record one `Support` (rule + ground
+//! premises) per derived tuple. With tracking on, `why(atom)` rebuilds
+//! a minimal derivation tree down to extensional facts, commits
+//! maintain the table incrementally, and a rejected batch names the
+//! violated constraint together with ground witness tuples and *their*
+//! derivations — the database explains both what it knows and why it
+//! refused to change.
+//!
+//! Run with: `cargo run --example provenance`
+
+use epilog::prelude::*;
+
+fn main() {
+    // A definite program: a chain of edges and the transitive closure.
+    let mut db = EpistemicDb::from_text(
+        "edge(a, b)
+         edge(b, c)
+         edge(c, d)
+         forall x. forall y. edge(x, y) -> path(x, y)
+         forall x. forall y. forall z. edge(x, y) & path(y, z) -> path(x, z)",
+    )
+    .unwrap();
+
+    // Opt in. Tracking re-runs the fixpoint once with a sink attached;
+    // untraced databases pay nothing for the feature existing.
+    assert!(db.enable_provenance());
+    let (atoms, supports) = db.provenance_size();
+    println!("tracking {atoms} derived atoms, {supports} supports\n");
+
+    // ----- why: a replayable derivation ---------------------------------
+    let proof = db.why(&atom("path(a, d)")).expect("in the least model");
+    println!("why path(a, d)?");
+    for line in proof.render() {
+        println!("  {line}");
+    }
+    // Three hops: the recursive rule twice over the base case.
+    assert_eq!(proof.height(), 3);
+    assert_eq!(proof.atom(), &atom("path(a, d)"));
+
+    // ----- why not: absence has no proof --------------------------------
+    assert!(db.why(&atom("path(d, a)")).is_none());
+    println!("\nwhy path(d, a)? nothing — not in the least model\n");
+
+    // ----- commits maintain the table incrementally ---------------------
+    let report = db
+        .transaction()
+        .assert(parse("edge(d, e)").unwrap())
+        .commit()
+        .unwrap();
+    assert_eq!(report.asserted, 1);
+    let proof = db
+        .why(&atom("path(a, e)"))
+        .expect("maintained across commits");
+    println!(
+        "after committing edge(d, e): path(a, e) proved with {} nodes\n",
+        proof.size()
+    );
+
+    // ----- rejections explain themselves --------------------------------
+    // Forbid cycles, then try to close one: the batch is rejected, and
+    // the error carries the constraint, the ground witnesses, and a
+    // proof tree for each witness — computed against the hypothetical
+    // state, then discarded with it.
+    db.add_constraint(parse("forall x. ~K path(x, x)").unwrap())
+        .unwrap();
+    let err = db
+        .transaction()
+        .assert(parse("edge(e, a)").unwrap())
+        .commit()
+        .unwrap_err();
+    println!("committing edge(e, a): {err}\n");
+    match err {
+        DbError::ConstraintViolated(rej) => {
+            println!("violated constraint: {}", rej.constraint);
+            assert!(!rej.witnesses.is_empty(), "ground witnesses extracted");
+            assert!(!rej.proofs.is_empty(), "witnesses carry derivations");
+            for (w, p) in rej.witnesses.iter().zip(&rej.proofs) {
+                println!("witness {w}:");
+                for line in p.render() {
+                    println!("  {line}");
+                }
+            }
+        }
+        other => panic!("expected a constraint violation, got {other}"),
+    }
+
+    // The rejected batch left no trace — in the model or the table.
+    assert!(db.why(&atom("path(a, a)")).is_none());
+    let (atoms_after, _) = db.provenance_size();
+    println!("\nrejected batch left no trace ({atoms_after} tracked atoms)");
+}
+
+fn atom(src: &str) -> epilog::syntax::formula::Atom {
+    match parse(src).unwrap() {
+        Formula::Atom(a) => a,
+        other => panic!("expected an atom, got {other}"),
+    }
+}

@@ -55,7 +55,8 @@ pub use epilog_syntax as syntax;
 pub mod prelude {
     pub use epilog_core::{
         all_answers, ask, demo, demo_sentence, ic_satisfaction, Answer, ClosedDb, CommitReport,
-        DemoOutcome, EpistemicDb, IcDefinition, IcReport, ModelUpdate, Transaction,
+        DbError, DemoOutcome, EpistemicDb, IcDefinition, IcReport, ModelUpdate, ProofTree,
+        Rejection, SupportTable, Transaction,
     };
     pub use epilog_core::{CommittedState, ReadHandle, StateCell};
     pub use epilog_persist::{

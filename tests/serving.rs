@@ -148,7 +148,7 @@ fn soak(dir: &std::path::Path, total_commits: u64) {
                         }
                         accepted.push((receipt.lsn, ops));
                     }
-                    Err(ServeError::Db(_)) => rejected += 1,
+                    Err(ServeError::Db(..)) => rejected += 1,
                     Err(e) => panic!("unexpected serve error: {e}"),
                 }
             }
