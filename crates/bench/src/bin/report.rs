@@ -1124,6 +1124,260 @@ fn main() {
         }
     }
 
+    println!("\nF13 — fault injection & self-healing (degraded mode, heal, chaos soak)");
+    {
+        use epilog_persist::{
+            DurableDb, FaultInjector, FaultKind, FsyncPolicy, ServeError, ServeOptions, ServingDb,
+            TxOp,
+        };
+        use std::sync::Arc;
+
+        fn canon(t: &Theory) -> Vec<String> {
+            let mut v: Vec<String> = t.sentences().iter().map(|w| w.to_string()).collect();
+            v.sort();
+            v
+        }
+
+        // ---- Scripted demo: one injectable "disk" under a live registrar.
+        let dir = std::env::temp_dir().join(format!("epilog-report-f13-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let theory = Theory::from_text("forall x. emp(x) -> person(x)").unwrap();
+        let mut durable = DurableDb::create(&dir, theory, FsyncPolicy::Never).unwrap();
+        let inj = Arc::new(FaultInjector::new(13));
+        durable.set_fault_injector(Some(Arc::clone(&inj)));
+        let db = ServingDb::start(durable, ServeOptions::default());
+        db.add_constraint(parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+            .unwrap();
+        db.add_constraint(parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap())
+            .unwrap();
+        let enroll = |i: usize| -> Vec<TxOp> {
+            enrollment_batch(i, 1)
+                .into_iter()
+                .map(TxOp::Assert)
+                .collect()
+        };
+        for i in 0..4 {
+            db.commit_wait(enroll(i)).unwrap();
+        }
+
+        // An injected append failure: that commit alone reports an io
+        // error; the writer compensates (rewinds the log) and stays live.
+        inj.fail_nth_write(inj.writes(), FaultKind::TornWrite);
+        let torn = db.commit_wait(enroll(10));
+        let next = db.commit_wait(enroll(11));
+        check(
+            "torn append fails that commit alone; the writer stays live",
+            "yes",
+            if matches!(torn, Err(ServeError::Io(_))) && !db.is_degraded() && next.is_ok() {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+
+        // An injected fsync failure: the batch's handles fail, the head
+        // rolls back to the durable boundary, and the writer degrades.
+        let durable_lsn = db.head_lsn();
+        inj.fail_nth_sync(inj.syncs());
+        let lost = db.commit_wait(enroll(12));
+        check(
+            "fsync fault fails only the affected batch (io error, not panic)",
+            "yes",
+            if matches!(lost, Err(ServeError::Io(_))) && db.stats().io_errors == 2 {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        let snap = db.snapshot();
+        check(
+            "snapshots keep answering at the durable head while degraded",
+            "yes",
+            if db.is_degraded()
+                && snap.lsn() == durable_lsn
+                && ask(snap.prover(), &parse("K emp(e11)").unwrap()).to_string() == "yes"
+                && ask(snap.prover(), &parse("K emp(e12)").unwrap()).to_string() == "no"
+            {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        check(
+            "degraded mode rejects commits fast (read-only)",
+            "yes",
+            if matches!(db.commit_wait(enroll(13)), Err(ServeError::Degraded(_))) {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        let healed = db.heal();
+        let stats = db.stats();
+        check(
+            "heal() restores service at the durable head LSN",
+            "yes",
+            if healed.is_ok_and(|lsn| lsn == durable_lsn)
+                && !db.is_degraded()
+                && stats.heals == 1
+                && !stats.degraded
+            {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        let resumed = db.commit_wait(enroll(12));
+        check(
+            "the commit lost to the fault lands after healing",
+            "yes",
+            if resumed.is_ok_and(|r| r.lsn == durable_lsn + 1)
+                && ask(db.snapshot().prover(), &parse("K emp(e12)").unwrap()).to_string() == "yes"
+            {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+        db.shutdown().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // ---- Seeded mini-soak: crash → recover → continue. The full
+        // 100-cycle soak lives in tests/chaos.rs; this scaled-down run
+        // (25 cycles, fixed seed, sequential driver) keeps the report
+        // deterministic while still crossing every fault path.
+        {
+            let dir =
+                std::env::temp_dir().join(format!("epilog-report-f13-soak-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut state: u64 = 0xF13_5EED;
+            // High bits only: an LCG's low bits are short-period.
+            let mut rng = move || {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                state >> 33
+            };
+            let mut oracle = EpistemicDb::from_text("forall x. emp(x) -> person(x)").unwrap();
+            oracle
+                .add_constraint(parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+                .unwrap();
+            oracle
+                .add_constraint(
+                    parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+                )
+                .unwrap();
+            let mut acked_lsn = {
+                let db = ServingDb::create(
+                    &dir,
+                    Theory::from_text("forall x. emp(x) -> person(x)").unwrap(),
+                    ServeOptions::default(),
+                )
+                .unwrap();
+                db.add_constraint(parse("forall x. K emp(x) -> exists y. K ss(x, y)").unwrap())
+                    .unwrap();
+                db.add_constraint(
+                    parse("forall x, y, z. K ss(x, y) & K ss(x, z) -> K y = z").unwrap(),
+                )
+                .unwrap();
+                let lsn = db.head_lsn();
+                db.shutdown().unwrap();
+                lsn
+            };
+            let (mut acked, mut failed, mut healed) = (0u64, 0u64, 0u64);
+            let (mut lost, mut resurrected, mut diverged) = (0u64, 0u64, 0u64);
+            for cycle in 0..25u64 {
+                let (mut durable, report) = DurableDb::recover(&dir, FsyncPolicy::Never).unwrap();
+                lost += acked_lsn.saturating_sub(report.last_lsn);
+                resurrected += report.last_lsn.saturating_sub(acked_lsn);
+                if canon(durable.db().theory()) != canon(oracle.theory()) {
+                    diverged += 1;
+                }
+                let inj = Arc::new(FaultInjector::new(0xF13 ^ cycle));
+                match rng() % 3 {
+                    0 => inj.fail_nth_sync(rng() % 3),
+                    1 => inj.fail_nth_write(rng() % 3, FaultKind::ShortWrite),
+                    _ => {
+                        inj.set_write_rate(1, 5);
+                        inj.set_sync_rate(1, 6);
+                    }
+                }
+                durable.set_fault_injector(Some(Arc::clone(&inj)));
+                let db = ServingDb::start(durable, ServeOptions::default());
+                for _ in 0..4 {
+                    let ops = enroll((rng() % 48) as usize);
+                    match db.commit_wait(ops.clone()) {
+                        Ok(r) => {
+                            acked_lsn = acked_lsn.max(r.lsn);
+                            acked += 1;
+                            let mut txn = oracle.transaction();
+                            for op in &ops {
+                                txn = match op {
+                                    TxOp::Assert(w) => txn.assert(w.clone()),
+                                    TxOp::Retract(w) => txn.retract(w.clone()),
+                                };
+                            }
+                            let _ = txn.commit().expect("acked commit replays on the oracle");
+                        }
+                        Err(_) => failed += 1,
+                    }
+                    if db.is_degraded() {
+                        inj.disarm();
+                        if db.heal().is_ok() {
+                            healed += 1;
+                        }
+                    }
+                }
+                // Crash: no shutdown ceremony; smear a torn header over
+                // the tail every third cycle.
+                drop(db);
+                if cycle % 3 == 2 {
+                    use std::io::Write;
+                    let mut f = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(dir.join(epilog_persist::wal::WAL_FILE))
+                        .unwrap();
+                    f.write_all(b"@777 5").unwrap();
+                }
+            }
+            let (rec, report) = DurableDb::recover(&dir, FsyncPolicy::Never).unwrap();
+            lost += acked_lsn.saturating_sub(report.last_lsn);
+            resurrected += report.last_lsn.saturating_sub(acked_lsn);
+            check(
+                &format!(
+                    "mini-soak 25 cycles ({acked} acked, {failed} failed, {healed} healed): lost"
+                ),
+                "0",
+                &lost.to_string(),
+            );
+            check(
+                "mini-soak: failed commits resurrected after recovery",
+                "0",
+                &resurrected.to_string(),
+            );
+            check(
+                "mini-soak: recovered state equals the acked oracle every cycle",
+                "yes",
+                if diverged == 0 && canon(rec.db().theory()) == canon(oracle.theory()) {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+            check(
+                "mini-soak exercised the fault paths (failures and heals > 0)",
+                "yes",
+                if failed > 0 && healed > 0 {
+                    "yes"
+                } else {
+                    "no"
+                },
+            );
+            drop(rec);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
     let failures = FAILURES.load(Ordering::Relaxed);
     println!("\n{} mismatches", failures);
     std::process::exit(if failures == 0 { 0 } else { 1 });

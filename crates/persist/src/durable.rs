@@ -25,6 +25,7 @@
 //! `tests/prop_persist.rs` pins this: crash anywhere, recover, and the
 //! state equals an in-memory oracle that applied the surviving prefix.
 
+use crate::fault::FaultInjector;
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::wal::{FsyncPolicy, TornTail, Wal, WalOp, WAL_FILE};
 use epilog_core::db::DbError;
@@ -34,6 +35,7 @@ use std::fmt;
 use std::io;
 use std::ops::Deref;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Errors from the durability layer.
 #[derive(Debug)]
@@ -290,13 +292,24 @@ impl DurableDb {
         Ok(report.retracted > 0)
     }
 
+    /// Route every log append/sync and snapshot write through a
+    /// [`FaultInjector`] (`None` restores direct I/O). Deterministic
+    /// storage-fault testing; zero-cost when never installed. The
+    /// injector rides along into [`crate::ServingDb::start`].
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.wal.set_fault_injector(injector);
+    }
+
     /// Register an integrity constraint, durably. Log-before-apply with
     /// compensation: the record is appended, then the registration runs;
     /// a refusal (constraint violated by the current state) rewinds the
     /// log so no rejected record survives.
     pub fn add_constraint(&mut self, ic: Formula) -> Result<(), PersistError> {
         let mark = self.wal.mark();
-        let _ = self.wal.append(&[WalOp::Constraint(ic.clone())])?;
+        if let Err(e) = self.wal.append(&[WalOp::Constraint(ic.clone())]) {
+            let _ = self.wal.rewind(mark.0, mark.1);
+            return Err(e.into());
+        }
         match self.db.add_constraint(ic) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -312,7 +325,8 @@ impl DurableDb {
     pub fn snapshot(&mut self) -> Result<u64, PersistError> {
         self.wal.sync()?;
         let lsn = self.wal.last_lsn();
-        let _ = Snapshot::of(&self.db, lsn, true).write(&self.dir)?;
+        let injector = self.wal.fault_injector();
+        let _ = Snapshot::of(&self.db, lsn, true).write_with(&self.dir, injector.as_deref())?;
         Ok(lsn)
     }
 
@@ -452,7 +466,13 @@ impl DurableTransaction<'_> {
             Vec::with_capacity(prepared.added().len() + prepared.removed().len());
         ops.extend(prepared.removed().iter().cloned().map(WalOp::Retract));
         ops.extend(prepared.added().iter().cloned().map(WalOp::Assert));
-        let _ = self.wal.append(&ops)?;
+        let mark = self.wal.mark();
+        if let Err(e) = self.wal.append(&ops) {
+            // A failed append can leave a torn prefix that would corrupt
+            // every later record; rewind (best effort) before reporting.
+            let _ = self.wal.rewind(mark.0, mark.1);
+            return Err(e.into());
+        }
         Ok(prepared.commit())
     }
 }

@@ -69,6 +69,7 @@
 //! ```
 
 pub mod durable;
+pub mod fault;
 pub mod serve;
 pub mod snapshot;
 pub mod wal;
@@ -96,8 +97,10 @@ pub(crate) fn sync_dir(dir: &std::path::Path) -> std::io::Result<()> {
 pub use durable::{
     CompactStats, DurableDb, DurableTransaction, PersistError, RecoveryOptions, RecoveryReport,
 };
+pub use fault::{FaultInjector, FaultKind};
 pub use serve::{
-    CommitHandle, CommitReceipt, ServeError, ServeOptions, ServeStats, ServingDb, TxOp, WriterGate,
+    CommitHandle, CommitReceipt, ServeError, ServeOptions, ServeStats, ServingDb, TxOp, WriterExit,
+    WriterGate,
 };
 pub use snapshot::{Snapshot, SnapshotError};
 pub use wal::{FsyncPolicy, TornTail, Wal, WalOp, WalRecord, WalScan};

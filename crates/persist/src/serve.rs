@@ -35,6 +35,21 @@
 //!
 //! The on-disk format is unchanged: a directory served by `ServingDb`
 //! is a `DurableDb` directory, and either API can recover it.
+//!
+//! # Degraded mode and healing
+//!
+//! An I/O failure on the commit path (append or batch fsync — injectable
+//! via [`FaultInjector`](crate::FaultInjector), real on a failing disk)
+//! never panics the writer. The failed batch's handles get
+//! [`ServeError::Io`], the log and working state are rolled back to the
+//! last durable LSN (so nothing un-acknowledged can survive a later
+//! crash), and when the rollback itself cannot be trusted the writer
+//! enters **degraded read-only mode**: snapshots keep answering at the
+//! durable head, commits are rejected fast with [`ServeError::Degraded`],
+//! and [`ServingDb::stats`] reports the state. [`ServingDb::heal`]
+//! truncates any un-acknowledged log bytes, re-runs ordinary recovery,
+//! probes the disk, and resumes write service — or leaves the database
+//! degraded (and heal retryable) if the storage is still failing.
 
 use crate::durable::{DurableDb, PersistError, RecoveryReport};
 use crate::wal::{FsyncPolicy, Wal, WalOp, WAL_FILE};
@@ -42,11 +57,13 @@ use epilog_core::db::DbError;
 use epilog_core::{CommitReport, CommittedState, EpistemicDb, ReadHandle, StateCell, Transaction};
 use epilog_syntax::{Formula, Theory};
 use std::fmt;
+use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Tuning knobs for a [`ServingDb`].
 #[derive(Debug, Clone, Copy)]
@@ -86,8 +103,24 @@ pub enum ServeError {
     Db(DbError, u64),
     /// The log append or sync failed; the transaction was not applied.
     Io(String),
-    /// The serving database shut down before answering.
-    Closed,
+    /// The writer is in degraded read-only mode after an I/O failure:
+    /// snapshots keep answering, commits are rejected fast until
+    /// [`ServingDb::heal`] succeeds. Carries the reason the mode was
+    /// entered. Transient by design — a retry after a heal can succeed.
+    Degraded(String),
+    /// The serving database shut down before answering; says how the
+    /// writer exited.
+    Closed(WriterExit),
+}
+
+impl ServeError {
+    /// Whether a retry could succeed without the caller changing
+    /// anything — true for [`ServeError::Degraded`] (after a heal) and
+    /// [`ServeError::Io`] (the fault may be transient), never for a
+    /// database rejection or a shutdown.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServeError::Io(_) | ServeError::Degraded(_))
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -95,12 +128,41 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Db(e, _) => write!(f, "{e}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
-            ServeError::Closed => write!(f, "serving database is shut down"),
+            ServeError::Degraded(why) => write!(f, "degraded (read-only): {why}"),
+            ServeError::Closed(exit) => write!(f, "serving database is shut down ({exit})"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
+
+/// How the writer thread ended — carried by [`ServeError::Closed`] so
+/// "shut down" also says *which way* it went down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriterExit {
+    /// Drained its queue and exited normally (shutdown or drop).
+    Clean,
+    /// Exited while in degraded read-only mode — the log may hold less
+    /// than the callers were told *failed*, never less than they were
+    /// told succeeded.
+    Degraded,
+    /// Died by panic; anything still queued was dropped unanswered.
+    Panicked,
+    /// Not exited (the request never reached the queue) or the fate is
+    /// otherwise undeterminable.
+    Unknown,
+}
+
+impl fmt::Display for WriterExit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriterExit::Clean => write!(f, "writer exited cleanly"),
+            WriterExit::Degraded => write!(f, "writer exited in degraded mode"),
+            WriterExit::Panicked => write!(f, "writer panicked"),
+            WriterExit::Unknown => write!(f, "writer state unknown"),
+        }
+    }
+}
 
 /// One queued update operation.
 #[derive(Debug, Clone)]
@@ -127,13 +189,35 @@ pub struct CommitReceipt {
 #[must_use = "a commit is not acknowledged until the handle is waited on"]
 pub struct CommitHandle {
     rx: Receiver<Result<CommitReceipt, ServeError>>,
+    metrics: Arc<Metrics>,
 }
 
 impl CommitHandle {
     /// Block until the writer answers (durable + published, or
     /// rejected).
     pub fn wait(self) -> Result<CommitReceipt, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::Closed))
+        match self.rx.recv() {
+            Ok(answer) => answer,
+            Err(_) => Err(self.metrics.closed()),
+        }
+    }
+
+    /// [`CommitHandle::wait`], but give up after `timeout`: `Err` hands
+    /// the still-pending handle back so the caller can keep waiting (or
+    /// drop it — the commit itself is unaffected either way; a queued
+    /// transaction cannot be recalled).
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<CommitReceipt, ServeError>, CommitHandle> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(answer) => Ok(answer),
+            Err(RecvTimeoutError::Disconnected) => {
+                let closed = self.metrics.closed();
+                Ok(Err(closed))
+            }
+            Err(RecvTimeoutError::Timeout) => Err(self),
+        }
     }
 }
 
@@ -163,7 +247,18 @@ pub struct ServeStats {
     /// WAL syncs issued — `commits / fsyncs` is the group-commit
     /// amortization ratio.
     pub fsyncs: u64,
+    /// I/O failures the writer observed (and survived) on the commit
+    /// path.
+    pub io_errors: u64,
+    /// Successful [`ServingDb::heal`]s out of degraded mode.
+    pub heals: u64,
+    /// Whether the writer is in degraded read-only mode right now.
+    pub degraded: bool,
 }
+
+// Writer-exit codes in `Metrics::exit`; 0 (the default) = still running.
+const EXIT_CLEAN: u8 = 1;
+const EXIT_PANICKED: u8 = 2;
 
 #[derive(Default)]
 struct Metrics {
@@ -171,6 +266,39 @@ struct Metrics {
     rejected: AtomicU64,
     batches: AtomicU64,
     fsyncs: AtomicU64,
+    io_errors: AtomicU64,
+    heals: AtomicU64,
+    degraded: AtomicBool,
+    exit: AtomicU8,
+}
+
+impl Metrics {
+    fn writer_exit(&self) -> WriterExit {
+        match self.exit.load(Ordering::Relaxed) {
+            EXIT_PANICKED => WriterExit::Panicked,
+            _ if self.degraded.load(Ordering::Relaxed) => WriterExit::Degraded,
+            EXIT_CLEAN => WriterExit::Clean,
+            _ => WriterExit::Unknown,
+        }
+    }
+
+    fn closed(&self) -> ServeError {
+        ServeError::Closed(self.writer_exit())
+    }
+}
+
+/// Stamps how the writer thread ended, whichever way control leaves it.
+struct ExitStamp(Arc<Metrics>);
+
+impl Drop for ExitStamp {
+    fn drop(&mut self) {
+        let code = if std::thread::panicking() {
+            EXIT_PANICKED
+        } else {
+            EXIT_CLEAN
+        };
+        self.0.exit.store(code, Ordering::Relaxed);
+    }
 }
 
 enum Request {
@@ -184,6 +312,7 @@ enum Request {
     },
     Flush(SyncSender<u64>),
     Gate(Receiver<()>),
+    Heal(SyncSender<Result<u64, ServeError>>),
 }
 
 /// A durable [`EpistemicDb`] served concurrently: any number of
@@ -239,7 +368,9 @@ impl ServingDb {
 
     /// Wrap an already-recovered [`DurableDb`] and start the writer.
     /// The handed-in fsync policy is irrelevant from here on: the
-    /// writer syncs explicitly, once per batch.
+    /// writer syncs explicitly, once per batch. A
+    /// [`FaultInjector`](crate::FaultInjector) installed on the
+    /// `DurableDb` rides along into the writer.
     pub fn start(durable: DurableDb, opts: ServeOptions) -> ServingDb {
         let (mut db, wal, dir) = durable.into_parts();
         if opts.provenance {
@@ -256,8 +387,20 @@ impl ServingDb {
             let head = Arc::clone(&head);
             let metrics = Arc::clone(&metrics);
             let max_batch = opts.max_batch.max(1);
+            let dir = dir.clone();
+            let provenance = opts.provenance;
             threadpool::spawn_named("epilog-commit-writer", move || {
-                writer_loop(db, wal, &head, &rx, &metrics, max_batch)
+                let _stamp = ExitStamp(Arc::clone(&metrics));
+                let mut writer = Writer {
+                    working: db,
+                    wal,
+                    dir,
+                    provenance,
+                    head: &head,
+                    metrics: &metrics,
+                    degraded: None,
+                };
+                writer.run(&rx, max_batch);
             })
         };
         ServingDb {
@@ -292,7 +435,10 @@ impl ServingDb {
     pub fn commit(&self, ops: Vec<TxOp>) -> CommitHandle {
         let (reply, rx) = sync_channel(1);
         self.send(Request::Commit { ops, reply });
-        CommitHandle { rx }
+        CommitHandle {
+            rx,
+            metrics: Arc::clone(&self.metrics),
+        }
     }
 
     /// [`ServingDb::commit`] and wait for the receipt.
@@ -305,7 +451,7 @@ impl ServingDb {
     pub fn add_constraint(&self, ic: Formula) -> Result<u64, ServeError> {
         let (reply, rx) = sync_channel(1);
         self.send(Request::Constraint { ic, reply });
-        rx.recv().unwrap_or(Err(ServeError::Closed))
+        rx.recv().unwrap_or_else(|_| Err(self.metrics.closed()))
     }
 
     /// Force every acknowledged commit to stable storage and return the
@@ -314,7 +460,25 @@ impl ServingDb {
     pub fn flush(&self) -> Result<u64, ServeError> {
         let (reply, rx) = sync_channel(1);
         self.send(Request::Flush(reply));
-        rx.recv().map_err(|_| ServeError::Closed)
+        rx.recv().map_err(|_| self.metrics.closed())
+    }
+
+    /// Attempt to leave degraded read-only mode: truncate every
+    /// un-acknowledged log byte past the durable head, re-run ordinary
+    /// recovery, probe the disk, and resume write service. Returns the
+    /// head LSN — trivially, without touching anything, when the writer
+    /// is not degraded. On error the database *stays* degraded
+    /// (snapshots keep answering) and the heal can be retried once the
+    /// storage behaves again.
+    pub fn heal(&self) -> Result<u64, ServeError> {
+        let (reply, rx) = sync_channel(1);
+        self.send(Request::Heal(reply));
+        rx.recv().unwrap_or_else(|_| Err(self.metrics.closed()))
+    }
+
+    /// Whether the writer is in degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        self.metrics.degraded.load(Ordering::Relaxed)
     }
 
     /// Hold the writer between batches until the gate is opened — the
@@ -332,6 +496,9 @@ impl ServingDb {
             rejected: self.metrics.rejected.load(Ordering::Relaxed),
             batches: self.metrics.batches.load(Ordering::Relaxed),
             fsyncs: self.metrics.fsyncs.load(Ordering::Relaxed),
+            io_errors: self.metrics.io_errors.load(Ordering::Relaxed),
+            heals: self.metrics.heals.load(Ordering::Relaxed),
+            degraded: self.metrics.degraded.load(Ordering::Relaxed),
         }
     }
 
@@ -369,139 +536,360 @@ impl Drop for ServingDb {
     }
 }
 
-fn writer_loop(
-    mut working: EpistemicDb,
-    mut wal: Wal,
-    head: &StateCell,
-    rx: &Receiver<Request>,
-    metrics: &Metrics,
-    max_batch: usize,
-) {
-    // Exits when every ServingDb handle (and thus every sender) is gone
-    // and the queue is drained.
-    while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
-        while batch.len() < max_batch {
-            match rx.try_recv() {
-                Ok(req) => batch.push(req),
-                Err(_) => break,
-            }
-        }
+type CommitAcks = Vec<(SyncSender<Result<CommitReceipt, ServeError>>, CommitReceipt)>;
+type ConstraintAcks = Vec<(SyncSender<Result<u64, ServeError>>, u64)>;
 
-        let mut commit_acks = Vec::new();
-        let mut constraint_acks = Vec::new();
+/// The writer thread's state: sole owner of the working database and
+/// the log, plus the degraded-mode flag and everything a heal needs to
+/// rebuild both.
+struct Writer<'a> {
+    working: EpistemicDb,
+    wal: Wal,
+    dir: PathBuf,
+    provenance: bool,
+    head: &'a StateCell,
+    metrics: &'a Metrics,
+    /// `Some(reason)` while in degraded read-only mode.
+    degraded: Option<String>,
+}
+
+impl Writer<'_> {
+    fn run(&mut self, rx: &Receiver<Request>, max_batch: usize) {
+        // Exits when every ServingDb handle (and thus every sender) is
+        // gone and the queue is drained.
+        while let Ok(first) = rx.recv() {
+            let mut batch = vec![first];
+            while batch.len() < max_batch {
+                match rx.try_recv() {
+                    Ok(req) => batch.push(req),
+                    Err(_) => break,
+                }
+            }
+            self.process(batch);
+        }
+        let _ = self.wal.sync();
+    }
+
+    fn process(&mut self, batch: Vec<Request>) {
+        // The durable boundary: every prior batch either synced or was
+        // rolled back to its own boundary, so the log holds exactly the
+        // acknowledged records up to this mark.
+        let mark = self.wal.mark();
+        let mut commit_acks: CommitAcks = Vec::new();
+        let mut constraint_acks: ConstraintAcks = Vec::new();
         let mut flushes = Vec::new();
         for req in batch {
+            if self.degraded.is_some() {
+                self.answer_degraded(req);
+                continue;
+            }
             match req {
                 Request::Commit { ops, reply } => {
-                    let mut txn: Transaction<'_> = working.transaction();
-                    for op in ops {
-                        txn = match op {
-                            TxOp::Assert(w) => txn.assert(w),
-                            TxOp::Retract(w) => txn.retract(w),
-                        };
-                    }
-                    match txn.prepare() {
-                        Err(e) => {
-                            metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                            let _ = reply.send(Err(ServeError::Db(e, wal.last_lsn())));
-                        }
-                        Ok(p) if p.is_noop() => {
-                            // Nothing to log or publish: acknowledge at
-                            // the current position.
-                            let receipt = CommitReceipt {
-                                lsn: wal.last_lsn(),
-                                report: p.commit(),
-                            };
-                            let _ = reply.send(Ok(receipt));
-                        }
-                        Ok(p) => {
-                            let mut ops = Vec::with_capacity(p.removed().len() + p.added().len());
-                            ops.extend(p.removed().iter().cloned().map(WalOp::Retract));
-                            ops.extend(p.added().iter().cloned().map(WalOp::Assert));
-                            match wal.append(&ops) {
-                                Err(e) => {
-                                    // Log-before-apply: the prepared
-                                    // state is dropped unapplied.
-                                    let _ = reply.send(Err(ServeError::Io(e.to_string())));
-                                }
-                                Ok(lsn) => {
-                                    let report = p.commit();
-                                    commit_acks.push((reply, CommitReceipt { lsn, report }));
-                                }
-                            }
-                        }
-                    }
+                    self.commit(ops, reply, mark, &mut commit_acks, &mut constraint_acks);
                 }
                 Request::Constraint { ic, reply } => {
-                    // Same compensation protocol as DurableDb: append,
-                    // apply, rewind the record if the state refuses it.
-                    let mark = wal.mark();
-                    match wal.append(&[WalOp::Constraint(ic.clone())]) {
-                        Err(e) => {
-                            let _ = reply.send(Err(ServeError::Io(e.to_string())));
-                        }
-                        Ok(lsn) => match working.add_constraint(ic) {
-                            Ok(()) => constraint_acks.push((reply, lsn)),
-                            Err(e) => {
-                                metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                                let ack = match wal.rewind(mark.0, mark.1) {
-                                    Ok(()) => ServeError::Db(e, wal.last_lsn()),
-                                    Err(io) => ServeError::Io(io.to_string()),
-                                };
-                                let _ = reply.send(Err(ack));
-                            }
-                        },
-                    }
+                    self.constraint(ic, reply, mark, &mut commit_acks, &mut constraint_acks);
                 }
                 Request::Flush(reply) => flushes.push(reply),
                 // Hold here; opening (or dropping) the gate unblocks.
                 Request::Gate(gate) => {
                     let _ = gate.recv();
                 }
+                // Not degraded: a heal is a successful no-op.
+                Request::Heal(reply) => {
+                    let _ = reply.send(Ok(self.head.head_lsn()));
+                }
             }
         }
 
         let accepted = commit_acks.len() + constraint_acks.len();
-        if accepted > 0 || !flushes.is_empty() {
+        if self.degraded.is_none() && (accepted > 0 || !flushes.is_empty()) {
             // One fdatasync covers the whole batch. A failed sync means
-            // durability can no longer be promised for state already
-            // applied to the working database; following the
-            // no-fsync-retry doctrine, fail loudly instead of serving
+            // durability cannot be promised for anything this batch
+            // appended: fail the batch's handles with Io, roll the log
+            // and the working state back to the durable boundary, and
+            // drop to degraded read-only mode instead of serving
             // acknowledgments the disk may not honor.
-            wal.sync()
-                .expect("WAL fsync failed; cannot acknowledge commits");
-            metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
+            match self.wal.sync() {
+                Ok(()) => {
+                    self.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => {
+                    self.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
+                    self.enter_degraded(
+                        format!("batch fsync failed: {e}"),
+                        mark,
+                        &mut commit_acks,
+                        &mut constraint_acks,
+                    );
+                }
+            }
         }
-        if accepted > 0 {
+        if self.degraded.is_none() && accepted > 0 {
             // Publish after durability, acknowledge after publication:
             // an acknowledged commit is visible to every later snapshot.
-            head.publish(Arc::new(CommittedState::new(
-                working.clone(),
-                wal.last_lsn(),
+            self.head.publish(Arc::new(CommittedState::new(
+                self.working.clone(),
+                self.wal.last_lsn(),
             )));
-            metrics.batches.fetch_add(1, Ordering::Relaxed);
-            metrics
+            self.metrics.batches.fetch_add(1, Ordering::Relaxed);
+            self.metrics
                 .commits
                 .fetch_add(commit_acks.len() as u64, Ordering::Relaxed);
         }
+        // Empty when the batch degraded: enter_degraded fails them all.
         for (reply, receipt) in commit_acks {
             let _ = reply.send(Ok(receipt));
         }
         for (reply, lsn) in constraint_acks {
             let _ = reply.send(Ok(lsn));
         }
-        let lsn = wal.last_lsn();
+        // Acknowledged commits are synced even when this batch failed,
+        // so a degraded flush barrier holds at the durable head.
+        let lsn = if self.degraded.is_some() {
+            self.head.head_lsn()
+        } else {
+            self.wal.last_lsn()
+        };
         for reply in flushes {
             let _ = reply.send(lsn);
         }
     }
-    let _ = wal.sync();
+
+    fn commit(
+        &mut self,
+        ops: Vec<TxOp>,
+        reply: SyncSender<Result<CommitReceipt, ServeError>>,
+        mark: (u64, u64),
+        commit_acks: &mut CommitAcks,
+        constraint_acks: &mut ConstraintAcks,
+    ) {
+        let mut txn: Transaction<'_> = self.working.transaction();
+        for op in ops {
+            txn = match op {
+                TxOp::Assert(w) => txn.assert(w),
+                TxOp::Retract(w) => txn.retract(w),
+            };
+        }
+        match txn.prepare() {
+            Err(e) => {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Err(ServeError::Db(e, self.wal.last_lsn())));
+            }
+            Ok(p) if p.is_noop() => {
+                // Nothing to log or publish: acknowledge at the batch's
+                // durable boundary. NOT `wal.last_lsn()` — that may
+                // count unsynced same-batch appends, and if the batch
+                // fsync later fails those roll back, leaving this ack
+                // claiming an LSN that never became durable.
+                let receipt = CommitReceipt {
+                    lsn: mark.1 - 1,
+                    report: p.commit(),
+                };
+                let _ = reply.send(Ok(receipt));
+            }
+            Ok(p) => {
+                let mut wal_ops = Vec::with_capacity(p.removed().len() + p.added().len());
+                wal_ops.extend(p.removed().iter().cloned().map(WalOp::Retract));
+                wal_ops.extend(p.added().iter().cloned().map(WalOp::Assert));
+                let pre = self.wal.mark();
+                match self.wal.append(&wal_ops) {
+                    Ok(lsn) => {
+                        let report = p.commit();
+                        commit_acks.push((reply, CommitReceipt { lsn, report }));
+                    }
+                    Err(e) => {
+                        // Log-before-apply: the prepared state is
+                        // dropped unapplied; only this handle fails.
+                        drop(p);
+                        self.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
+                        let msg = e.to_string();
+                        let _ = reply.send(Err(ServeError::Io(msg.clone())));
+                        // The failed append may have torn the log; the
+                        // batch can only continue on a clean tail.
+                        if let Err(re) = self.wal.rewind(pre.0, pre.1) {
+                            self.enter_degraded(
+                                format!("append failed ({msg}); rewind failed ({re})"),
+                                mark,
+                                commit_acks,
+                                constraint_acks,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn constraint(
+        &mut self,
+        ic: Formula,
+        reply: SyncSender<Result<u64, ServeError>>,
+        mark: (u64, u64),
+        commit_acks: &mut CommitAcks,
+        constraint_acks: &mut ConstraintAcks,
+    ) {
+        // Same compensation protocol as DurableDb: append, apply,
+        // rewind the record if the state refuses it.
+        let pre = self.wal.mark();
+        match self.wal.append(&[WalOp::Constraint(ic.clone())]) {
+            Err(e) => {
+                self.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
+                let msg = e.to_string();
+                let _ = reply.send(Err(ServeError::Io(msg.clone())));
+                if let Err(re) = self.wal.rewind(pre.0, pre.1) {
+                    self.enter_degraded(
+                        format!("append failed ({msg}); rewind failed ({re})"),
+                        mark,
+                        commit_acks,
+                        constraint_acks,
+                    );
+                }
+            }
+            Ok(lsn) => match self.working.add_constraint(ic) {
+                Ok(()) => constraint_acks.push((reply, lsn)),
+                Err(e) => {
+                    self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    match self.wal.rewind(pre.0, pre.1) {
+                        Ok(()) => {
+                            let _ = reply.send(Err(ServeError::Db(e, self.wal.last_lsn())));
+                        }
+                        Err(io) => {
+                            self.metrics.io_errors.fetch_add(1, Ordering::Relaxed);
+                            let msg = io.to_string();
+                            let _ = reply.send(Err(ServeError::Io(msg.clone())));
+                            self.enter_degraded(
+                                format!("constraint rewind failed: {msg}"),
+                                mark,
+                                commit_acks,
+                                constraint_acks,
+                            );
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Answer a request while in degraded read-only mode: commits and
+    /// constraints are rejected fast, flush holds at the durable head,
+    /// gates still gate, heal attempts the repair.
+    fn answer_degraded(&mut self, req: Request) {
+        let reason = self.degraded.clone().unwrap_or_default();
+        match req {
+            Request::Commit { reply, .. } => {
+                let _ = reply.send(Err(ServeError::Degraded(reason)));
+            }
+            Request::Constraint { reply, .. } => {
+                let _ = reply.send(Err(ServeError::Degraded(reason)));
+            }
+            Request::Flush(reply) => {
+                let _ = reply.send(self.head.head_lsn());
+            }
+            Request::Gate(gate) => {
+                let _ = gate.recv();
+            }
+            Request::Heal(reply) => {
+                let healed = self.try_heal();
+                let _ = reply.send(healed);
+            }
+        }
+    }
+
+    /// Fail every pending acknowledgment of this batch with `Io`, roll
+    /// the log and working state back to the durable boundary `mark`,
+    /// and enter degraded read-only mode.
+    ///
+    /// The disk rollback matters for the durability contract: records
+    /// appended by this batch are well-formed but un-acknowledged — if
+    /// they survived here, a later crash would replay commits whose
+    /// callers were told they failed.
+    fn enter_degraded(
+        &mut self,
+        reason: String,
+        mark: (u64, u64),
+        commit_acks: &mut CommitAcks,
+        constraint_acks: &mut ConstraintAcks,
+    ) {
+        if self.wal.rewind(mark.0, mark.1).is_err() {
+            // The Wal's own handle (or its injector) is still failing;
+            // truncate through a fresh handle — the operator's path,
+            // deliberately not injected. Best effort: if even this
+            // fails, the heal below re-truncates before recovery.
+            if let Ok(f) = OpenOptions::new().write(true).open(self.dir.join(WAL_FILE)) {
+                let _ = f.set_len(mark.0);
+                let _ = f.sync_data();
+            }
+        }
+        // The head is the last state every acknowledged commit reached;
+        // anything newer in `working` belongs to failed commits.
+        self.working = self.head.snapshot().db().clone();
+        // Flag before the failure replies: a caller that sees its
+        // handle fail must also see the database degraded.
+        self.metrics.degraded.store(true, Ordering::Relaxed);
+        for (reply, _) in commit_acks.drain(..) {
+            let _ = reply.send(Err(ServeError::Io(reason.clone())));
+        }
+        for (reply, _) in constraint_acks.drain(..) {
+            let _ = reply.send(Err(ServeError::Io(reason.clone())));
+        }
+        self.degraded = Some(reason);
+    }
+
+    /// The repair path out of degraded mode: truncate the log to the
+    /// last acknowledged record, re-run ordinary recovery, re-install
+    /// the injector, probe the disk with a sync, and republish. Any
+    /// failure leaves the writer degraded and the heal retryable.
+    fn try_heal(&mut self) -> Result<u64, ServeError> {
+        let durable = self.head.head_lsn();
+        let path = self.dir.join(WAL_FILE);
+        let scan = Wal::scan_file(&path).map_err(|e| ServeError::Io(e.to_string()))?;
+        let keep = scan
+            .records
+            .iter()
+            .take_while(|r| r.lsn <= durable)
+            .last()
+            .map_or(0, |r| r.end_offset);
+        let truncated = (|| {
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(keep)?;
+            f.sync_data()
+        })();
+        truncated.map_err(|e| ServeError::Io(format!("heal truncation failed: {e}")))?;
+        let injector = self.wal.fault_injector();
+        let (durable_db, _report) = DurableDb::recover(&self.dir, FsyncPolicy::Never)
+            .map_err(|e| ServeError::Io(format!("heal recovery failed: {e}")))?;
+        let (mut db, mut wal, _dir) = durable_db.into_parts();
+        if self.provenance {
+            db.enable_provenance();
+        }
+        wal.set_fault_injector(injector);
+        // Probe through the injected path: a still-failing disk keeps
+        // the writer degraded rather than resuming doomed service.
+        wal.sync()
+            .map_err(|e| ServeError::Io(format!("heal probe sync failed: {e}")))?;
+        debug_assert_eq!(
+            wal.last_lsn(),
+            durable,
+            "heal must land on the durable head"
+        );
+        self.working = db;
+        self.wal = wal;
+        self.degraded = None;
+        self.metrics.degraded.store(false, Ordering::Relaxed);
+        self.metrics.heals.fetch_add(1, Ordering::Relaxed);
+        self.head.publish(Arc::new(CommittedState::new(
+            self.working.clone(),
+            self.wal.last_lsn(),
+        )));
+        Ok(self.wal.last_lsn())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultKind;
     use epilog_core::Answer;
     use epilog_syntax::parse;
 
@@ -710,6 +1098,225 @@ mod tests {
         assert_eq!(db.stats().commits, 0, "no-ops are not group members");
         db.shutdown().unwrap();
         std::fs::remove_dir_all(d).unwrap();
+    }
+
+    /// Like [`registrar`], but with a [`FaultInjector`] installed on
+    /// the underlying log before the writer starts.
+    fn registrar_with_injector(d: &Path, seed: u64) -> (ServingDb, Arc<crate::FaultInjector>) {
+        let theory = Theory::from_text("forall x. emp(x) -> person(x)").unwrap();
+        let mut durable = DurableDb::create(d, theory, FsyncPolicy::Never).unwrap();
+        let inj = Arc::new(crate::FaultInjector::new(seed));
+        durable.set_fault_injector(Some(Arc::clone(&inj)));
+        let db = ServingDb::start(durable, ServeOptions::default());
+        db.add_constraint(f("forall x. K emp(x) -> exists y. K ss(x, y)"))
+            .unwrap();
+        (db, inj)
+    }
+
+    #[test]
+    fn fsync_failure_degrades_and_heal_restores() {
+        let d = dir();
+        let (db, inj) = registrar_with_injector(&d, 11);
+        let acked = db
+            .commit_wait(vec![
+                TxOp::Assert(f("ss(Mary, n1)")),
+                TxOp::Assert(f("emp(Mary)")),
+            ])
+            .unwrap();
+
+        // Fail the next batch fsync: that batch's commit gets Io, the
+        // writer drops to degraded read-only mode.
+        inj.fail_nth_sync(inj.syncs());
+        let err = db
+            .commit_wait(vec![
+                TxOp::Assert(f("ss(Sue, n2)")),
+                TxOp::Assert(f("emp(Sue)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "failed batch: {err}");
+        assert!(db.is_degraded());
+        let s = db.stats();
+        assert!(s.degraded && s.io_errors >= 1);
+
+        // Degraded: commits rejected fast, snapshots keep answering at
+        // the durable head, flush holds there too.
+        let err = db
+            .commit_wait(vec![
+                TxOp::Assert(f("ss(Ann, n3)")),
+                TxOp::Assert(f("emp(Ann)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Degraded(_)), "got {err}");
+        assert!(err.is_transient());
+        let snap = db.snapshot();
+        assert_eq!(snap.ask(&parse("K person(Mary)").unwrap()), Answer::Yes);
+        assert_eq!(snap.ask(&parse("K person(Sue)").unwrap()), Answer::No);
+        assert_eq!(snap.lsn(), acked.lsn);
+        assert_eq!(db.flush().unwrap(), acked.lsn);
+
+        // Heal (the injector has no further faults scheduled) and
+        // resume write service.
+        assert_eq!(db.heal().unwrap(), acked.lsn);
+        assert!(!db.is_degraded());
+        assert_eq!(db.stats().heals, 1);
+        db.commit_wait(vec![
+            TxOp::Assert(f("ss(Ann, n3)")),
+            TxOp::Assert(f("emp(Ann)")),
+        ])
+        .unwrap();
+        assert_eq!(
+            db.snapshot().ask(&parse("K person(Ann)").unwrap()),
+            Answer::Yes
+        );
+        db.shutdown().unwrap();
+
+        // On disk: every acknowledged record, nothing of the failed batch.
+        let (db2, report) = ServingDb::recover(&d, ServeOptions::default()).unwrap();
+        assert!(report.torn_tail.is_none());
+        let snap = db2.snapshot();
+        assert_eq!(snap.ask(&parse("K person(Mary)").unwrap()), Answer::Yes);
+        assert_eq!(snap.ask(&parse("K person(Ann)").unwrap()), Answer::Yes);
+        assert_eq!(snap.ask(&parse("K person(Sue)").unwrap()), Answer::No);
+        db2.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn append_failure_fails_only_that_commit() {
+        let d = dir();
+        let (db, inj) = registrar_with_injector(&d, 23);
+        db.commit_wait(vec![
+            TxOp::Assert(f("ss(Mary, n1)")),
+            TxOp::Assert(f("emp(Mary)")),
+        ])
+        .unwrap();
+
+        // A clean append failure, then a torn one: each fails only its
+        // own commit; the writer rewinds the tear and keeps serving.
+        inj.fail_nth_write(inj.writes(), FaultKind::FailOp);
+        let err = db
+            .commit_wait(vec![
+                TxOp::Assert(f("ss(Sue, n2)")),
+                TxOp::Assert(f("emp(Sue)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "got {err}");
+        assert!(!db.is_degraded(), "append failure alone never degrades");
+
+        inj.fail_nth_write(inj.writes(), FaultKind::TornWrite);
+        let err = db
+            .commit_wait(vec![
+                TxOp::Assert(f("ss(Ann, n3)")),
+                TxOp::Assert(f("emp(Ann)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "got {err}");
+        assert!(!db.is_degraded());
+
+        let acked = db
+            .commit_wait(vec![
+                TxOp::Assert(f("ss(Zoe, n4)")),
+                TxOp::Assert(f("emp(Zoe)")),
+            ])
+            .unwrap();
+        assert_eq!(db.stats().io_errors, 2);
+        db.shutdown().unwrap();
+
+        // The torn prefix was rewound: the log replays cleanly and
+        // holds exactly the acknowledged commits.
+        let (db2, report) = ServingDb::recover(&d, ServeOptions::default()).unwrap();
+        assert!(report.torn_tail.is_none());
+        assert_eq!(report.last_lsn, acked.lsn);
+        let snap = db2.snapshot();
+        assert_eq!(snap.ask(&parse("K person(Mary)").unwrap()), Answer::Yes);
+        assert_eq!(snap.ask(&parse("K person(Sue)").unwrap()), Answer::No);
+        assert_eq!(snap.ask(&parse("K person(Zoe)").unwrap()), Answer::Yes);
+        db2.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn heal_fails_while_the_disk_still_fails() {
+        let d = dir();
+        let (db, inj) = registrar_with_injector(&d, 31);
+        db.commit_wait(vec![
+            TxOp::Assert(f("ss(Mary, n1)")),
+            TxOp::Assert(f("emp(Mary)")),
+        ])
+        .unwrap();
+        inj.set_sync_rate(1, 1); // every sync fails from here on
+        let err = db
+            .commit_wait(vec![
+                TxOp::Assert(f("ss(Sue, n2)")),
+                TxOp::Assert(f("emp(Sue)")),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "got {err}");
+        assert!(db.is_degraded());
+
+        // The probe sync refuses: the heal fails, the database stays
+        // degraded (and readable), and the heal stays retryable.
+        let err = db.heal().unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "got {err}");
+        assert!(db.is_degraded());
+        assert_eq!(db.stats().heals, 0);
+        assert_eq!(
+            db.snapshot().ask(&parse("K person(Mary)").unwrap()),
+            Answer::Yes
+        );
+
+        // "Fix the disk" and retry.
+        inj.disarm();
+        db.heal().unwrap();
+        assert!(!db.is_degraded());
+        db.commit_wait(vec![
+            TxOp::Assert(f("ss(Sue, n2)")),
+            TxOp::Assert(f("emp(Sue)")),
+        ])
+        .unwrap();
+        db.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_returns_the_handle_while_pending() {
+        let d = dir();
+        let db = registrar(&d);
+        let gate = db.gate();
+        let h = db.commit(vec![
+            TxOp::Assert(f("ss(Pat, n5)")),
+            TxOp::Assert(f("emp(Pat)")),
+        ]);
+        // Writer held at the gate: the handle must time out, unanswered.
+        let h = match h.wait_timeout(Duration::from_millis(20)) {
+            Err(pending) => pending,
+            Ok(answer) => panic!("expected a timeout, got {answer:?}"),
+        };
+        gate.open();
+        let receipt = match h.wait_timeout(Duration::from_secs(30)) {
+            Ok(answer) => answer.unwrap(),
+            Err(_) => panic!("expected an answer after the gate opened"),
+        };
+        assert_eq!(db.head_lsn(), receipt.lsn);
+        db.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn closed_error_reports_the_writer_exit() {
+        // The mapping Closed carries, exercised directly on Metrics:
+        // still-running → Unknown, clean exit → Clean, degraded at exit
+        // → Degraded, panic → Panicked.
+        let m = Metrics::default();
+        assert_eq!(m.writer_exit(), WriterExit::Unknown);
+        m.exit.store(EXIT_CLEAN, Ordering::Relaxed);
+        assert_eq!(m.writer_exit(), WriterExit::Clean);
+        m.degraded.store(true, Ordering::Relaxed);
+        assert_eq!(m.writer_exit(), WriterExit::Degraded);
+        m.exit.store(EXIT_PANICKED, Ordering::Relaxed);
+        assert_eq!(m.writer_exit(), WriterExit::Panicked);
+        let msg = m.closed().to_string();
+        assert!(msg.contains("writer panicked"), "got {msg}");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! the snapshot was taken, so restore re-enables it; its absence restores
 //! a provenance-off database.
 
+use crate::fault::{self, FaultInjector};
 use crate::fnv1a64;
 use epilog_core::EpistemicDb;
 use epilog_storage::Database;
@@ -37,7 +38,7 @@ use epilog_syntax::formula::Atom;
 use epilog_syntax::{parse, Formula, Theory};
 use std::fmt;
 use std::fs::File;
-use std::io::{self, Write};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// Why a snapshot failed to load.
@@ -124,6 +125,14 @@ impl Snapshot {
 
     /// Write atomically into `dir`, returning the file path.
     pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        self.write_with(dir, None)
+    }
+
+    /// [`Snapshot::write`] with an optional [`FaultInjector`] over the
+    /// data writes and the pre-rename sync. A failed write never renames
+    /// — the half-written temp file is removed (best effort) and no
+    /// existing snapshot is disturbed.
+    pub fn write_with(&self, dir: &Path, injector: Option<&FaultInjector>) -> io::Result<PathBuf> {
         let mut payload = String::from("[theory]\n");
         for w in &self.sentences {
             payload.push_str(&w.to_string());
@@ -162,11 +171,15 @@ impl Snapshot {
         );
         let path = dir.join(Snapshot::file_name(self.lsn));
         let tmp = path.with_extension("snap.tmp");
-        {
+        let written = (|| -> io::Result<()> {
             let mut f = File::create(&tmp)?;
-            f.write_all(header.as_bytes())?;
-            f.write_all(payload.as_bytes())?;
-            f.sync_data()?;
+            fault::write_all(injector, &mut f, header.as_bytes())?;
+            fault::write_all(injector, &mut f, payload.as_bytes())?;
+            fault::sync_data(injector, &f)
+        })();
+        if let Err(e) = written {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
         }
         std::fs::rename(&tmp, &path)?;
         crate::sync_dir(dir)?;

@@ -29,12 +29,14 @@
 //! self-synchronizing), which is exactly the log-ahead contract: the tail
 //! being torn means the transaction never reported success.
 
+use crate::fault::{self, FaultInjector};
 use crate::fnv1a64;
 use epilog_syntax::{parse, Formula};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// File name of the log inside a durable database directory.
 pub const WAL_FILE: &str = "wal.log";
@@ -263,6 +265,7 @@ pub struct Wal {
     len_bytes: u64,
     records: u64,
     unsynced: u32,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Wal {
@@ -286,6 +289,7 @@ impl Wal {
             len_bytes: 0,
             records: 0,
             unsynced: 0,
+            injector: None,
         })
     }
 
@@ -318,8 +322,23 @@ impl Wal {
             len_bytes: good_len,
             records: scan.records.len() as u64,
             unsynced: 0,
+            injector: None,
         };
         Ok((wal, scan))
+    }
+
+    /// Route this log's appends and syncs through a [`FaultInjector`]
+    /// (`None` restores direct I/O). Appends, explicit syncs, rewinds,
+    /// and the drop-flush all consult it; the recovery-side scan and
+    /// truncation do not — recovery is the operator's path back to a
+    /// working log.
+    pub fn set_fault_injector(&mut self, injector: Option<Arc<FaultInjector>>) {
+        self.injector = injector;
+    }
+
+    /// The installed fault injector, if any.
+    pub fn fault_injector(&self) -> Option<Arc<FaultInjector>> {
+        self.injector.clone()
     }
 
     /// Scan a log file read-only: no truncation, no repositioning. Used by
@@ -332,11 +351,16 @@ impl Wal {
     /// Append one record and apply the fsync policy. Returns the record's
     /// LSN. The record is written with a single `write_all`, so a crash
     /// leaves either nothing or a (possibly partial, detectable) tail.
+    ///
+    /// On a failed append the accounting is untouched but the file may
+    /// hold a torn prefix of the record; callers that continue appending
+    /// must `rewind` to the pre-append `mark` first (the serving writer
+    /// and `DurableTransaction` both do).
     pub fn append(&mut self, ops: &[WalOp]) -> io::Result<u64> {
         assert!(!ops.is_empty(), "a WAL record must carry at least one op");
         let lsn = self.next_lsn;
         let bytes = encode_record(lsn, ops);
-        self.file.write_all(&bytes)?;
+        fault::write_all(self.injector.as_deref(), &mut self.file, &bytes)?;
         self.next_lsn += 1;
         self.len_bytes += bytes.len() as u64;
         self.records += 1;
@@ -355,7 +379,7 @@ impl Wal {
 
     /// Force everything appended so far to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.sync_data()?;
+        fault::sync_data(self.injector.as_deref(), &self.file)?;
         self.unsynced = 0;
         Ok(())
     }
@@ -436,7 +460,7 @@ impl Wal {
     pub(crate) fn rewind(&mut self, len: u64, next_lsn: u64) -> io::Result<()> {
         self.file.set_len(len)?;
         self.file.seek(SeekFrom::Start(len))?;
-        self.file.sync_data()?;
+        fault::sync_data(self.injector.as_deref(), &self.file)?;
         self.records -= self.next_lsn - next_lsn;
         self.len_bytes = len;
         self.next_lsn = next_lsn;
@@ -456,7 +480,7 @@ impl Wal {
 impl Drop for Wal {
     fn drop(&mut self) {
         if self.unsynced > 0 {
-            let _ = self.file.sync_data();
+            let _ = fault::sync_data(self.injector.as_deref(), &self.file);
         }
     }
 }

@@ -29,7 +29,8 @@
 //! | `rollback` | `ok rollback <n>` |
 //! | `constraint <sentence>` | `ok constraint @<lsn>` or `err rejected: … @<lsn>` |
 //! | `flush` | `ok flushed @<lsn>` |
-//! | `stats` | `ok stats commits=… rejected=… batches=… fsyncs=… plan_recosts=… prov_atoms=… prov_supports=…` |
+//! | `heal` | `ok healed @<lsn>` or `err heal failed: …` |
+//! | `stats` | `ok stats commits=… rejected=… batches=… fsyncs=… plan_recosts=… prov_atoms=… prov_supports=… io_errors=… heals=… degraded=…` |
 //! | `quit` | `ok bye`, connection closes |
 //! | `shutdown` | `ok shutting-down`, server drains and exits |
 //!
@@ -43,6 +44,20 @@
 //! rejected commit's `err rejected:` line states the violated
 //! constraint and its ground witnesses, stamped with the LSN of the
 //! state it was validated against.
+//!
+//! # Robustness
+//!
+//! When the served database is in degraded read-only mode (an I/O
+//! failure on the commit path), writes answer
+//! `err degraded (read-only): …` while `ask`/`demo`/`why` keep
+//! answering from snapshots; `heal` attempts the repair described at
+//! [`ServingDb::heal`]. Sessions can be given a read timeout
+//! ([`ServerOptions::read_timeout`]) after which an idle connection is
+//! sent a final `err timeout …` line and closed — one wedged client
+//! cannot pin a session thread forever. [`Client::request_with_retry`]
+//! layers reconnect-and-retry with exponential backoff over the plain
+//! [`Client::request`] for transient failures (degraded replies, torn
+//! connections, timeouts).
 
 use epilog_persist::{PersistError, ServeError, ServeStats, ServingDb, TxOp};
 use epilog_syntax::parse;
@@ -51,6 +66,16 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerOptions {
+    /// Per-session read timeout: a connection that stays silent this
+    /// long is sent a final `err timeout …` line and closed. `None`
+    /// (the default) waits forever.
+    pub read_timeout: Option<Duration>,
+}
 
 /// One client connection's state: the shared database plus the
 /// session's open transaction, if any.
@@ -91,6 +116,7 @@ impl<'a> Session<'a> {
             "rollback" => self.rollback(),
             "constraint" => self.constraint(rest),
             "flush" => self.flush(),
+            "heal" => self.heal(),
             "stats" => Ok(stats_line(self.db)),
             "quit" => return ("ok bye".into(), Disposition::Close),
             "shutdown" => return ("ok shutting-down".into(), Disposition::ShutdownServer),
@@ -203,6 +229,21 @@ impl<'a> Session<'a> {
             .map(|lsn| format!("ok flushed @{lsn}"))
             .map_err(|e| e.to_string())
     }
+
+    fn heal(&self) -> Result<String, String> {
+        self.db
+            .heal()
+            .map(|lsn| format!("ok healed @{lsn}"))
+            .map_err(|e| format!("heal failed: {e}"))
+    }
+}
+
+/// Replies a retry (after a heal, a reconnect, or plain patience) can
+/// turn into success; everything else is definitive.
+fn is_transient_reply(reply: &str) -> bool {
+    reply.starts_with("err degraded")
+        || reply.starts_with("err io error")
+        || reply.starts_with("err timeout")
 }
 
 fn commit_ops(db: &ServingDb, ops: Vec<TxOp>) -> Result<String, String> {
@@ -221,19 +262,23 @@ fn stats_line(db: &ServingDb) -> String {
     let snap = db.snapshot();
     let (prov_atoms, prov_supports) = snap.provenance_size();
     format!(
-        "ok stats commits={} rejected={} batches={} fsyncs={} plan_recosts={} prov_atoms={} prov_supports={}",
+        "ok stats commits={} rejected={} batches={} fsyncs={} plan_recosts={} prov_atoms={} prov_supports={} io_errors={} heals={} degraded={}",
         s.commits,
         s.rejected,
         s.batches,
         s.fsyncs,
         snap.plan_recosts(),
         prov_atoms,
-        prov_supports
+        prov_supports,
+        s.io_errors,
+        s.heals,
+        s.degraded
     )
 }
 
 struct Inner {
     db: ServingDb,
+    opts: ServerOptions,
     stop: AtomicBool,
     // Set when a session sends `shutdown`; Server::wait blocks on it.
     wanted: Mutex<bool>,
@@ -264,10 +309,20 @@ impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// serve `db` until [`Server::shutdown`].
     pub fn start(db: ServingDb, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::start_with(db, addr, ServerOptions::default())
+    }
+
+    /// [`Server::start`] with explicit [`ServerOptions`].
+    pub fn start_with(
+        db: ServingDb,
+        addr: impl ToSocketAddrs,
+        opts: ServerOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
             db,
+            opts,
             stop: AtomicBool::new(false),
             wanted: Mutex::new(false),
             bell: Condvar::new(),
@@ -342,7 +397,12 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
             let inner = Arc::clone(inner);
             threadpool::spawn_named("epilog-session", move || session_loop(stream, &inner))
         };
-        inner.sessions.lock().unwrap().push((handle, peer));
+        let mut sessions = inner.sessions.lock().unwrap();
+        // Reap sessions whose threads already exited (clients that quit
+        // or timed out), so a long-lived server's list stays bounded by
+        // its *live* connections.
+        sessions.retain(|(h, _)| !h.is_finished());
+        sessions.push((handle, peer));
     }
 }
 
@@ -350,6 +410,7 @@ fn session_loop(stream: TcpStream, inner: &Inner) {
     // Readers and the writer queue are shared through `inner`; the
     // transaction buffer is this session's alone.
     let mut session = Session::new(&inner.db);
+    let _ = stream.set_read_timeout(inner.opts.read_timeout);
     let Ok(read) = stream.try_clone() else {
         return;
     };
@@ -359,7 +420,20 @@ fn session_loop(stream: TcpStream, inner: &Inner) {
     loop {
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
+            Ok(0) => break,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The configured idle timeout expired: tell the client
+                // why (best effort) and free the session thread.
+                let _ = write.write_all(b"err timeout: session idle too long, closing\n");
+                let _ = write.flush();
+                break;
+            }
+            Err(_) => break,
             Ok(_) => {}
         }
         let (reply, disposition) = session.handle(&line);
@@ -376,6 +450,34 @@ fn session_loop(stream: TcpStream, inner: &Inner) {
             }
         }
     }
+    // Close the connection outright: the accept loop holds a clone of
+    // this stream (for shutdown), so merely dropping ours would leave
+    // the socket open and a well-behaved client blocked on a session
+    // that no longer exists.
+    let _ = write.shutdown(Shutdown::Both);
+}
+
+/// How [`Client::request_with_retry`] paces itself: up to `attempts`
+/// tries, sleeping `base_delay` before the first retry and doubling up
+/// to `max_delay` between later ones.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total tries, the initial one included. Clamped to at least 1.
+    pub attempts: u32,
+    /// Sleep before the first retry.
+    pub base_delay: Duration,
+    /// Cap on the (doubling) sleep between retries.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(640),
+        }
+    }
 }
 
 /// A minimal blocking client for the line protocol — what the example,
@@ -383,16 +485,19 @@ fn session_loop(stream: TcpStream, inner: &Inner) {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    addr: SocketAddr,
 }
 
 impl Client {
     /// Connect to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
         let reader = BufReader::new(stream.try_clone()?);
         Ok(Client {
             reader,
             writer: stream,
+            addr,
         })
     }
 
@@ -402,6 +507,52 @@ impl Client {
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         self.read_line()
+    }
+
+    /// [`Client::request`] with reconnect-and-retry under `policy`.
+    ///
+    /// Retries on transport errors (reconnecting first — the server may
+    /// have closed an idle session, or a previous response may have
+    /// been lost mid-line) and on transient protocol replies:
+    /// `err degraded …`, `err io error …`, and `err timeout …`. A
+    /// definitive reply (`ok …`, `err rejected: …`, parse errors) is
+    /// returned as soon as it arrives. When every attempt failed
+    /// transiently, the last protocol reply is returned as `Ok` (it
+    /// *is* the server's answer) and the last transport error as `Err`.
+    ///
+    /// Retrying a commit after a *lost response* can double-apply it;
+    /// epilog transactions are idempotent at the sentence level
+    /// (re-asserting an asserted sentence is a no-op), so this is safe
+    /// for this protocol, though receipts may report `+0`.
+    pub fn request_with_retry(&mut self, line: &str, policy: RetryPolicy) -> io::Result<String> {
+        let mut delay = policy.base_delay;
+        let mut last_reply: Option<String> = None;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..policy.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(policy.max_delay);
+            }
+            match self.request(line) {
+                Ok(reply) if is_transient_reply(&reply) => {
+                    last_reply = Some(reply);
+                    last_err = None;
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    last_err = Some(e);
+                    last_reply = None;
+                    if let Ok(fresh) = Client::connect(self.addr) {
+                        *self = fresh;
+                    }
+                }
+            }
+        }
+        match (last_reply, last_err) {
+            (Some(reply), _) => Ok(reply),
+            (None, Some(e)) => Err(e),
+            (None, None) => unreachable!("at least one attempt always runs"),
+        }
     }
 
     /// Read one more response line (the `row` lines after a `demo`).
@@ -415,6 +566,11 @@ impl Client {
             ));
         }
         Ok(line.trim_end().to_string())
+    }
+
+    /// The address this client is (re)connected to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// `demo` convenience: returns the answer rows as vectors of
@@ -565,6 +721,102 @@ mod tests {
             stats.contains("plan_recosts=") && stats.contains("prov_atoms="),
             "got {stats}"
         );
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn idle_sessions_time_out_and_the_server_keeps_serving() {
+        let d = dir();
+        let theory = Theory::from_text("p(a)").unwrap();
+        let db = ServingDb::create(&d, theory, Default::default()).unwrap();
+        let opts = ServerOptions {
+            read_timeout: Some(Duration::from_millis(60)),
+        };
+        let server = Server::start_with(db, "127.0.0.1:0", opts).unwrap();
+
+        let mut idle = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(idle.request("ask K p(a)").unwrap(), "ok yes @0");
+        // Stay silent past the timeout: the server sends a final err
+        // line and closes the connection.
+        let line = idle.read_line().unwrap();
+        assert!(line.starts_with("err timeout"), "got {line}");
+        assert!(idle.read_line().is_err(), "session closed after timeout");
+
+        // The server is unharmed; fresh connections work.
+        let mut c = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(c.request("ask K p(a)").unwrap(), "ok yes @0");
+
+        // request_with_retry rides over the closed session transparently.
+        let mut retry = Client::connect(server.local_addr()).unwrap();
+        assert_eq!(retry.request("ask K p(a)").unwrap(), "ok yes @0");
+        std::thread::sleep(Duration::from_millis(120)); // let it die
+        let reply = retry
+            .request_with_retry("ask K p(a)", RetryPolicy::default())
+            .unwrap();
+        assert_eq!(reply, "ok yes @0", "reconnected and re-asked");
+
+        server.shutdown().unwrap();
+        std::fs::remove_dir_all(d).unwrap();
+    }
+
+    #[test]
+    fn degraded_server_stays_readable_heals_and_retries_succeed() {
+        use epilog_persist::{DurableDb, FaultInjector, FsyncPolicy};
+
+        let d = dir();
+        let theory = Theory::from_text("forall x. p(x) -> q(x)").unwrap();
+        let mut durable = DurableDb::create(&d, theory, FsyncPolicy::Never).unwrap();
+        let inj = Arc::new(FaultInjector::new(77));
+        durable.set_fault_injector(Some(Arc::clone(&inj)));
+        let db = ServingDb::start(durable, Default::default());
+        let server = Server::start(db, "127.0.0.1:0").unwrap();
+        let mut c = Client::connect(server.local_addr()).unwrap();
+
+        assert_eq!(c.request("assert p(a)").unwrap(), "ok committed @1 +1 -0");
+
+        // Break the disk: the in-flight commit fails with an io error
+        // and the database degrades to read-only.
+        inj.set_sync_rate(1, 1);
+        let r = c.request("assert p(b)").unwrap();
+        assert!(r.starts_with("err io error"), "got {r}");
+        let r = c.request("assert p(c)").unwrap();
+        assert!(r.starts_with("err degraded"), "got {r}");
+        assert_eq!(c.request("ask K q(a)").unwrap(), "ok yes @1");
+        let stats = c.request("stats").unwrap();
+        assert!(stats.contains("degraded=true"), "got {stats}");
+
+        // Healing against a still-broken disk fails and stays retryable.
+        let r = c.request("heal").unwrap();
+        assert!(r.starts_with("err heal failed"), "got {r}");
+
+        // Fix the disk and heal from a second session while the first
+        // keeps retrying its write with backoff.
+        let addr = server.local_addr();
+        let fixer = {
+            let inj = Arc::clone(&inj);
+            threadpool::spawn_named("epilog-test-fixer", move || {
+                std::thread::sleep(Duration::from_millis(80));
+                inj.disarm();
+                let mut c2 = Client::connect(addr).unwrap();
+                assert_eq!(c2.request("heal").unwrap(), "ok healed @1");
+            })
+        };
+        let policy = RetryPolicy {
+            attempts: 50,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(100),
+        };
+        let reply = c.request_with_retry("assert p(b)", policy).unwrap();
+        assert_eq!(reply, "ok committed @2 +1 -0");
+        fixer.join().unwrap();
+
+        let stats = c.request("stats").unwrap();
+        assert!(
+            stats.contains("degraded=false") && stats.contains("heals=1"),
+            "got {stats}"
+        );
+        assert_eq!(c.request("ask K q(b)").unwrap(), "ok yes @2");
         server.shutdown().unwrap();
         std::fs::remove_dir_all(d).unwrap();
     }

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! epilog-server [--addr HOST:PORT] [--dir PATH] [--theory FILE] [--provenance]
+//!               [--read-timeout SECS]
 //! ```
 //!
 //! * `--addr` — listen address (default `127.0.0.1:7171`; use port 0
@@ -14,20 +15,24 @@
 //! * `--provenance` — track derivations: enables the `why <atom>`
 //!   request and witness explanations on rejected commits (definite
 //!   theories only; costs extra memory and commit work).
+//! * `--read-timeout` — close sessions idle for this many seconds
+//!   (default: never), so wedged clients cannot pin session threads.
 //!
 //! The process runs until a client sends `shutdown`, then drains the
 //! commit queue, syncs the log, and exits.
 
 use epilog_persist::{ServeOptions, ServingDb};
-use epilog_server::Server;
+use epilog_server::{Server, ServerOptions};
 use epilog_syntax::Theory;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut dir = "./epilog-data".to_string();
     let mut theory_path: Option<String> = None;
     let mut provenance = false;
+    let mut read_timeout: Option<Duration> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -42,9 +47,22 @@ fn main() -> ExitCode {
             "--dir" => dir = take("--dir"),
             "--theory" => theory_path = Some(take("--theory")),
             "--provenance" => provenance = true,
+            "--read-timeout" => {
+                let raw = take("--read-timeout");
+                match raw.parse::<f64>() {
+                    Ok(secs) if secs > 0.0 => {
+                        read_timeout = Some(Duration::from_secs_f64(secs));
+                    }
+                    _ => {
+                        eprintln!("--read-timeout needs a positive number of seconds, got {raw:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: epilog-server [--addr HOST:PORT] [--dir PATH] [--theory FILE] [--provenance]"
+                    "usage: epilog-server [--addr HOST:PORT] [--dir PATH] [--theory FILE] \
+                     [--provenance] [--read-timeout SECS]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -91,7 +109,7 @@ fn main() -> ExitCode {
         None => eprintln!("initialized {dir}"),
     }
 
-    let server = match Server::start(db, addr.as_str()) {
+    let server = match Server::start_with(db, addr.as_str(), ServerOptions { read_timeout }) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");

@@ -60,8 +60,8 @@ pub mod prelude {
     };
     pub use epilog_core::{CommittedState, ReadHandle, StateCell};
     pub use epilog_persist::{
-        CommitReceipt, DurableDb, FsyncPolicy, PersistError, RecoveryReport, ServeError,
-        ServeOptions, ServingDb, TxOp,
+        CommitReceipt, DurableDb, FaultInjector, FaultKind, FsyncPolicy, PersistError,
+        RecoveryReport, ServeError, ServeOptions, ServingDb, TxOp, WriterExit,
     };
     pub use epilog_prover::Prover;
     pub use epilog_syntax::{

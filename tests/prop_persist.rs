@@ -295,4 +295,59 @@ proptest! {
 
         std::fs::remove_dir_all(dir).unwrap();
     }
+
+    /// [`FsyncPolicy::Batch`]`(n)`'s loss window is tight: after every
+    /// commit fewer than `n` records await a sync (the `n`-th append
+    /// syncs), an explicit sync empties the window, and a clean drop
+    /// flushes it — the log on disk is complete and recovery reproduces
+    /// the live state exactly.
+    #[test]
+    fn batch_policy_loss_window_is_tight(
+        n in 1u32..6,
+        raw in proptest::collection::vec((0u8..10, 0u8..8, 0u8..8, 0u8..8), 1..24),
+    ) {
+        let dir = temp_dir("batch");
+        let theory = Theory::from_text(RULES[1]).unwrap();
+        let mut durable = DurableDb::create(&dir, theory.clone(), FsyncPolicy::Batch(n)).unwrap();
+        let mut oracle = EpistemicDb::new(theory);
+        for op in &raw {
+            let (is_assert, w) = op_formula(*op);
+            let dv = if is_assert {
+                durable.transaction().assert(w.clone()).commit()
+            } else {
+                durable.transaction().retract(w.clone()).commit()
+            };
+            let ov = if is_assert {
+                oracle.transaction().assert(w.clone()).commit()
+            } else {
+                oracle.transaction().retract(w).commit()
+            };
+            prop_assert_eq!(dv.is_ok(), ov.is_ok(), "verdict divergence");
+            prop_assert!(
+                durable.pending_unsynced() < n,
+                "window exceeded Batch({}): {} pending",
+                n,
+                durable.pending_unsynced()
+            );
+        }
+        durable.sync().unwrap();
+        prop_assert_eq!(durable.pending_unsynced(), 0, "explicit sync empties the window");
+        // Reopen the window, then drop without ceremony: the drop-flush
+        // leaves a complete, untorn log equal to the live state.
+        let _ = durable.transaction().assert(parse("hired(a0)").unwrap()).commit();
+        let _ = oracle.transaction().assert(parse("hired(a0)").unwrap()).commit();
+        let final_state = OracleState {
+            theory: oracle.theory().clone(),
+            n_constraints: 0,
+        };
+        drop(durable);
+        let scan = Wal::scan_file(dir.join(WAL_FILE)).unwrap();
+        prop_assert!(scan.torn.is_none(), "clean drop left a torn log");
+        let (rec, report) = DurableDb::recover(&dir, FsyncPolicy::Never).unwrap();
+        prop_assert!(report.torn_tail.is_none());
+        prop_assert!(report.rejected.is_empty());
+        assert_recovered_matches(rec.db(), &final_state, "after clean drop under Batch(n)")?;
+        drop(rec);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
 }
